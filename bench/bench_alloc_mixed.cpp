@@ -1,0 +1,50 @@
+// Fig. 9h — mixed allocation performance: every thread draws a size
+// uniformly from [4, upper], upper swept over the ladder (4-4, 4-8, ...).
+#include "bench_common.h"
+#include "workloads/alloc_perf.h"
+
+int main(int argc, char** argv) {
+  using namespace gms;
+  auto args = bench::parse_args(argc, argv);
+  if (args.threads == 0) args.threads = 10'000;
+  if (args.iters == 0) args.iters = 3;
+
+  std::vector<std::string> columns{"Range"};
+  for (const auto& name : args.allocators) columns.push_back(name);
+  core::ResultTable table(columns);
+
+  std::vector<std::unique_ptr<bench::ManagedDevice>> devices;
+  for (const auto& name : args.allocators) {
+    devices.push_back(std::make_unique<bench::ManagedDevice>(args, name));
+  }
+
+  for (const std::size_t upper :
+       bench::pow2_sizes(args.range_lo, args.range_hi)) {
+    std::vector<std::string> row{"4-" + std::to_string(upper)};
+    for (std::size_t a = 0; a < args.allocators.size(); ++a) {
+      work::AllocPerfParams params;
+      params.num_allocs = args.threads;
+      params.size_min = 4;
+      params.size_max = upper;
+      params.iterations = args.iters;
+      work::AllocPerfSeries series;
+      try {
+        series =
+            work::run_alloc_perf(devices[a]->dev(), devices[a]->mgr(), params);
+      } catch (const std::exception& e) {
+        std::cerr << args.allocators[a] << ": " << e.what() << "\n";
+        row.push_back("err");
+        continue;
+      }
+      row.push_back(series.failed_allocs == 0
+                        ? core::ResultTable::fmt_ms(
+                              series.alloc_summary().mean_ms)
+                        : "oom");
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, args,
+              "Fig. 9h — mixed allocation performance, " +
+                  std::to_string(args.threads) + " threads");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig. 9a-9f (thread-based) and Fig. 9g (--warp): allocation and
+// deallocation time over the 4 B - 8192 B size ladder. Columns per
+// allocator: mean ms for malloc and free kernels.
+#include "bench_common.h"
+#include "workloads/alloc_perf.h"
+
+int main(int argc, char** argv) {
+  using namespace gms;
+  auto args = bench::parse_args(argc, argv);
+  if (args.threads == 0) args.threads = 10'000;
+  if (args.iters == 0) args.iters = 3;
+  const auto sizes = bench::pow2_sizes(args.range_lo, args.range_hi);
+
+  std::vector<std::string> columns{"Bytes"};
+  for (const auto& name : args.allocators) {
+    columns.push_back(name + " alloc");
+    columns.push_back(name + " free");
+  }
+  core::ResultTable table(columns);
+
+  // One manager instance per allocator, reused over the size sweep (the
+  // paper's scripts run one process per allocator with all sizes inside).
+  std::vector<std::unique_ptr<bench::ManagedDevice>> devices;
+  for (const auto& name : args.allocators) {
+    devices.push_back(std::make_unique<bench::ManagedDevice>(args, name));
+  }
+
+  for (const std::size_t size : sizes) {
+    std::vector<std::string> row{std::to_string(size)};
+    for (std::size_t a = 0; a < args.allocators.size(); ++a) {
+      work::AllocPerfParams params;
+      params.num_allocs = args.threads;
+      params.size = size;
+      params.warp_based = args.warp;
+      params.iterations = args.iters;
+      core::Stopwatch guard;
+      work::AllocPerfSeries series;
+      try {
+        series =
+            work::run_alloc_perf(devices[a]->dev(), devices[a]->mgr(), params);
+      } catch (const std::exception& e) {
+        std::cerr << args.allocators[a] << " at " << size
+                  << " B: " << e.what() << "\n";
+        row.push_back("err");
+        row.push_back("err");
+        continue;
+      }
+      const bool ok = series.failed_allocs == 0;
+      const double calls =
+          static_cast<double>(params.num_allocs) * params.iterations;
+      auto cell = [&](const gpu::StatsCounters& counters, double mean_ms,
+                      bool have) {
+        if (!have) return std::string("n/a");
+        if (args.metric == "atomics") {
+          return core::ResultTable::fmt(
+              static_cast<double>(counters.atomic_total()) / calls, 2);
+        }
+        if (args.metric == "backoffs") {
+          return core::ResultTable::fmt(
+              static_cast<double>(counters.backoffs) / calls, 2);
+        }
+        return core::ResultTable::fmt_ms(mean_ms);
+      };
+      row.push_back(ok ? cell(series.alloc_counters,
+                              series.alloc_summary().mean_ms, true)
+                       : "oom");
+      row.push_back(cell(series.free_counters, series.free_summary().mean_ms,
+                         !series.free_ms.empty()));
+      if (guard.elapsed_ms() > args.timeout_s * 1000) {
+        std::cerr << args.allocators[a] << " exceeded the per-case budget at "
+                  << size << " B\n";
+      }
+    }
+    table.add_row(std::move(row));
+    std::cerr << "  [fig9] " << size << " B done\n";
+  }
+  bench::emit(table, args,
+              std::string("Fig. 9 — ") + (args.warp ? "warp" : "thread") +
+                  "-based allocation performance, " +
+                  std::to_string(args.threads) + " allocations");
+  return 0;
+}

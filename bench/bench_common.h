@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "core/result_table.h"
+#include "core/utils.h"
+#include "gpu/device.h"
+
+namespace gms::bench {
+
+/// Common CLI of every bench binary, mirroring the paper artifact's scripts
+/// (Table 2): -t/--allocators selector, --mem-mb, --threads, --iters,
+/// --csv, plus per-bench extras parsed from the same argument list.
+struct BenchArgs {
+  std::vector<std::string> allocators;
+  std::size_t mem_mb = 256;   ///< manageable memory per manager (paper: 8 GB)
+  std::size_t threads = 0;    ///< 0 = bench-specific default
+  unsigned iters = 0;         ///< 0 = bench-specific default
+  unsigned num_sms = 8;       ///< more SMs = more hash-scatter entropy
+  double timeout_s = 10;  // per-case soft cap (paper: 1 h)
+  std::string csv;
+  bool warp = false;
+  std::size_t range_lo = 4, range_hi = 8192;
+  std::string phase = "all";  ///< bench_graph: init / update / all
+  std::uint32_t scale = 32;   ///< graph down-scale factor
+  unsigned max_exp = 14;      ///< bench_scaling: threads up to 2^max_exp
+  /// bench_alloc_size: "ms" (wall clock), "atomics" or "backoffs" per call.
+  /// Wall clock on a single-core host compresses contention differences;
+  /// the counters expose them directly (see DESIGN.md §1).
+  std::string metric = "ms";
+
+  [[nodiscard]] std::size_t heap_bytes() const { return mem_mb << 20; }
+};
+
+inline BenchArgs parse_args(int argc, char** argv,
+                            const char* default_selector = "all") {
+  core::register_all_allocators();
+  BenchArgs args;
+  std::string selector = default_selector;
+  auto need = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "-t" || flag == "--allocators") {
+      selector = need(i);
+    } else if (flag == "--mem-mb") {
+      args.mem_mb = std::stoull(need(i));
+    } else if (flag == "--threads" || flag == "-num") {
+      args.threads = std::stoull(need(i));
+    } else if (flag == "--iters" || flag == "-iter") {
+      args.iters = static_cast<unsigned>(std::stoul(need(i)));
+    } else if (flag == "--sms") {
+      args.num_sms = static_cast<unsigned>(std::stoul(need(i)));
+    } else if (flag == "--timeout-s") {
+      args.timeout_s = std::stod(need(i));
+    } else if (flag == "--csv") {
+      args.csv = need(i);
+    } else if (flag == "--warp") {
+      args.warp = true;
+    } else if (flag == "--range") {
+      const std::string r = need(i);
+      const auto dash = r.find('-');
+      args.range_lo = std::stoull(r.substr(0, dash));
+      args.range_hi = std::stoull(r.substr(dash + 1));
+    } else if (flag == "--phase") {
+      args.phase = need(i);
+    } else if (flag == "--scale") {
+      args.scale = static_cast<std::uint32_t>(std::stoul(need(i)));
+    } else if (flag == "--max-exp") {
+      args.max_exp = static_cast<unsigned>(std::stoul(need(i)));
+    } else if (flag == "--metric") {
+      args.metric = need(i);
+    } else if (flag == "-h" || flag == "--help") {
+      std::cout
+          << "common flags: -t o+s+h+c+r+x | name,name  --mem-mb N  "
+             "--threads N  --iters N  --sms N  --csv file  --warp  "
+             "--range LO-HI  --timeout-s S  --phase init|update|all  "
+             "--scale N  --max-exp N\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag " << flag << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+  args.allocators = core::Registry::instance().select(selector);
+  return args;
+}
+
+/// Builds a fresh device + manager for one measurement (cold start parity
+/// across managers, as the paper's per-test processes provide).
+class ManagedDevice {
+ public:
+  ManagedDevice(const BenchArgs& args, const std::string& name)
+      : device_(std::make_unique<gpu::Device>(
+            args.heap_bytes() + (8u << 20),
+            gpu::GpuConfig{.num_sms = args.num_sms,
+                           .lane_stack_bytes = 32 * 1024})),
+        mgr_(core::Registry::instance().make(name, *device_,
+                                             args.heap_bytes())) {
+    // Warm-up: materialise every SM's lane stacks outside the measurements.
+    device_->launch(args.num_sms * 2, 256, [](gpu::ThreadCtx&) {});
+  }
+
+  gpu::Device& dev() { return *device_; }
+  core::MemoryManager& mgr() { return *mgr_; }
+
+ private:
+  std::unique_ptr<gpu::Device> device_;
+  std::unique_ptr<core::MemoryManager> mgr_;
+};
+
+/// The paper's size ladder: powers of two from lo to hi.
+inline std::vector<std::size_t> pow2_sizes(std::size_t lo, std::size_t hi) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = core::ceil_pow2(lo); s <= hi; s *= 2) {
+    sizes.push_back(s);
+  }
+  return sizes;
+}
+
+inline void emit(const core::ResultTable& table, const BenchArgs& args,
+                 const std::string& title) {
+  std::cout << "\n## " << title << "\n\n";
+  table.print_markdown(std::cout);
+  if (!args.csv.empty()) {
+    table.write_csv_file(args.csv);
+    std::cout << "\n(csv written to " << args.csv << ")\n";
+  }
+}
+
+}  // namespace gms::bench

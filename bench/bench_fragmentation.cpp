@@ -1,0 +1,35 @@
+// Fig. 11a — fragmentation: maximum address range returned for a wave of
+// allocations (and over repeated alloc/free cycles), against the dense
+// theoretical baseline.
+#include "bench_common.h"
+#include "workloads/fragmentation.h"
+
+int main(int argc, char** argv) {
+  using namespace gms;
+  auto args = bench::parse_args(argc, argv);
+  if (args.threads == 0) args.threads = 20'000;
+  if (args.iters == 0) args.iters = 4;
+
+  std::vector<std::string> columns{"Bytes", "Theoretical"};
+  for (const auto& name : args.allocators) columns.push_back(name);
+  core::ResultTable table(columns);
+
+  for (const std::size_t size :
+       bench::pow2_sizes(args.range_lo, std::min<std::size_t>(args.range_hi, 512))) {
+    std::vector<std::string> row{std::to_string(size), ""};
+    std::size_t theoretical = 0;
+    for (const auto& name : args.allocators) {
+      bench::ManagedDevice md(args, name);
+      const auto r = work::run_fragmentation(md.dev(), md.mgr(), args.threads,
+                                             size, args.iters);
+      theoretical = r.theoretical;
+      row.push_back(r.failed == 0 ? std::to_string(r.max_range) : "oom");
+    }
+    row[1] = std::to_string(theoretical);
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, args,
+              "Fig. 11a — max address range, " + std::to_string(args.threads) +
+                  " allocations, " + std::to_string(args.iters) + " cycles");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// google-benchmark micro costs: the single-lane hot path of every allocator
+// (allocate + free round trip) plus the SIMT substrate's primitive costs.
+// These are complementary to the figure benches: they isolate per-call
+// overhead without cross-thread contention.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/registry.h"
+#include "gpu/device.h"
+
+namespace {
+
+using namespace gms;
+
+gpu::Device& dev() {
+  static gpu::Device device(256u << 20, gpu::GpuConfig{.num_sms = 2});
+  return device;
+}
+
+void BM_LaunchOverhead(benchmark::State& state) {
+  for (auto _ : state) {
+    dev().launch(1, 1, [](gpu::ThreadCtx&) {});
+  }
+}
+BENCHMARK(BM_LaunchOverhead);
+
+void BM_LaneThroughput(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    dev().launch_n(threads, [](gpu::ThreadCtx&) {});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(threads));
+}
+BENCHMARK(BM_LaneThroughput)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_WarpCollective(benchmark::State& state) {
+  for (auto _ : state) {
+    dev().launch(1, 32, [](gpu::ThreadCtx& t) {
+      for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(t.ballot(true));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_WarpCollective);
+
+void BM_MallocFreeRoundTrip(benchmark::State& state) {
+  core::register_all_allocators();
+  const auto names = core::Registry::instance().names();
+  const auto& name = names[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(name + " " + std::to_string(state.range(1)) + "B");
+  auto mgr = core::Registry::instance().make(name, dev(), 192u << 20);
+  const auto size = static_cast<std::size_t>(state.range(1));
+  const bool can_free =
+      mgr->traits().supports_free && mgr->traits().individual_free;
+  for (auto _ : state) {
+    dev().launch(1, 32, [&](gpu::ThreadCtx& t) {
+      for (int i = 0; i < 8; ++i) {
+        void* p = mgr->traits().warp_level_only ? mgr->warp_malloc(t, size)
+                                                : mgr->malloc(t, size);
+        benchmark::DoNotOptimize(p);
+        if (can_free) mgr->free(t, p);
+      }
+      if (!can_free && mgr->traits().warp_level_only) mgr->warp_free_all(t);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 8);
+}
+
+void register_roundtrips() {
+  core::register_all_allocators();
+  const auto n =
+      static_cast<long>(core::Registry::instance().names().size());
+  for (long a = 0; a < n; ++a) {
+    for (long size : {32, 1024}) {
+      benchmark::RegisterBenchmark("BM_MallocFreeRoundTrip",
+                                   &BM_MallocFreeRoundTrip)
+          ->Args({a, size});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_roundtrips();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

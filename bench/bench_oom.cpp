@@ -1,0 +1,33 @@
+// Fig. 11b — out-of-memory: allocate until the manager reports OOM (or a
+// time budget standing in for the paper's one-hour mark expires) and report
+// the achieved percentage of the theoretically possible allocations.
+#include "bench_common.h"
+#include "workloads/fragmentation.h"
+
+int main(int argc, char** argv) {
+  using namespace gms;
+  auto args = bench::parse_args(argc, argv);
+  if (args.threads == 0) args.threads = 1'024;
+  if (args.mem_mb == 256) args.mem_mb = 64;  // paper: OOM case uses less
+
+  std::vector<std::string> columns{"Bytes"};
+  for (const auto& name : args.allocators) columns.push_back(name + " %");
+  core::ResultTable table(columns);
+
+  for (const std::size_t size : bench::pow2_sizes(args.range_lo, args.range_hi)) {
+    std::vector<std::string> row{std::to_string(size)};
+    for (const auto& name : args.allocators) {
+      bench::ManagedDevice md(args, name);
+      const auto r = work::run_oom(md.dev(), md.mgr(), args.threads, size,
+                                   args.heap_bytes(), args.timeout_s);
+      std::string cell = core::ResultTable::fmt(r.percent_of_baseline(), 1);
+      if (r.timed_out) cell += "*";
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, args,
+              "Fig. 11b — out-of-memory utilisation (% of baseline; * = "
+              "reined in by the timeout like the paper's 1 h mark)");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Table 1: the survey's capability matrix over every memory
+// manager, generated from the registry traits instead of hand-maintained.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace gms;
+  const auto args = bench::parse_args(argc, argv);
+
+  core::ResultTable table({"Short Name", "Year", "Family", "Ref.",
+                           "General Purpose", "Individual Free",
+                           "Warp-Level", "Relays Large", "Max Direct (B)",
+                           "Resizable", "ITS-safe", "Stable", "In Paper Eval"});
+  for (const auto& name : args.allocators) {
+    const auto* entry = core::Registry::instance().find(name);
+    const auto& t = entry->traits;
+    auto yn = [](bool b) { return std::string(b ? "yes" : "no"); };
+    table.add_row({std::string(t.name), std::to_string(t.year),
+                   std::string(t.family), std::string(t.paper_ref),
+                   yn(t.general_purpose), yn(t.individual_free),
+                   yn(t.warp_level_only), yn(t.relays_large_to_system),
+                   t.max_direct_size == std::numeric_limits<std::size_t>::max()
+                       ? std::string("unlimited")
+                       : std::to_string(t.max_direct_size),
+                   yn(t.resizable), yn(t.its_safe), yn(t.stable),
+                   yn(!t.extension)});
+  }
+  bench::emit(table, args, "Table 1 — memory managers on the GPU (simulated)");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 11c / 11d — work generation vs the canonical prefix-sum Baseline:
+// a thread sweep where every thread produces 4-64 B (or 4-4096 B) of work.
+#include "bench_common.h"
+#include "workloads/workgen.h"
+
+int main(int argc, char** argv) {
+  using namespace gms;
+  auto args = bench::parse_args(argc, argv);
+  if (args.iters == 0) args.iters = 2;
+  if (args.range_hi == 8192) args.range_hi = 64;  // Fig. 11c default
+
+  std::vector<std::string> columns{"Threads", "Baseline"};
+  for (const auto& name : args.allocators) columns.push_back(name);
+  core::ResultTable table(columns);
+
+  std::vector<std::unique_ptr<bench::ManagedDevice>> devices;
+  for (const auto& name : args.allocators) {
+    devices.push_back(std::make_unique<bench::ManagedDevice>(args, name));
+  }
+  std::vector<std::byte> scratch;
+  gpu::Device baseline_dev(16u << 20,
+                           gpu::GpuConfig{.num_sms = args.num_sms});
+  baseline_dev.launch(args.num_sms * 2, 256, [](gpu::ThreadCtx&) {});
+
+  for (unsigned exp = 4; exp <= args.max_exp; exp += 2) {
+    const std::size_t threads = std::size_t{1} << exp;
+    std::vector<double> base_times;
+    for (unsigned i = 0; i < args.iters; ++i) {
+      base_times.push_back(work::run_workgen_baseline(baseline_dev, scratch, threads,
+                                                args.range_lo, args.range_hi,
+                                                0xB0B + i)
+                               .total_ms);
+    }
+    std::vector<std::string> row{
+        std::to_string(threads),
+        core::ResultTable::fmt_ms(core::TimingSummary::of(base_times).mean_ms)};
+    for (std::size_t a = 0; a < args.allocators.size(); ++a) {
+      std::vector<double> times;
+      std::uint64_t failed = 0;
+      for (unsigned i = 0; i < args.iters; ++i) {
+        const auto r =
+            work::run_workgen(devices[a]->dev(), devices[a]->mgr(), threads,
+                        args.range_lo, args.range_hi, 0xB0B + i);
+        times.push_back(r.total_ms);
+        failed += r.failed;
+      }
+      row.push_back(failed == 0 ? core::ResultTable::fmt_ms(
+                                      core::TimingSummary::of(times).mean_ms)
+                                : "oom");
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, args,
+              "Fig. 11c/d — work generation, " +
+                  std::to_string(args.range_lo) + "-" +
+                  std::to_string(args.range_hi) + " B per thread");
+  return 0;
+}

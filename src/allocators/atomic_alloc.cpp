@@ -1,0 +1,48 @@
+#include "allocators/atomic_alloc.h"
+
+namespace gms::alloc {
+
+namespace {
+constexpr core::AllocatorTraits kTraits{
+    .name = "Atomic",
+    .family = "Baseline",
+    .paper_ref = "§4 baseline",
+    .year = 2014,
+    .general_purpose = false,  // cannot free
+    .warp_level_only = false,
+    .supports_free = false,
+    .individual_free = false,
+    .its_safe = true,
+    .stable = true,
+    .malloc_state_bytes = 16,
+    .free_state_bytes = 0,
+};
+}  // namespace
+
+AtomicAlloc::AtomicAlloc(gpu::Device& dev, std::size_t heap_bytes) {
+  core::Stopwatch timer;
+  HeapCarver carver(dev, heap_bytes);
+  offset_ = carver.take<std::uint64_t>(1);
+  *offset_ = 0;
+  data_ = carver.take_rest(capacity_);
+  init_ms_ = timer.elapsed_ms();
+}
+
+const core::AllocatorTraits& AtomicAlloc::traits() const { return kTraits; }
+
+void* AtomicAlloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
+  const auto bytes = core::round_up(size, 16);
+  const auto old = ctx.atomic_add(offset_, static_cast<std::uint64_t>(bytes));
+  if (old + bytes > capacity_) {
+    // Roll back so later, smaller requests can still succeed.
+    ctx.atomic_sub(offset_, static_cast<std::uint64_t>(bytes));
+    return nullptr;
+  }
+  return data_ + old;
+}
+
+void AtomicAlloc::free(gpu::ThreadCtx& /*ctx*/, void* /*ptr*/) {
+  // By design: the baseline cannot reclaim memory.
+}
+
+}  // namespace gms::alloc

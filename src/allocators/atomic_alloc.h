@@ -1,0 +1,25 @@
+#pragma once
+
+#include "allocators/common.h"
+
+namespace gms::alloc {
+
+/// The paper's Baseline (§4): "a simple memory manager built on atomics on a
+/// shared offset". One fetch_add per allocation, no deallocation — "no true
+/// memory manager due to the lack of deallocation", but the lower bound every
+/// real manager is measured against.
+class AtomicAlloc final : public core::MemoryManager {
+ public:
+  AtomicAlloc(gpu::Device& dev, std::size_t heap_bytes);
+
+  [[nodiscard]] const core::AllocatorTraits& traits() const override;
+  [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
+  void free(gpu::ThreadCtx& ctx, void* ptr) override;
+
+ private:
+  std::uint64_t* offset_;  // shared bump offset, lives in the arena
+  std::byte* data_;
+  std::size_t capacity_;
+};
+
+}  // namespace gms::alloc

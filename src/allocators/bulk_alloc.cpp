@@ -1,0 +1,485 @@
+#include "allocators/bulk_alloc.h"
+
+#include <bit>
+
+namespace gms::alloc {
+
+// ---------------------------------------------------------------------------
+// TreeBuddy
+// ---------------------------------------------------------------------------
+
+void TreeBuddy::init_host(std::byte* region, unsigned levels,
+                          std::size_t leaf_bytes, std::uint32_t* node_words,
+                          std::uint8_t* leaf_tags) {
+  region_ = region;
+  levels_ = levels;
+  leaf_bytes_ = leaf_bytes;
+  nodes_ = node_words;
+  leaf_tags_ = leaf_tags;
+  const std::size_t node_count = std::size_t{2} << levels;
+  for (std::size_t i = 0; i < node_count; ++i) nodes_[i] = 0;
+  nodes_[1] = make_node(kFree, static_cast<int>(levels));
+  for (std::size_t l = 0; l < (std::size_t{1} << levels); ++l) {
+    leaf_tags_[l] = 0;
+  }
+}
+
+unsigned TreeBuddy::node_order(std::size_t node) const {
+  return levels_ - (static_cast<unsigned>(std::bit_width(node)) - 1);
+}
+
+unsigned TreeBuddy::order_for(std::size_t bytes) const {
+  const std::size_t leaves = (bytes + leaf_bytes_ - 1) / leaf_bytes_;
+  return static_cast<unsigned>(
+      std::bit_width(std::bit_ceil(std::max<std::size_t>(leaves, 1))) - 1);
+}
+
+std::uint32_t TreeBuddy::lock_node(gpu::ThreadCtx& ctx, std::size_t node) {
+  for (;;) {
+    const std::uint32_t seen = ctx.atomic_load(&nodes_[node]);
+    if ((seen & kLock) == 0 &&
+        ctx.atomic_cas(&nodes_[node], seen, seen | kLock) == seen) {
+      return seen;
+    }
+    ctx.backoff();
+  }
+}
+
+void TreeBuddy::store_node(gpu::ThreadCtx& ctx, std::size_t node,
+                           std::uint32_t state, int max_free) {
+  ctx.atomic_store(&nodes_[node], make_node(state, max_free));
+}
+
+void TreeBuddy::propagate(gpu::ThreadCtx& ctx, std::size_t node) {
+  // Node-to-parent status propagation, locking the parent while it is
+  // recomputed (§2.9: "both node and parent are locked").
+  for (std::size_t p = node / 2; p >= 1; p /= 2) {
+    const std::uint32_t w = lock_node(ctx, p);
+    if (node_state(w) != kSplit) {
+      ctx.atomic_store(&nodes_[p], w);  // unlock unchanged
+      return;
+    }
+    const int mf = std::max(
+        node_max_free(ctx.atomic_load(&nodes_[2 * p]) & ~kLock),
+        node_max_free(ctx.atomic_load(&nodes_[2 * p + 1]) & ~kLock));
+    if (mf == node_max_free(w)) {
+      ctx.atomic_store(&nodes_[p], w);
+      return;  // hint already accurate: stop early
+    }
+    store_node(ctx, p, kSplit, mf);
+    if (p == 1) return;
+  }
+}
+
+void* TreeBuddy::malloc_order(gpu::ThreadCtx& ctx, unsigned order) {
+  if (order > levels_) return nullptr;
+  const int want = static_cast<int>(order);
+  // Restarts happen under lock contention and stale hints; only the root
+  // hint decides genuine exhaustion. The bound is a backstop, not a budget.
+  for (unsigned restarts = 0; restarts < 65536; ++restarts) {
+    std::size_t node = 1;
+    for (;;) {
+      const std::uint32_t w = lock_node(ctx, node);
+      const unsigned ord = node_order(node);
+      const std::uint32_t st = node_state(w);
+      if (node_max_free(w) < want || st == kBusy) {
+        ctx.atomic_store(&nodes_[node], w);  // unlock, restart from the root
+        break;
+      }
+      if (st == kFree && ord == order) {
+        store_node(ctx, node, kBusy, -1);
+        propagate(ctx, node);
+        const std::size_t first_leaf =
+            (node - (std::size_t{1} << (levels_ - ord))) << ord;
+        ctx.atomic_store(&leaf_tags_[first_leaf],
+                         static_cast<std::uint8_t>(order + 1));
+        return region_ + first_leaf * leaf_bytes_;
+      }
+      if (st == kFree) {
+        // Split: publish FREE children while the parent is still locked.
+        store_node(ctx, 2 * node, kFree, static_cast<int>(ord) - 1);
+        store_node(ctx, 2 * node + 1, kFree, static_cast<int>(ord) - 1);
+        store_node(ctx, node, kSplit, static_cast<int>(ord) - 1);
+        node = 2 * node;
+        continue;
+      }
+      // kSplit: descend into a child whose hint can satisfy us.
+      const std::uint32_t lw = ctx.atomic_load(&nodes_[2 * node]) & ~kLock;
+      const std::uint32_t rw = ctx.atomic_load(&nodes_[2 * node + 1]) & ~kLock;
+      std::size_t next = 0;
+      if (node_max_free(lw) >= want) {
+        next = 2 * node;
+      } else if (node_max_free(rw) >= want) {
+        next = 2 * node + 1;
+      }
+      if (next == 0) {
+        // Stale hint: correct it and restart.
+        store_node(ctx, node, kSplit,
+                   std::max(node_max_free(lw), node_max_free(rw)));
+        break;
+      }
+      ctx.atomic_store(&nodes_[node], w);  // unlock before descending
+      node = next;
+    }
+    // Genuine exhaustion: the root hint says nothing fits.
+    const std::uint32_t root = ctx.atomic_load(&nodes_[1]) & ~kLock;
+    if (node_max_free(root) < want) return nullptr;
+    ctx.backoff();
+  }
+  return nullptr;
+}
+
+void TreeBuddy::free_block(gpu::ThreadCtx& ctx, void* ptr, unsigned order) {
+  const std::size_t first_leaf =
+      static_cast<std::size_t>(static_cast<std::byte*>(ptr) - region_) /
+      leaf_bytes_;
+  std::size_t node =
+      (std::size_t{1} << (levels_ - order)) + (first_leaf >> order);
+  ctx.atomic_store(&leaf_tags_[first_leaf], std::uint8_t{0});
+  lock_node(ctx, node);
+  store_node(ctx, node, kFree, static_cast<int>(order));
+
+  // Merge with the buddy while possible. Lock order parent -> children
+  // (ascending indices) keeps merges deadlock-free against each other.
+  while (node > 1) {
+    const std::size_t parent = node / 2;
+    const std::uint32_t pw = lock_node(ctx, parent);
+    if (node_state(pw) != kSplit) {  // defensive: should not happen
+      ctx.atomic_store(&nodes_[parent], pw);
+      break;
+    }
+    const std::size_t left = 2 * parent;
+    const std::uint32_t lw = lock_node(ctx, left);
+    const std::uint32_t rw = lock_node(ctx, left + 1);
+    const unsigned child_order = node_order(left);
+    const bool both_whole =
+        node_state(lw) == kFree &&
+        node_max_free(lw) == static_cast<int>(child_order) &&
+        node_state(rw) == kFree &&
+        node_max_free(rw) == static_cast<int>(child_order);
+    if (!both_whole) {
+      // Unlock children unchanged, refresh the parent hint, stop.
+      ctx.atomic_store(&nodes_[left], lw);
+      ctx.atomic_store(&nodes_[left + 1], rw);
+      store_node(ctx, parent, kSplit,
+                 std::max(node_max_free(lw), node_max_free(rw)));
+      node = parent;
+      break;
+    }
+    // Children become unreachable once the parent is FREE.
+    ctx.atomic_store(&nodes_[left], make_node(kFree, -1));
+    ctx.atomic_store(&nodes_[left + 1], make_node(kFree, -1));
+    store_node(ctx, parent, kFree, static_cast<int>(child_order) + 1);
+    node = parent;
+  }
+  propagate(ctx, node);
+}
+
+void TreeBuddy::set_leaf_tag(gpu::ThreadCtx& ctx, const void* block,
+                             std::uint8_t tag) {
+  const std::size_t leaf =
+      static_cast<std::size_t>(static_cast<const std::byte*>(block) -
+                               region_) /
+      leaf_bytes_;
+  ctx.atomic_store(&leaf_tags_[leaf], tag);
+}
+
+std::uint8_t TreeBuddy::leaf_tag(gpu::ThreadCtx& ctx, const void* block) {
+  const std::size_t leaf =
+      static_cast<std::size_t>(static_cast<const std::byte*>(block) -
+                               region_) /
+      leaf_bytes_;
+  return ctx.atomic_load(&leaf_tags_[leaf]);
+}
+
+void TreeBuddy::free_ptr(gpu::ThreadCtx& ctx, void* ptr) {
+  const std::uint8_t tag = leaf_tag(ctx, ptr);
+  assert(tag != 0 && tag != kChunkTag && "free of an untagged buddy block");
+  free_block(ctx, ptr, static_cast<unsigned>(tag - 1));
+}
+
+unsigned TreeBuddy::root_max_free(gpu::ThreadCtx& ctx) {
+  const int mf = node_max_free(ctx.atomic_load(&nodes_[1]) & ~kLock);
+  return mf < 0 ? 0 : static_cast<unsigned>(mf);
+}
+
+// ---------------------------------------------------------------------------
+// BulkAlloc
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr core::AllocatorTraits kTraits{
+    .name = "BulkAlloc",
+    .family = "BulkAllocator",
+    .paper_ref = "[7], PPoPP 2019 (extension: no public version exists)",
+    .year = 2019,
+    .general_purpose = true,
+    .supports_free = true,
+    .individual_free = true,
+    .its_safe = true,  // built for Volta+ ("> 7.0" in Table 1)
+    .stable = true,
+    .extension = true,
+    .malloc_state_bytes = 48,
+    .free_state_bytes = 28,
+};
+}  // namespace
+
+BulkAlloc::BulkAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
+    : cfg_(cfg) {
+  core::Stopwatch timer;
+  num_sms_ = dev.config().num_sms;
+  heap_base_ = dev.arena().data();
+  HeapCarver carver(dev, heap_bytes);
+
+  sem_words_ = carver.take<std::uint64_t>(num_sms_ * kNumClasses);
+  for (std::size_t i = 0; i < num_sms_ * kNumClasses; ++i) sem_words_[i] = 0;
+  arena_chunk_ = carver.take<std::byte*>(num_sms_);
+  arena_lock_ = carver.take<std::uint32_t>(num_sms_);
+  for (unsigned s = 0; s < num_sms_; ++s) {
+    arena_chunk_[s] = nullptr;
+    arena_lock_[s] = 0;
+  }
+  bin_queues_.reserve(num_sms_ * kNumClasses);
+  for (std::size_t q = 0; q < num_sms_ * kNumClasses; ++q) {
+    auto* words = carver.take<std::uint64_t>(
+        BoundedTicketQueue::layout_words(cfg_.bins_queue_capacity));
+    bin_queues_.emplace_back(words, cfg_.bins_queue_capacity);
+    bin_queues_.back().init_host();
+  }
+
+  // Cover the rest with a forest of buddy trees, largest first, so a
+  // non-power-of-two heap is not half wasted.
+  std::size_t rest = 0;
+  auto* region = carver.take_rest(rest, 4096);
+  const std::size_t leaf = cfg_.bin_bytes;  // 4 KiB leaves
+  while (rest >= cfg_.chunk_bytes && forest_.size() < 12) {
+    unsigned levels = 0;
+    while ((leaf << (levels + 1)) <= rest) ++levels;
+    const std::size_t tree_bytes = leaf << levels;
+    const std::size_t leaves = std::size_t{1} << levels;
+    // Tree metadata lives at the carver, taken from the remaining budget.
+    const std::size_t meta_bytes =
+        TreeBuddy::meta_words(levels) * sizeof(std::uint32_t) + leaves;
+    if (tree_bytes + meta_bytes > rest) {
+      --levels;
+      if (leaf << levels < cfg_.chunk_bytes) break;
+    }
+    const std::size_t final_bytes = leaf << levels;
+    auto* nodes = reinterpret_cast<std::uint32_t*>(region);
+    auto* tags = reinterpret_cast<std::uint8_t*>(
+        nodes + TreeBuddy::meta_words(levels));
+    auto* data = region + core::round_up(
+        TreeBuddy::meta_words(levels) * sizeof(std::uint32_t) +
+            (std::size_t{1} << levels),
+        4096);
+    const std::size_t consumed =
+        static_cast<std::size_t>(data - region) + final_bytes;
+    if (consumed > rest) break;
+    forest_.emplace_back();
+    forest_.back().init_host(data, levels, leaf, nodes, tags);
+    region += consumed;
+    rest -= consumed;
+  }
+  init_ms_ = timer.elapsed_ms();
+}
+
+const core::AllocatorTraits& BulkAlloc::traits() const { return kTraits; }
+
+void* BulkAlloc::forest_malloc(gpu::ThreadCtx& ctx, std::size_t bytes) {
+  for (auto& tree : forest_) {
+    if (void* p = tree.malloc_order(ctx, tree.order_for(bytes))) return p;
+  }
+  return nullptr;
+}
+
+TreeBuddy* BulkAlloc::forest_tree_of(const void* p) {
+  for (auto& tree : forest_) {
+    if (tree.contains(p)) return &tree;
+  }
+  return nullptr;
+}
+
+BulkAlloc::BinMeta* BulkAlloc::bin_meta(std::byte* chunk,
+                                        std::uint32_t bin) const {
+  auto* metas = reinterpret_cast<BinMeta*>(chunk + sizeof(ChunkHeader));
+  return &metas[bin];
+}
+
+std::uint64_t BulkAlloc::refill_bin(gpu::ThreadCtx& ctx, unsigned sm,
+                                    std::size_t cls) {
+  DeviceLockGuard guard(DeviceSpinLock{&arena_lock_[sm]}, ctx);
+  const auto bins_per_chunk =
+      static_cast<std::uint32_t>(cfg_.chunk_bytes / cfg_.bin_bytes);
+  std::byte* chunk = arena_chunk_[sm];
+  auto* header = reinterpret_cast<ChunkHeader*>(chunk);
+  if (chunk == nullptr || header->next_fresh_bin >= bins_per_chunk) {
+    auto* fresh = static_cast<std::byte*>(
+        forest_malloc(ctx, cfg_.chunk_bytes));
+    if (fresh == nullptr) return 0;
+    forest_tree_of(fresh)->set_leaf_tag(ctx, fresh, TreeBuddy::kChunkTag);
+    auto* fh = reinterpret_cast<ChunkHeader*>(fresh);
+    fh->magic = kChunkMagic;
+    fh->next_fresh_bin = 2;  // bins 0-1 hold the chunk's allocation state
+    arena_chunk_[sm] = fresh;
+    chunk = fresh;
+    header = fh;
+  }
+  const std::uint32_t bin = header->next_fresh_bin++;
+  BinMeta* meta = bin_meta(chunk, bin);
+  const std::uint32_t cap = slots_per_bin(cls);
+  meta->cls_plus1 = static_cast<std::uint32_t>(cls) + 1;
+  meta->owner_sm = sm;
+  meta->used = 0;
+  meta->enqueued = 0;
+  for (unsigned w = 0; w < 4; ++w) {
+    std::uint64_t invalid = ~std::uint64_t{0};
+    if (w * 64 < cap) {
+      const std::uint32_t valid =
+          std::min<std::uint32_t>(64, cap - w * 64);
+      invalid = valid == 64 ? 0 : ~((std::uint64_t{1} << valid) - 1);
+    }
+    meta->bitmap[w] = invalid;
+  }
+  const std::uint64_t code =
+      static_cast<std::uint64_t>(chunk + bin * cfg_.bin_bytes - heap_base_);
+  meta->enqueued = 1;  // the fresh bin enters the queue with its hint flag set
+  // A ticket queue reports a transient "full" while a dequeuer is mid-slot
+  // recycle; that must not masquerade as out-of-memory.
+  for (unsigned tries = 0; tries < 256; ++tries) {
+    if (bin_queues_[sm * kNumClasses + cls].try_enqueue(ctx, code)) {
+      return cap;
+    }
+    ctx.backoff();
+  }
+  meta->enqueued = 0;
+  return 0;  // genuinely full hint queue: treat as exhausted
+}
+
+void* BulkAlloc::malloc_small(gpu::ThreadCtx& ctx, std::size_t cls) {
+  const unsigned sm = ctx.smid() % num_sms_;
+  BulkSemaphore sem(&sem_words_[sm * kNumClasses + cls]);
+  // acquire_or_refill can fail for two reasons: the upstream is exhausted
+  // (refill added nothing — a real OOM) or the waiter timed out behind a
+  // slow in-flight refill. Only the former is terminal.
+  bool upstream_empty = false;
+  for (;;) {
+    if (sem.acquire_or_refill(ctx, 1, [&] {
+          const std::uint64_t added = refill_bin(ctx, sm, cls);
+          if (added == 0) upstream_empty = true;
+          return added;
+        })) {
+      break;
+    }
+    if (upstream_empty) return nullptr;
+    ctx.backoff();
+  }
+  auto& queue = bin_queues_[sm * kNumClasses + cls];
+  const std::uint32_t cap = slots_per_bin(cls);
+  for (;;) {
+    std::uint64_t code = 0;
+    if (!queue.try_dequeue(ctx, code)) {
+      // Our reservation's bin hint is held by a concurrent claimer and will
+      // reappear; spin politely.
+      ctx.backoff();
+      continue;
+    }
+    auto* bin_ptr = heap_base_ + code;
+    TreeBuddy* tree = forest_tree_of(bin_ptr);
+    auto* chunk = tree->region() +
+                  (static_cast<std::size_t>(bin_ptr - tree->region()) /
+                   cfg_.chunk_bytes) *
+                      cfg_.chunk_bytes;
+    const auto bin = static_cast<std::uint32_t>(
+        static_cast<std::size_t>(bin_ptr - chunk) / cfg_.bin_bytes);
+    BinMeta* meta = bin_meta(chunk, bin);
+    if (ctx.atomic_load(&meta->cls_plus1) != cls + 1) continue;  // stale hint
+    // We now own this bin's (single) hint; clear the flag before deciding
+    // whether to re-publish so a racing free can re-arm it.
+    ctx.atomic_store(&meta->enqueued, 0u);
+    for (unsigned w = 0; w < 4 && w * 64 < cap; ++w) {
+      const std::uint64_t seen = ctx.atomic_load(&meta->bitmap[w]);
+      const std::uint64_t free_bits = ~seen;
+      if (free_bits == 0) continue;
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(free_bits));
+      if ((ctx.atomic_or(&meta->bitmap[w], std::uint64_t{1} << bit) &
+           (std::uint64_t{1} << bit)) != 0) {
+        --w;  // lost the bit race: rescan this word
+        continue;
+      }
+      ctx.atomic_add(&meta->used, 1u);
+      // Re-advertise the bin if it still has room — but keep the invariant
+      // of at most one hint per bin (the enqueued flag arbitrates with
+      // racing frees; unbounded duplicate hints would fill the queue and
+      // read as out-of-memory).
+      std::uint64_t remaining = 0;
+      for (unsigned v = 0; v < 4; ++v) {
+        remaining +=
+            static_cast<std::uint64_t>(std::popcount(~ctx.atomic_load(
+                &meta->bitmap[v])));
+      }
+      if (remaining > 0 &&
+          ctx.atomic_cas(&meta->enqueued, 0u, 1u) == 0u) {
+        if (!queue.try_enqueue(ctx, code)) {
+          ctx.atomic_store(&meta->enqueued, 0u);
+          // Hint dropped: stop accounting the stranded slots.
+          for (std::uint64_t r = 0; r < remaining; ++r) {
+            if (!sem.try_acquire(ctx, 1)) break;
+          }
+        }
+      }
+      return bin_ptr + std::size_t{w * 64 + bit} * class_bytes(cls);
+    }
+    // No free bit (raced away): drop the hint and look again.
+  }
+}
+
+void BulkAlloc::free_small(gpu::ThreadCtx& ctx, std::byte* chunk,
+                           std::size_t off) {
+  const auto bin = static_cast<std::uint32_t>(off / cfg_.bin_bytes);
+  BinMeta* meta = bin_meta(chunk, bin);
+  const std::size_t cls = ctx.atomic_load(&meta->cls_plus1) - 1;
+  const std::size_t slot = (off % cfg_.bin_bytes) / class_bytes(cls);
+  ctx.atomic_and(&meta->bitmap[slot / 64],
+                 ~(std::uint64_t{1} << (slot % 64)));
+  ctx.atomic_sub(&meta->used, 1u);
+  const unsigned sm = ctx.atomic_load(&meta->owner_sm);
+  const std::uint64_t code = static_cast<std::uint64_t>(
+      chunk + bin * cfg_.bin_bytes - heap_base_);
+  // Publish at most one hint per bin; if one is already queued (or a racing
+  // malloc just re-armed it), the freed slot is reachable through it.
+  if (ctx.atomic_cas(&meta->enqueued, 0u, 1u) == 0u) {
+    if (!bin_queues_[sm * kNumClasses + cls].try_enqueue(ctx, code)) {
+      ctx.atomic_store(&meta->enqueued, 0u);
+      return;  // slot stranded unaccounted (queue overflow; bounded)
+    }
+  }
+  BulkSemaphore(&sem_words_[sm * kNumClasses + cls]).release(ctx, 1);
+}
+
+void* BulkAlloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
+  if (size == 0) size = 1;
+  if (size < 2048) {
+    std::size_t cls = 0;
+    while (class_bytes(cls) < size) ++cls;
+    return malloc_small(ctx, cls);
+  }
+  return forest_malloc(ctx, size);
+}
+
+void BulkAlloc::free(gpu::ThreadCtx& ctx, void* ptr) {
+  if (ptr == nullptr) return;
+  TreeBuddy* tree = forest_tree_of(ptr);
+  assert(tree != nullptr && "free of a foreign pointer");
+  // Chunk-interior pointers belong to UAlloc; block starts tagged with an
+  // order belong to the buddy. The leaf tag array is authoritative.
+  auto* p = static_cast<std::byte*>(ptr);
+  const std::size_t rel = static_cast<std::size_t>(p - tree->region());
+  auto* chunk = tree->region() + rel / cfg_.chunk_bytes * cfg_.chunk_bytes;
+  if (tree->leaf_tag(ctx, chunk) == TreeBuddy::kChunkTag) {
+    free_small(ctx, chunk, static_cast<std::size_t>(p - chunk));
+    return;
+  }
+  tree->free_ptr(ctx, ptr);
+}
+
+}  // namespace gms::alloc

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/thread_ctx.h"
+
+namespace gms::alloc {
+
+/// Bulk semaphore — the throughput-oriented synchronisation primitive of
+/// Gelado & Garland's BulkAllocator (§2.9). The crucial behaviour: when the
+/// count is short, exactly one waiter becomes the *refiller* and acquires a
+/// whole batch of resources upstream ("preemptive batch allocation, reducing
+/// wait times for the allocating threads"); everybody else keeps spinning on
+/// the counter instead of hammering the slow path.
+///
+/// The state word packs {refill-in-flight : bit 63, count : low 63}.
+class BulkSemaphore {
+ public:
+  explicit BulkSemaphore(std::uint64_t* word) : word_(word) {}
+
+  /// Non-blocking P(n). @return true when n resources were taken.
+  bool try_acquire(gpu::ThreadCtx& ctx, std::uint64_t n) {
+    for (;;) {
+      const std::uint64_t seen = ctx.atomic_load(word_);
+      if ((seen & kCountMask) < n) return false;
+      if (ctx.atomic_cas(word_, seen, seen - n) == seen) return true;
+      ctx.backoff();
+    }
+  }
+
+  /// V(n).
+  void release(gpu::ThreadCtx& ctx, std::uint64_t n) {
+    ctx.atomic_add(word_, n);
+  }
+
+  /// P(n) with bulk refill: when short, one thread wins the refill flag and
+  /// must call `refill()` — which returns how many resources it added (its
+  /// own n included; 0 = upstream exhausted). Other waiters spin.
+  /// @return true when n resources were obtained.
+  template <typename RefillFn>
+  bool acquire_or_refill(gpu::ThreadCtx& ctx, std::uint64_t n,
+                         RefillFn&& refill) {
+    for (unsigned spins = 0;; ++spins) {
+      const std::uint64_t seen = ctx.atomic_load(word_);
+      if ((seen & kCountMask) >= n) {
+        if (ctx.atomic_cas(word_, seen, seen - n) == seen) return true;
+        ctx.backoff();
+        continue;
+      }
+      if ((seen & kRefillFlag) == 0) {
+        // Try to become the refiller.
+        if (ctx.atomic_cas(word_, seen, seen | kRefillFlag) == seen) {
+          const std::uint64_t added = refill();
+          if (added >= n) {
+            // Keep our n, publish the surplus, clear the flag.
+            ctx.atomic_add(word_, added - n);
+            ctx.atomic_and(word_, ~kRefillFlag);
+            return true;
+          }
+          ctx.atomic_add(word_, added);
+          ctx.atomic_and(word_, ~kRefillFlag);
+          return false;  // upstream exhausted
+        }
+        continue;
+      }
+      // A refill is in flight; wait for its batch instead of duplicating it.
+      ctx.backoff();
+      if (spins > kMaxSpins) return false;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count(gpu::ThreadCtx& ctx) const {
+    return ctx.atomic_load(word_) & kCountMask;
+  }
+
+ private:
+  static constexpr std::uint64_t kRefillFlag = 1ull << 63;
+  static constexpr std::uint64_t kCountMask = kRefillFlag - 1;
+  static constexpr unsigned kMaxSpins = 1u << 16;
+
+  std::uint64_t* word_;
+};
+
+}  // namespace gms::alloc

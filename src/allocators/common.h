@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "core/memory_manager.h"
+#include "core/utils.h"
+#include "gpu/device.h"
+#include "gpu/thread_ctx.h"
+
+namespace gms::alloc {
+
+/// Device-side test-and-test-and-set spinlock living on a 32-bit word in the
+/// arena. Only the deliberately serialized CUDA-Allocator stand-in uses it;
+/// the surveyed research allocators stay lock-free as their papers require.
+class DeviceSpinLock {
+ public:
+  explicit DeviceSpinLock(std::uint32_t* word) : word_(word) {}
+
+  void lock(gpu::ThreadCtx& ctx) {
+    for (;;) {
+      if (ctx.atomic_load(word_) == 0 && ctx.atomic_exch(word_, 1u) == 0) {
+        return;
+      }
+      ctx.backoff();
+    }
+  }
+  void unlock(gpu::ThreadCtx& ctx) { ctx.atomic_store(word_, 0u); }
+
+ private:
+  std::uint32_t* word_;
+};
+
+/// RAII guard for DeviceSpinLock (CP.20: never plain lock/unlock).
+class DeviceLockGuard {
+ public:
+  DeviceLockGuard(DeviceSpinLock lock, gpu::ThreadCtx& ctx)
+      : lock_(lock), ctx_(ctx) {
+    lock_.lock(ctx_);
+  }
+  ~DeviceLockGuard() { lock_.unlock(ctx_); }
+  DeviceLockGuard(const DeviceLockGuard&) = delete;
+  DeviceLockGuard& operator=(const DeviceLockGuard&) = delete;
+
+ private:
+  DeviceSpinLock lock_;
+  gpu::ThreadCtx& ctx_;
+};
+
+/// Host-side sequential carver used in constructors to lay out an allocator's
+/// metadata and data regions inside its slice of the arena.
+class HeapCarver {
+ public:
+  HeapCarver(gpu::Device& dev, std::size_t heap_bytes)
+      : base_(dev.arena().data()), end_(heap_bytes) {}
+
+  /// Carves a sub-range (used when one manager nests another, e.g. Halloc's
+  /// split with the CUDA-Allocator stand-in for > 3 KiB requests).
+  HeapCarver(std::byte* base, std::size_t bytes) : base_(base), end_(bytes) {}
+
+  template <typename T>
+  T* take(std::size_t count, std::size_t align = alignof(T)) {
+    off_ = core::round_up(off_, std::max<std::size_t>(align, alignof(T)));
+    auto* p = reinterpret_cast<T*>(base_ + off_);
+    off_ += sizeof(T) * count;
+    assert(off_ <= end_ && "allocator metadata exceeds heap");
+    return p;
+  }
+
+  /// Remaining bytes after metadata, aligned to `align`.
+  std::byte* take_rest(std::size_t& bytes_out, std::size_t align = 16) {
+    off_ = core::round_up(off_, align);
+    bytes_out = end_ - off_;
+    auto* p = base_ + off_;
+    off_ = end_;
+    return p;
+  }
+
+  [[nodiscard]] std::size_t used() const { return off_; }
+
+ private:
+  std::byte* base_;
+  std::size_t end_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace gms::alloc

@@ -1,0 +1,161 @@
+#include "allocators/fdg_malloc.h"
+
+namespace gms::alloc {
+
+namespace {
+constexpr core::AllocatorTraits kTraits{
+    .name = "FDGMalloc",
+    .family = "FDGMalloc",
+    .paper_ref = "[20], GPGPU-6 2013",
+    .year = 2013,
+    .general_purpose = false,  // warp-level only, no individual free
+    .warp_level_only = true,
+    .supports_free = true,    // collectively, per warp
+    .individual_free = false,
+    .max_direct_size = 8192,  // warp totals beyond one SuperBlock relay
+    .relays_large_to_system = true,
+    .its_safe = false,
+    .stable = false,  // paper: "crashes in most test scenarios"
+    .malloc_state_bytes = 36,
+    .free_state_bytes = 16,
+};
+}  // namespace
+
+FDGMalloc::FDGMalloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
+    : cfg_(cfg) {
+  core::Stopwatch timer;
+  HeapCarver carver(dev, heap_bytes);
+  warp_table_ = carver.take<WarpHeader*>(cfg_.max_warps);
+  for (std::size_t w = 0; w < cfg_.max_warps; ++w) warp_table_[w] = nullptr;
+  std::size_t rest = 0;
+  auto* base = carver.take_rest(rest);
+  // FDGMalloc sources WarpHeaders, lists and SuperBlocks from the CUDA
+  // allocator (Fig. 3); the stand-in owns the remaining heap.
+  system_ = std::make_unique<CudaStandin>(base, rest);
+  init_ms_ = timer.elapsed_ms();
+}
+
+const core::AllocatorTraits& FDGMalloc::traits() const { return kTraits; }
+
+FDGMalloc::WarpHeader* FDGMalloc::header_for(gpu::ThreadCtx& ctx) {
+  const std::size_t slot = ctx.global_warp_id() % cfg_.max_warps;
+  auto* wh = reinterpret_cast<WarpHeader*>(
+      ctx.atomic_load(reinterpret_cast<std::uintptr_t*>(&warp_table_[slot])));
+  if (wh != nullptr) return wh;
+  wh = static_cast<WarpHeader*>(system_->malloc(ctx, sizeof(WarpHeader)));
+  if (wh == nullptr) return nullptr;
+  wh->current = nullptr;
+  wh->current_off = 0;
+  wh->head = nullptr;
+  wh->tail = nullptr;
+  // Only the group leader calls header_for, so a plain publish suffices; the
+  // slot is still CAS-guarded against a stale same-slot warp id collision.
+  if (ctx.atomic_cas(reinterpret_cast<std::uintptr_t*>(&warp_table_[slot]),
+                     std::uintptr_t{0}, reinterpret_cast<std::uintptr_t>(wh)) !=
+      0) {
+    system_->free(ctx, wh);
+    return reinterpret_cast<WarpHeader*>(
+        ctx.atomic_load(reinterpret_cast<std::uintptr_t*>(&warp_table_[slot])));
+  }
+  return wh;
+}
+
+bool FDGMalloc::register_block(gpu::ThreadCtx& ctx, WarpHeader* wh,
+                               void* block) {
+  SuperBlockList* list = wh->tail;
+  if (list == nullptr || list->total_count >= cfg_.list_capacity) {
+    // "These lists are of fixed size and are replaced once full."
+    auto* fresh = static_cast<SuperBlockList*>(system_->malloc(
+        ctx, sizeof(SuperBlockList) + cfg_.list_capacity * sizeof(void*)));
+    if (fresh == nullptr) return false;
+    fresh->total_count = 0;
+    fresh->next = nullptr;
+    if (list != nullptr) {
+      list->next = fresh;
+    } else {
+      wh->head = fresh;
+    }
+    wh->tail = fresh;
+    list = fresh;
+  }
+  list->blocks[list->total_count++] = block;
+  return true;
+}
+
+void* FDGMalloc::warp_malloc(gpu::ThreadCtx& ctx, std::size_t size) {
+  // Voting determines a leader which does all the work for the group.
+  const gpu::Coalesced g = ctx.coalesce();
+  const std::size_t rounded = core::round_up(size, 16);
+  const std::size_t prefix = ctx.scan_exclusive_add(rounded);
+  const std::size_t total = ctx.reduce_add(rounded);
+
+  std::byte* base = nullptr;
+  if (g.is_leader()) {
+    WarpHeader* wh = header_for(ctx);
+    if (wh != nullptr) {
+      if (total > cfg_.superblock_bytes) {
+        // Warp total exceeds the maximum SuperBlock: forward to the CUDA
+        // allocator (still registered so warp_free_all reclaims it).
+        base = static_cast<std::byte*>(system_->malloc(ctx, total));
+        if (base != nullptr && !register_block(ctx, wh, base)) {
+          system_->free(ctx, base);
+          base = nullptr;
+        }
+      } else {
+        if (wh->current == nullptr ||
+            wh->current_off + total > cfg_.superblock_bytes) {
+          auto* sb = static_cast<std::byte*>(
+              system_->malloc(ctx, cfg_.superblock_bytes));
+          if (sb != nullptr && !register_block(ctx, wh, sb)) {
+            system_->free(ctx, sb);
+            sb = nullptr;
+          }
+          if (sb != nullptr) {
+            wh->current = sb;
+            wh->current_off = 0;
+          }
+        }
+        if (wh->current != nullptr &&
+            wh->current_off + total <= cfg_.superblock_bytes) {
+          base = wh->current + wh->current_off;
+          wh->current_off += total;
+        }
+      }
+    }
+  }
+  base = ctx.broadcast(g, base, g.leader);
+  return base == nullptr ? nullptr : base + prefix;
+}
+
+void* FDGMalloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
+  return warp_malloc(ctx, size);
+}
+
+void FDGMalloc::free(gpu::ThreadCtx& /*ctx*/, void* /*ptr*/) {
+  // By design there is no way to free single allocations (§2.4).
+}
+
+void FDGMalloc::warp_free_all(gpu::ThreadCtx& ctx) {
+  const gpu::Coalesced g = ctx.coalesce();
+  if (g.is_leader()) {
+    const std::size_t slot = ctx.global_warp_id() % cfg_.max_warps;
+    auto* wh = reinterpret_cast<WarpHeader*>(ctx.atomic_exch(
+        reinterpret_cast<std::uintptr_t*>(&warp_table_[slot]),
+        std::uintptr_t{0}));
+    if (wh != nullptr) {
+      SuperBlockList* list = wh->head;
+      while (list != nullptr) {
+        for (std::uint32_t i = 0; i < list->total_count; ++i) {
+          system_->free(ctx, list->blocks[i]);
+        }
+        SuperBlockList* next = list->next;
+        system_->free(ctx, list);
+        list = next;
+      }
+      system_->free(ctx, wh);
+    }
+  }
+  ctx.sync_group(g);
+}
+
+}  // namespace gms::alloc

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+
+#include "allocators/common.h"
+#include "allocators/cuda_standin.h"
+
+namespace gms::alloc {
+
+/// FDGMalloc (Widmer et al., GPGPU-6 2013) — §2.4 / Fig. 3.
+///
+/// A warp-level allocator: voting determines a leader thread which performs
+/// all bookkeeping for the warp's coalesced group, reducing simultaneous
+/// memory requests and branch divergence. Each warp owns a WarpHeader with a
+/// pointer to the foremost SuperBlock and fixed-size lists of every
+/// SuperBlock ever allocated (from the CUDA allocator). A warp request whose
+/// total exceeds the maximum SuperBlock size is forwarded to the CUDA
+/// allocator wholesale; otherwise the leader bump-allocates lane offsets from
+/// the current SuperBlock, starting a fresh one when it runs out.
+///
+/// There is *no* general free: only all allocations of a warp can be released
+/// collectively (warp_free_all), "constraints that do not fit many modern
+/// applications". traits() marks it non-general-purpose; the harness excludes
+/// it from the general sweeps exactly as the paper did.
+class FDGMalloc final : public core::MemoryManager {
+ public:
+  struct Config {
+    std::size_t superblock_bytes = 8192;
+    unsigned list_capacity = 30;  ///< SuperBlocks per SuperBlock_List node
+    std::size_t max_warps = 1u << 16;  ///< WarpHeader table entries
+  };
+
+  FDGMalloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
+  FDGMalloc(gpu::Device& dev, std::size_t heap_bytes)
+      : FDGMalloc(dev, heap_bytes, Config{}) {}
+
+  [[nodiscard]] const core::AllocatorTraits& traits() const override;
+  /// Per-thread malloc degenerates to a coalesced group of one lane; it
+  /// exists so the conformance tests can exercise the code path, but the
+  /// allocator is meant to be driven via warp_malloc.
+  [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
+  void free(gpu::ThreadCtx& ctx, void* ptr) override;
+
+  [[nodiscard]] void* warp_malloc(gpu::ThreadCtx& ctx,
+                                  std::size_t size) override;
+  void warp_free_all(gpu::ThreadCtx& ctx) override;
+
+ private:
+  struct SuperBlockList {
+    std::uint32_t total_count;
+    std::uint32_t pad;
+    SuperBlockList* next;
+    void* blocks[];  // list_capacity entries
+  };
+  struct WarpHeader {
+    std::byte* current;       ///< foremost SuperBlock
+    std::size_t current_off;  ///< bump offset within it
+    SuperBlockList* head;
+    SuperBlockList* tail;
+  };
+
+  WarpHeader* header_for(gpu::ThreadCtx& ctx);
+  bool register_block(gpu::ThreadCtx& ctx, WarpHeader* wh, void* block);
+
+  Config cfg_;
+  WarpHeader** warp_table_ = nullptr;  // global_warp_id -> header
+  std::unique_ptr<CudaStandin> system_;
+};
+
+}  // namespace gms::alloc

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "gpu/thread_ctx.h"
+
+namespace gms::alloc {
+
+/// First-fit heap over a linked list of memory blocks, as XMalloc's large
+/// path uses it (§2.2, Fig. 1): the heap starts as one giant free
+/// Memoryblock; allocation traverses the list from the start — "relatively
+/// slow, as the list of memory blocks has to be traversed" — claims a free
+/// block with CAS, splits off the remainder, and free() merges forward with
+/// the next free neighbour.
+///
+/// Links live inline at each block's first unit; the {start, allocated} flag
+/// pairs live in a side bitmap so a stale traversal can never claim an
+/// absorbed block (same safety scheme as RegEffAlloc, where it is justified
+/// in detail).
+class ListHeap {
+ public:
+  static constexpr std::uint32_t kUnit = 16;
+
+  /// Side-flag words required for `units` 16 B units.
+  static constexpr std::size_t flag_words(std::size_t units) {
+    return units / 32 + 1;
+  }
+
+  ListHeap() = default;
+
+  /// Host-side setup over arena memory: one free block spanning everything.
+  void init_host(std::byte* pool, std::uint32_t units,
+                 std::uint64_t* flag_storage) {
+    pool_ = pool;
+    units_ = units;
+    flags_ = flag_storage;
+    flags_[0] |= start_bit(0);
+    *link(0) = units;
+  }
+
+  /// Allocates `bytes`; returns nullptr when no block fits.
+  void* malloc(gpu::ThreadCtx& ctx, std::size_t bytes) {
+    const auto need = static_cast<std::uint32_t>((bytes + kUnit - 1) / kUnit);
+    std::uint32_t off = 0;
+    for (std::size_t step = 0; step < 2 * std::size_t{units_} + 64; ++step) {
+      if (off >= units_) return nullptr;  // walked past the last block
+      if (!is_start(ctx, off)) {
+        off = 0;  // stale: re-anchor at the always-valid first block
+        continue;
+      }
+      const std::uint32_t next = ctx.atomic_load(link(off));
+      if (next <= off || next > units_) {
+        off = 0;
+        continue;
+      }
+      if (next - off - 1 >= need && try_claim(ctx, off)) {
+        const std::uint32_t owned_next = ctx.atomic_load(link(off));
+        const std::uint32_t avail = owned_next - off - 1;
+        if (avail < need) {
+          release(ctx, off);
+        } else {
+          if (avail - need >= 4) {  // split off a usable remainder
+            const std::uint32_t split = off + need + 1;
+            ctx.atomic_store(link(split), owned_next);
+            ctx.atomic_or(&flags_[split / 32], start_bit(split));
+            ctx.atomic_store(link(off), split);
+          }
+          return pool_ + std::size_t{off} * kUnit + kUnit;
+        }
+      }
+      off = next;
+    }
+    return nullptr;
+  }
+
+  void free(gpu::ThreadCtx& ctx, void* ptr) {
+    const std::size_t byte_off = static_cast<std::byte*>(ptr) - pool_;
+    const auto unit = static_cast<std::uint32_t>(byte_off / kUnit) - 1;
+    assert(is_start(ctx, unit));
+    const std::uint32_t next = ctx.atomic_load(link(unit));
+    if (next < units_ && is_start(ctx, next) && !is_allocated(ctx, next) &&
+        try_claim(ctx, next)) {
+      // Merge with the (free) successor we just locked.
+      ctx.atomic_store(link(unit), ctx.atomic_load(link(next)));
+      ctx.atomic_and(&flags_[next / 32], ~(start_bit(next) | alloc_bit(next)));
+    }
+    release(ctx, unit);
+  }
+
+  [[nodiscard]] bool contains(const void* p) const {
+    auto* b = static_cast<const std::byte*>(p);
+    return b >= pool_ && b < pool_ + std::size_t{units_} * kUnit;
+  }
+
+  /// Number of blocks on the list (test/diagnostic, quiescent only).
+  [[nodiscard]] std::size_t block_count(gpu::ThreadCtx& ctx) {
+    std::size_t n = 0;
+    for (std::uint32_t off = 0; off < units_;) {
+      if (!is_start(ctx, off)) break;
+      ++n;
+      const std::uint32_t next = ctx.atomic_load(link(off));
+      if (next <= off) break;
+      off = next;
+    }
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t start_bit(std::uint32_t unit) {
+    return 1ull << ((unit % 32) * 2);
+  }
+  static constexpr std::uint64_t alloc_bit(std::uint32_t unit) {
+    return 2ull << ((unit % 32) * 2);
+  }
+
+  [[nodiscard]] std::uint32_t* link(std::uint32_t unit) {
+    return reinterpret_cast<std::uint32_t*>(pool_ + std::size_t{unit} * kUnit);
+  }
+  bool is_start(gpu::ThreadCtx& ctx, std::uint32_t unit) {
+    return (ctx.atomic_load(&flags_[unit / 32]) & start_bit(unit)) != 0;
+  }
+  bool is_allocated(gpu::ThreadCtx& ctx, std::uint32_t unit) {
+    return (ctx.atomic_load(&flags_[unit / 32]) & alloc_bit(unit)) != 0;
+  }
+  bool try_claim(gpu::ThreadCtx& ctx, std::uint32_t unit) {
+    std::uint64_t* word = &flags_[unit / 32];
+    for (;;) {
+      const std::uint64_t seen = ctx.atomic_load(word);
+      if ((seen & start_bit(unit)) == 0) return false;
+      if ((seen & alloc_bit(unit)) != 0) return false;
+      if (ctx.atomic_cas(word, seen, seen | alloc_bit(unit)) == seen) {
+        return true;
+      }
+      ctx.backoff();
+    }
+  }
+  void release(gpu::ThreadCtx& ctx, std::uint32_t unit) {
+    ctx.atomic_and(&flags_[unit / 32], ~alloc_bit(unit));
+  }
+
+  std::byte* pool_ = nullptr;
+  std::uint32_t units_ = 0;
+  std::uint64_t* flags_ = nullptr;
+};
+
+}  // namespace gms::alloc

@@ -1,0 +1,687 @@
+#include "allocators/ouroboros.h"
+
+#include <cstring>
+#include <vector>
+
+namespace gms::alloc {
+
+// ---------------------------------------------------------------------------
+// ChunkPool
+// ---------------------------------------------------------------------------
+
+void ChunkPool::init_host(std::byte* data, std::uint32_t num_chunks,
+                          std::size_t chunk_bytes,
+                          std::uint64_t* reuse_words) {
+  data_ = data;
+  num_chunks_ = num_chunks;
+  chunk_bytes_ = chunk_bytes;
+  bump_ = reinterpret_cast<std::uint32_t*>(reuse_words);
+  *bump_ = 0;
+  reuse_ = BoundedTicketQueue(reuse_words + 1, num_chunks);
+  reuse_.init_host();
+}
+
+std::uint32_t ChunkPool::alloc(gpu::ThreadCtx& ctx) {
+  std::uint64_t reused = 0;
+  if (reuse_.try_dequeue(ctx, reused)) {
+    return static_cast<std::uint32_t>(reused);
+  }
+  const std::uint32_t id = ctx.atomic_add(bump_, 1u);
+  if (id < num_chunks_) return id;
+  ctx.atomic_sub(bump_, 1u);
+  // One more look at the reuse queue before reporting exhaustion.
+  if (reuse_.try_dequeue(ctx, reused)) {
+    return static_cast<std::uint32_t>(reused);
+  }
+  return kInvalid;
+}
+
+void ChunkPool::free(gpu::ThreadCtx& ctx, std::uint32_t chunk) {
+  // The queue can report a transient "full" while a dequeuer recycles its
+  // slot; with capacity == num_chunks a genuine overflow is impossible.
+  while (!reuse_.try_enqueue(ctx, chunk)) ctx.backoff();
+}
+
+// ---------------------------------------------------------------------------
+// VirtArrayOuroQueue
+// ---------------------------------------------------------------------------
+
+VirtArrayOuroQueue::VirtArrayOuroQueue(std::uint64_t* words,
+                                       std::uint32_t* readers,
+                                       std::size_t slot_cap, ChunkPool& pool)
+    : head_(words), tail_(words + 1), slots_(words + 4),
+      storage_count_(words + 2), readers_(readers), slot_cap_(slot_cap),
+      pool_(&pool) {
+  *head_ = 0;
+  *tail_ = 0;
+  *storage_count_ = 0;
+  words[3] = 0;  // reserve slot (chunk id + 1, 0 = empty)
+  for (std::size_t i = 0; i < slot_cap_; ++i) {
+    slots_[i] = 0;
+    readers_[i] = 0;
+  }
+}
+
+namespace {
+/// Storage-chunk source with a one-chunk emergency reserve so a queue that
+/// must grow while the pool is momentarily empty can still make progress
+/// (retired segments refill the reserve first).
+std::uint32_t take_storage(gpu::ThreadCtx& ctx, std::uint64_t* reserve,
+                           ChunkPool& pool) {
+  const std::uint64_t r = ctx.atomic_exch(reserve, std::uint64_t{0});
+  if (r != 0) return static_cast<std::uint32_t>(r - 1);
+  return pool.alloc(ctx);
+}
+void give_storage(gpu::ThreadCtx& ctx, std::uint64_t* reserve,
+                  ChunkPool& pool, std::uint32_t chunk) {
+  if (ctx.atomic_cas(reserve, std::uint64_t{0},
+                     std::uint64_t{chunk} + 1) != 0) {
+    pool.free(ctx, chunk);
+  }
+}
+}  // namespace
+
+std::uint32_t VirtArrayOuroQueue::acquire_segment(gpu::ThreadCtx& ctx,
+                                                  std::uint64_t seg,
+                                                  bool install) {
+  const std::size_t slot = seg % slot_cap_;
+  const std::uint64_t gen = seg + 1;
+  for (;;) {
+    ctx.atomic_add(&readers_[slot], 1u);
+    const std::uint64_t cur = ctx.atomic_load(&slots_[slot]);
+    if ((cur >> 32) == gen) {
+      return static_cast<std::uint32_t>(cur);  // reader reference held
+    }
+    ctx.atomic_sub(&readers_[slot], 1u);
+    if (!install) return ChunkPool::kInvalid;
+    if (cur == 0) {
+      // Install only the tail's *current* segment: an enqueuer holding a
+      // stale position must not resurrect a fully-retired generation —
+      // nothing would ever retire it again and the slot would wedge.
+      if (ctx.atomic_load(tail_) / entries_per_seg() != seg) {
+        return ChunkPool::kInvalid;  // caller re-reads the tail
+      }
+      const std::uint32_t chunk = take_storage(ctx, slots_ - 1, *pool_);
+      if (chunk == ChunkPool::kInvalid) return ChunkPool::kInvalid;
+      auto* entries = reinterpret_cast<Entry*>(pool_->data(chunk));
+      for (std::size_t i = 0; i < entries_per_seg(); ++i) {
+        ctx.atomic_store(&entries[i].seq, std::uint64_t{0});
+      }
+      if (ctx.atomic_cas(&slots_[slot], std::uint64_t{0},
+                         slot_pack(gen, chunk)) == 0) {
+        ctx.atomic_add(storage_count_, std::uint64_t{1});
+        if (ctx.atomic_load(tail_) / entries_per_seg() != seg) {
+          // The tail raced past during the install: undo it (retire-style).
+          retire_segment(ctx, seg, chunk);
+          return ChunkPool::kInvalid;
+        }
+        continue;  // re-enter and take the reader reference
+      }
+      give_storage(ctx, slots_ - 1, *pool_, chunk);
+      continue;
+    }
+    // A previous generation still occupies the slot: wait for its retire.
+    ctx.backoff();
+  }
+}
+
+void VirtArrayOuroQueue::release_slot(gpu::ThreadCtx& ctx, std::size_t slot) {
+  ctx.atomic_sub(&readers_[slot], 1u);
+}
+
+void VirtArrayOuroQueue::retire_segment(gpu::ThreadCtx& ctx, std::uint64_t seg,
+                                        std::uint32_t chunk) {
+  const std::size_t slot = seg % slot_cap_;
+  if (ctx.atomic_cas(&slots_[slot], slot_pack(seg + 1, chunk),
+                     std::uint64_t{0}) != slot_pack(seg + 1, chunk)) {
+    return;  // somebody else already retired it
+  }
+  ctx.atomic_sub(storage_count_, std::uint64_t{1});
+  // Drain in-flight readers before the chunk's memory is repurposed.
+  while (ctx.atomic_load(&readers_[slot]) != 0) ctx.backoff();
+  give_storage(ctx, slots_ - 1, *pool_, chunk);
+}
+
+bool VirtArrayOuroQueue::try_enqueue(gpu::ThreadCtx& ctx,
+                                     std::uint32_t value) {
+  const std::size_t eps = entries_per_seg();
+  // The ticket is claimed with CAS only once its segment is in hand: a
+  // fetch_add ticket taken while storage is unavailable would leave a hole
+  // the head can never pass, wedging the queue for good.
+  for (unsigned tries = 0;; ++tries) {
+    const std::uint64_t in_flight =
+        ctx.atomic_load(tail_) - ctx.atomic_load(head_);
+    if (in_flight + 2 * eps >= slot_cap_ * eps) return false;  // full
+    const std::uint64_t pos = ctx.atomic_load(tail_);
+    const std::uint64_t seg = pos / eps;
+    const std::uint32_t chunk = acquire_segment(ctx, seg, true);
+    if (chunk == ChunkPool::kInvalid) {
+      if (tries > 4096) return false;  // storage exhausted: accounted leak
+      ctx.backoff();
+      continue;
+    }
+    if (ctx.atomic_cas(tail_, pos, pos + 1) != pos) {
+      release_slot(ctx, seg % slot_cap_);
+      ctx.backoff();
+      continue;
+    }
+    Entry& e = reinterpret_cast<Entry*>(pool_->data(chunk))[pos % eps];
+    // Bounded: the precheck keeps the previous-generation value at this
+    // slot strictly behind the head, so its consumer exists.
+    while (ctx.atomic_load(&e.seq) != 0) ctx.backoff();
+    ctx.atomic_store(&e.val, std::uint64_t{value});
+    ctx.atomic_store(&e.seq, pos + 1);
+    release_slot(ctx, seg % slot_cap_);
+    return true;
+  }
+}
+
+bool VirtArrayOuroQueue::try_dequeue(gpu::ThreadCtx& ctx,
+                                     std::uint32_t& value) {
+  const std::size_t eps = entries_per_seg();
+  for (;;) {
+    const std::uint64_t pos = ctx.atomic_load(head_);
+    if (pos >= ctx.atomic_load(tail_)) return false;
+    const std::uint64_t seg = pos / eps;
+    const std::uint32_t chunk = acquire_segment(ctx, seg, false);
+    if (chunk == ChunkPool::kInvalid) return false;  // not published yet
+    Entry& e = reinterpret_cast<Entry*>(pool_->data(chunk))[pos % eps];
+    if (ctx.atomic_load(&e.seq) != pos + 1) {
+      release_slot(ctx, seg % slot_cap_);
+      return false;
+    }
+    if (ctx.atomic_cas(head_, pos, pos + 1) != pos) {
+      release_slot(ctx, seg % slot_cap_);
+      ctx.backoff();
+      continue;
+    }
+    value = static_cast<std::uint32_t>(ctx.atomic_load(&e.val));
+    ctx.atomic_store(&e.seq, std::uint64_t{0});
+    release_slot(ctx, seg % slot_cap_);
+    if (pos % eps == eps - 1) retire_segment(ctx, seg, chunk);
+    return true;
+  }
+}
+
+std::uint32_t VirtArrayOuroQueue::storage_chunks(gpu::ThreadCtx& ctx) {
+  return static_cast<std::uint32_t>(ctx.atomic_load(storage_count_));
+}
+
+// ---------------------------------------------------------------------------
+// VirtLinkedOuroQueue
+// ---------------------------------------------------------------------------
+
+VirtLinkedOuroQueue::VirtLinkedOuroQueue(std::uint64_t* words,
+                                         std::size_t num_descs,
+                                         ChunkPool& pool)
+    : head_(words), tail_(words + 1), front_(words + 2), back_(words + 3),
+      storage_count_(words + 4), descs_(words + 6), num_descs_(num_descs),
+      desc_free_(words + 6 + 3 * num_descs,
+                 num_descs),
+      pool_(&pool) {
+  *head_ = 0;
+  *tail_ = 0;
+  *front_ = 0;
+  *back_ = 0;
+  *storage_count_ = 0;
+  words[5] = 0;  // storage reserve
+  desc_free_.init_host();
+  for (std::size_t d = 1; d < num_descs_; ++d) desc_free_.push_host(d);
+}
+
+void VirtLinkedOuroQueue::init_host_first_segment() {
+  // Descriptor 0 anchors the chain at position 0 (the chain is never empty).
+  const std::uint32_t chunk = pool_->alloc_host();
+  auto* entries = reinterpret_cast<Entry*>(pool_->data(chunk));
+  for (std::size_t i = 0; i < entries_per_seg(); ++i) entries[i].seq = 0;
+  desc(0)[0] = 0;  // base
+  desc(0)[1] = (std::uint64_t{chunk} << 32) | kInvalidDesc;
+  desc(0)[2] = std::uint64_t{1} << 32;  // active, zero readers
+  *storage_count_ = 1;
+}
+
+bool VirtLinkedOuroQueue::acquire_desc(gpu::ThreadCtx& ctx, std::uint32_t d) {
+  auto* rs = reinterpret_cast<std::uint32_t*>(&desc(d)[2]);
+  ctx.atomic_add(&rs[0], 1u);           // readers (low half, little endian)
+  if (ctx.atomic_load(&rs[1]) == 1u) {  // state: active
+    return true;
+  }
+  ctx.atomic_sub(&rs[0], 1u);
+  return false;
+}
+
+void VirtLinkedOuroQueue::release_desc(gpu::ThreadCtx& ctx, std::uint32_t d) {
+  auto* rs = reinterpret_cast<std::uint32_t*>(&desc(d)[2]);
+  ctx.atomic_sub(&rs[0], 1u);
+}
+
+std::uint32_t VirtLinkedOuroQueue::find_segment(gpu::ThreadCtx& ctx,
+                                                std::uint64_t pos, bool grow) {
+  const std::size_t eps = entries_per_seg();
+  for (;;) {
+    auto d = static_cast<std::uint32_t>(
+        ctx.atomic_load(grow ? back_ : front_));
+    bool restart = false;
+    while (!restart) {
+      if (!acquire_desc(ctx, d)) {
+        ctx.backoff();
+        restart = true;
+        break;
+      }
+      const std::uint64_t base = ctx.atomic_load(&desc(d)[0]);
+      if (pos < base) {
+        // The chain advanced past pos (or we entered behind the back hint).
+        release_desc(ctx, d);
+        if (!grow) return kInvalidDesc;  // dequeuer: head already moved on
+        const auto f = static_cast<std::uint32_t>(ctx.atomic_load(front_));
+        if (f == d) return kInvalidDesc;  // stale enqueue position: re-read
+        d = f;
+        continue;
+      }
+      if (pos < base + eps) return d;  // found; reference held
+      const std::uint64_t link = ctx.atomic_load(&desc(d)[1]);
+      const auto next = static_cast<std::uint32_t>(link);
+      if (next != kInvalidDesc) {
+        release_desc(ctx, d);
+        d = next;
+        continue;
+      }
+      if (!grow) {
+        release_desc(ctx, d);
+        return kInvalidDesc;
+      }
+      // Append a fresh segment ("virtual back" growth, Fig. 7).
+      const std::uint32_t chunk = take_storage(ctx, descs_ - 1, *pool_);
+      if (chunk == ChunkPool::kInvalid) {
+        release_desc(ctx, d);
+        return kInvalidDesc;
+      }
+      std::uint64_t nd64 = 0;
+      if (!desc_free_.try_dequeue(ctx, nd64)) {
+        give_storage(ctx, descs_ - 1, *pool_, chunk);
+        release_desc(ctx, d);
+        return kInvalidDesc;
+      }
+      const auto nd = static_cast<std::uint32_t>(nd64);
+      auto* entries = reinterpret_cast<Entry*>(pool_->data(chunk));
+      for (std::size_t i = 0; i < eps; ++i) {
+        ctx.atomic_store(&entries[i].seq, std::uint64_t{0});
+      }
+      ctx.atomic_store(&desc(nd)[0], base + eps);
+      ctx.atomic_store(&desc(nd)[1],
+                       (std::uint64_t{chunk} << 32) | kInvalidDesc);
+      ctx.atomic_store(&desc(nd)[2], std::uint64_t{1} << 32);
+      const std::uint64_t expect =
+          (link & 0xFFFFFFFF00000000ull) | kInvalidDesc;
+      const std::uint64_t linked = (link & 0xFFFFFFFF00000000ull) | nd;
+      if (ctx.atomic_cas(&desc(d)[1], expect, linked) == expect) {
+        ctx.atomic_cas(back_, std::uint64_t{d}, std::uint64_t{nd});
+        ctx.atomic_add(storage_count_, std::uint64_t{1});
+        release_desc(ctx, d);
+        d = nd;
+        continue;
+      }
+      // Lost the append race: recycle and re-read the link.
+      ctx.atomic_store(&desc(nd)[2], std::uint64_t{0});
+      give_storage(ctx, descs_ - 1, *pool_, chunk);
+      desc_free_.try_enqueue(ctx, nd);
+      release_desc(ctx, d);
+      d = static_cast<std::uint32_t>(ctx.atomic_load(grow ? back_ : front_));
+    }
+  }
+}
+
+void VirtLinkedOuroQueue::advance_front(gpu::ThreadCtx& ctx,
+                                        std::uint64_t /*pos*/) {
+  // Retire every fully-consumed front segment that has a successor. This
+  // must *catch up*: a segment whose last entry was consumed while it was
+  // the sole segment gets its retirement deferred until the chain grows, and
+  // skipping it then would wedge retirement (and drain the descriptor pool)
+  // for good.
+  const std::size_t eps = entries_per_seg();
+  for (;;) {
+    const auto d = static_cast<std::uint32_t>(ctx.atomic_load(front_));
+    if (!acquire_desc(ctx, d)) return;
+    const std::uint64_t base = ctx.atomic_load(&desc(d)[0]);
+    const std::uint64_t link = ctx.atomic_load(&desc(d)[1]);
+    const auto next = static_cast<std::uint32_t>(link);
+    if (ctx.atomic_load(head_) < base + eps || next == kInvalidDesc) {
+      release_desc(ctx, d);  // still live, or sole segment stays cached
+      return;
+    }
+    if (ctx.atomic_cas(front_, std::uint64_t{d}, std::uint64_t{next}) != d) {
+      release_desc(ctx, d);
+      continue;  // somebody else advanced; re-examine the new front
+    }
+    // We won the retire: deactivate, drain readers, recycle storage + desc.
+    auto* rs = reinterpret_cast<std::uint32_t*>(&desc(d)[2]);
+    ctx.atomic_store(&rs[1], 0u);
+    release_desc(ctx, d);
+    while (ctx.atomic_load(&rs[0]) != 0) ctx.backoff();
+    const auto chunk = static_cast<std::uint32_t>(link >> 32);
+    ctx.atomic_sub(storage_count_, std::uint64_t{1});
+    give_storage(ctx, descs_ - 1, *pool_, chunk);
+    desc_free_.try_enqueue(ctx, d);
+  }
+}
+
+bool VirtLinkedOuroQueue::try_enqueue(gpu::ThreadCtx& ctx,
+                                      std::uint32_t value) {
+  const std::size_t eps = entries_per_seg();
+  // CAS-claimed tickets, as in the VA queue: never take a position whose
+  // segment storage is not already in hand (no holes, no wedged head).
+  for (unsigned tries = 0;; ++tries) {
+    const std::uint64_t in_flight =
+        ctx.atomic_load(tail_) - ctx.atomic_load(head_);
+    if (in_flight + 2 * eps >= (num_descs_ - 2) * eps) return false;
+    const std::uint64_t pos = ctx.atomic_load(tail_);
+    const std::uint32_t d = find_segment(ctx, pos, true);
+    if (d == kInvalidDesc) {
+      if (tries > 4096) return false;  // storage exhausted: accounted leak
+      ctx.backoff();
+      continue;
+    }
+    if (ctx.atomic_cas(tail_, pos, pos + 1) != pos) {
+      release_desc(ctx, d);
+      ctx.backoff();
+      continue;
+    }
+    const std::uint64_t link = ctx.atomic_load(&desc(d)[1]);
+    const auto chunk = static_cast<std::uint32_t>(link >> 32);
+    Entry& e = reinterpret_cast<Entry*>(pool_->data(chunk))[pos % eps];
+    while (ctx.atomic_load(&e.seq) != 0) ctx.backoff();
+    ctx.atomic_store(&e.val, std::uint64_t{value});
+    ctx.atomic_store(&e.seq, pos + 1);
+    release_desc(ctx, d);
+    return true;
+  }
+}
+
+bool VirtLinkedOuroQueue::try_dequeue(gpu::ThreadCtx& ctx,
+                                      std::uint32_t& value) {
+  const std::size_t eps = entries_per_seg();
+  for (;;) {
+    const std::uint64_t pos = ctx.atomic_load(head_);
+    if (pos >= ctx.atomic_load(tail_)) return false;
+    const std::uint32_t d = find_segment(ctx, pos, false);
+    if (d == kInvalidDesc) return false;
+    const std::uint64_t link = ctx.atomic_load(&desc(d)[1]);
+    const auto chunk = static_cast<std::uint32_t>(link >> 32);
+    Entry& e = reinterpret_cast<Entry*>(pool_->data(chunk))[pos % eps];
+    if (ctx.atomic_load(&e.seq) != pos + 1) {
+      release_desc(ctx, d);
+      return false;
+    }
+    if (ctx.atomic_cas(head_, pos, pos + 1) != pos) {
+      release_desc(ctx, d);
+      ctx.backoff();
+      continue;
+    }
+    value = static_cast<std::uint32_t>(ctx.atomic_load(&e.val));
+    ctx.atomic_store(&e.seq, std::uint64_t{0});
+    release_desc(ctx, d);
+    if (pos % eps == eps - 1) advance_front(ctx, pos);
+    return true;
+  }
+}
+
+std::uint32_t VirtLinkedOuroQueue::storage_chunks(gpu::ThreadCtx& ctx) {
+  return static_cast<std::uint32_t>(ctx.atomic_load(storage_count_));
+}
+
+// ---------------------------------------------------------------------------
+// Ouroboros manager
+// ---------------------------------------------------------------------------
+
+Ouroboros::Ouroboros(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
+    : cfg_(cfg) {
+  core::Stopwatch timer;
+  const char* name = nullptr;
+  switch (cfg_.queue) {
+    case QueueKind::kStandard:
+      name = cfg_.chunk_based ? "Ouro-C-S" : "Ouro-P-S";
+      break;
+    case QueueKind::kVirtArray:
+      name = cfg_.chunk_based ? "Ouro-C-VA" : "Ouro-P-VA";
+      break;
+    case QueueKind::kVirtLinked:
+      name = cfg_.chunk_based ? "Ouro-C-VL" : "Ouro-P-VL";
+      break;
+  }
+  traits_ = core::AllocatorTraits{
+      .name = name,
+      .family = "Ouroboros",
+      .paper_ref = "[21], ICS 2020",
+      .year = 2020,
+      .general_purpose = true,
+      .supports_free = true,
+      .individual_free = true,
+      .max_direct_size = class_bytes(kNumClasses - 1),
+      .relays_large_to_system = true,
+      .resizable = true,
+      .its_safe = true,  // paper: works natively on Volta+
+      .stable = true,
+      .malloc_state_bytes = cfg_.chunk_based ? 50u : 40u,
+      .free_state_bytes = 22u,
+  };
+
+  // The standard queues' static storage is their documented weakness; still,
+  // never let it swallow a small heap — cap the rings at ~12 % of the heap.
+  if (cfg_.queue == QueueKind::kStandard) {
+    const std::size_t budget_entries =
+        heap_bytes / 8 / (kNumClasses * 2 * sizeof(std::uint64_t));
+    cfg_.standard_capacity =
+        std::max<std::size_t>(256,
+                              std::min(cfg_.standard_capacity, budget_entries));
+  }
+
+  HeapCarver carver(dev, heap_bytes);
+  leak_counter_ = carver.take<std::uint64_t>(1);
+  *leak_counter_ = 0;
+
+  // Upper bound on chunk count (metadata sized before the exact data region
+  // is known; the carver take_rest below fixes the final count).
+  const std::size_t est_chunks = heap_bytes / cfg_.chunk_bytes + 1;
+  meta_ = carver.take<ChunkMeta>(est_chunks);
+  auto* reuse_words =
+      carver.take<std::uint64_t>(1 + BoundedTicketQueue::layout_words(est_chunks));
+
+  std::vector<std::uint64_t*> queue_words(kNumClasses);
+  std::vector<std::uint32_t*> va_readers(kNumClasses, nullptr);
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    switch (cfg_.queue) {
+      case QueueKind::kStandard:
+        queue_words[c] = carver.take<std::uint64_t>(
+            BoundedTicketQueue::layout_words(cfg_.standard_capacity));
+        break;
+      case QueueKind::kVirtArray:
+        queue_words[c] = carver.take<std::uint64_t>(
+            VirtArrayOuroQueue::layout_words(cfg_.va_slots));
+        va_readers[c] = carver.take<std::uint32_t>(cfg_.va_slots);
+        break;
+      case QueueKind::kVirtLinked:
+        queue_words[c] = carver.take<std::uint64_t>(
+            VirtLinkedOuroQueue::layout_words(cfg_.vl_descs));
+        break;
+    }
+  }
+
+  const std::size_t relay_bytes = heap_bytes * cfg_.relay_percent / 100;
+  std::size_t rest = 0;
+  auto* region = carver.take_rest(rest, cfg_.chunk_bytes);
+  auto* relay_base = region + (rest - relay_bytes) / cfg_.chunk_bytes *
+                                  cfg_.chunk_bytes;
+  const auto num_chunks = static_cast<std::uint32_t>(
+      static_cast<std::size_t>(relay_base - region) / cfg_.chunk_bytes);
+  pool_.init_host(region, num_chunks, cfg_.chunk_bytes, reuse_words);
+  for (std::uint32_t i = 0; i < num_chunks; ++i) meta_[i].state = 0;
+
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    switch (cfg_.queue) {
+      case QueueKind::kStandard:
+        queues_[c] = std::make_unique<StandardOuroQueue>(
+            queue_words[c], cfg_.standard_capacity);
+        break;
+      case QueueKind::kVirtArray:
+        queues_[c] = std::make_unique<VirtArrayOuroQueue>(
+            queue_words[c], va_readers[c], cfg_.va_slots, pool_);
+        break;
+      case QueueKind::kVirtLinked: {
+        auto q = std::make_unique<VirtLinkedOuroQueue>(queue_words[c],
+                                                       cfg_.vl_descs, pool_);
+        q->init_host_first_segment();
+        queues_[c] = std::move(q);
+        break;
+      }
+    }
+  }
+  relay_ = std::make_unique<CudaStandin>(relay_base,
+                                         rest - (relay_base - region));
+  init_ms_ = timer.elapsed_ms();
+}
+
+const core::AllocatorTraits& Ouroboros::traits() const { return traits_; }
+
+void* Ouroboros::malloc_page_based(gpu::ThreadCtx& ctx, std::size_t cls) {
+  std::uint32_t unit = 0;
+  if (queues_[cls]->try_dequeue(ctx, unit)) {
+    return pool_.base() + std::size_t{unit} * 16;
+  }
+  const std::uint32_t chunk = pool_.alloc(ctx);
+  if (chunk == ChunkPool::kInvalid) return nullptr;
+  ctx.atomic_store(&meta_[chunk].state,
+                   (std::uint64_t{cls + 1} << 32));  // class tag for free()
+  const std::size_t ppc = pages_per_chunk(cls);
+  const std::size_t page_units = class_bytes(cls) / 16;
+  const std::size_t chunk_unit =
+      (pool_.data(chunk) - pool_.base()) / 16;
+  for (std::size_t p = 1; p < ppc; ++p) {
+    if (!queues_[cls]->try_enqueue(
+            ctx, static_cast<std::uint32_t>(chunk_unit + p * page_units))) {
+      ctx.atomic_add(leak_counter_, std::uint64_t{1});
+    }
+  }
+  return pool_.data(chunk);
+}
+
+void Ouroboros::free_page_based(gpu::ThreadCtx& ctx, std::uint32_t chunk,
+                                std::size_t off_in_chunk) {
+  const std::uint64_t state = ctx.atomic_load(&meta_[chunk].state);
+  const std::size_t cls = (state >> 32) - 1;
+  const std::size_t page = off_in_chunk / class_bytes(cls);
+  const std::size_t unit =
+      (pool_.data(chunk) - pool_.base()) / 16 + page * (class_bytes(cls) / 16);
+  if (!queues_[cls]->try_enqueue(ctx, static_cast<std::uint32_t>(unit))) {
+    ctx.atomic_add(leak_counter_, std::uint64_t{1});
+  }
+}
+
+void* Ouroboros::malloc_chunk_based(gpu::ThreadCtx& ctx, std::size_t cls) {
+  const std::size_t ppc = pages_per_chunk(cls);
+  for (unsigned attempt = 0; attempt < 64; ++attempt) {
+    std::uint32_t chunk = 0;
+    if (!queues_[cls]->try_dequeue(ctx, chunk)) break;
+    ChunkMeta& m = meta_[chunk];
+    // Stage 1: reserve a free page (count in the low half of the state).
+    auto* count = reinterpret_cast<std::uint32_t*>(&m.state);
+    const std::uint32_t prev = ctx.atomic_sub(count, 1u);
+    if (prev == 0 || prev > ppc ||
+        (ctx.atomic_load(&m.state) >> 32) != cls + 1) {
+      ctx.atomic_add(count, 1u);  // stale id (recycled chunk): skip it
+      continue;
+    }
+    if (prev >= 2) {
+      // Still has pages: make the chunk findable again.
+      if (!queues_[cls]->try_enqueue(ctx, chunk)) {
+        ctx.atomic_add(leak_counter_, std::uint64_t{1});
+      }
+    }
+    // Stage 2: claim a concrete page bit.
+    for (;;) {
+      for (std::size_t w = 0; w < (ppc + 63) / 64; ++w) {
+        const std::uint64_t seen = ctx.atomic_load(&m.bitmap[w]);
+        std::uint64_t valid = ~0ull;
+        if ((w + 1) * 64 > ppc && ppc % 64 != 0) {
+          valid = (1ull << (ppc % 64)) - 1;
+        }
+        const std::uint64_t free_bits = ~seen & valid;
+        if (free_bits == 0) continue;
+        const unsigned bit =
+            static_cast<unsigned>(std::countr_zero(free_bits));
+        if ((ctx.atomic_or(&m.bitmap[w], std::uint64_t{1} << bit) & (std::uint64_t{1} << bit)) == 0) {
+          return pool_.data(chunk) + (w * 64 + bit) * class_bytes(cls);
+        }
+      }
+      ctx.backoff();  // racing reservation has not set its bit yet
+    }
+  }
+  // Queue empty: split a fresh chunk ("allocate from chunk in queue" misses).
+  const std::uint32_t chunk = pool_.alloc(ctx);
+  if (chunk == ChunkPool::kInvalid) return nullptr;
+  ChunkMeta& m = meta_[chunk];
+  for (auto& w : m.bitmap) ctx.atomic_store(&w, std::uint64_t{0});
+  ctx.atomic_store(&m.bitmap[0], std::uint64_t{1});  // page 0 is ours
+  ctx.atomic_store(&m.state, (std::uint64_t{cls + 1} << 32) |
+                                 static_cast<std::uint32_t>(ppc - 1));
+  if (ppc > 1 && !queues_[cls]->try_enqueue(ctx, chunk)) {
+    ctx.atomic_add(leak_counter_, std::uint64_t{1});
+  }
+  return pool_.data(chunk);
+}
+
+void Ouroboros::free_chunk_based(gpu::ThreadCtx& ctx, std::uint32_t chunk,
+                                 std::size_t off_in_chunk) {
+  ChunkMeta& m = meta_[chunk];
+  const std::uint64_t state = ctx.atomic_load(&m.state);
+  const std::size_t cls = (state >> 32) - 1;
+  const std::size_t ppc = pages_per_chunk(cls);
+  const std::size_t page = off_in_chunk / class_bytes(cls);
+  ctx.atomic_and(&m.bitmap[page / 64],
+                 ~(std::uint64_t{1} << (page % 64)));
+  auto* count = reinterpret_cast<std::uint32_t*>(&m.state);
+  const std::uint32_t prev = ctx.atomic_add(count, 1u);
+  if (prev == 0) {
+    // Chunk went from exhausted to usable: advertise it again.
+    if (!queues_[cls]->try_enqueue(ctx, chunk)) {
+      ctx.atomic_add(leak_counter_, std::uint64_t{1});
+    }
+  } else if (prev + 1 == ppc) {
+    // Fully free: the chunk-based design's pay-off — reuse for any purpose.
+    if (ctx.atomic_cas(&m.state,
+                       (std::uint64_t{cls + 1} << 32) |
+                           static_cast<std::uint32_t>(ppc),
+                       std::uint64_t{0}) ==
+        ((std::uint64_t{cls + 1} << 32) | static_cast<std::uint32_t>(ppc))) {
+      pool_.free(ctx, chunk);
+    }
+  }
+}
+
+void* Ouroboros::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
+  if (size == 0) size = 1;
+  if (size > class_bytes(kNumClasses - 1)) return relay_->malloc(ctx, size);
+  std::size_t cls = 0;
+  while (class_bytes(cls) < size) ++cls;
+  return cfg_.chunk_based ? malloc_chunk_based(ctx, cls)
+                          : malloc_page_based(ctx, cls);
+}
+
+void Ouroboros::free(gpu::ThreadCtx& ctx, void* ptr) {
+  if (ptr == nullptr) return;
+  auto* p = static_cast<std::byte*>(ptr);
+  if (p < pool_.base() ||
+      p >= pool_.base() + std::size_t{pool_.num_chunks()} * cfg_.chunk_bytes) {
+    relay_->free(ctx, ptr);
+    return;
+  }
+  const std::size_t off = static_cast<std::size_t>(p - pool_.base());
+  const auto chunk = static_cast<std::uint32_t>(off / cfg_.chunk_bytes);
+  const std::size_t in_chunk = off % cfg_.chunk_bytes;
+  if (cfg_.chunk_based) {
+    free_chunk_based(ctx, chunk, in_chunk);
+  } else {
+    free_page_based(ctx, chunk, in_chunk);
+  }
+}
+
+}  // namespace gms::alloc

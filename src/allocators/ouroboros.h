@@ -1,0 +1,258 @@
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "allocators/common.h"
+#include "allocators/cuda_standin.h"
+#include "allocators/lockfree_queue.h"
+
+namespace gms::alloc {
+
+/// Shared chunk pool: the manageable memory split into equally-sized chunks
+/// (§2.10, default 8 KiB). Chunks feed data pages *and* — for the virtualized
+/// variants — the queues' own storage: the queues managing memory live on the
+/// memory they manage, hence the snake eating its tail.
+class ChunkPool {
+ public:
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+
+  void init_host(std::byte* data, std::uint32_t num_chunks,
+                 std::size_t chunk_bytes, std::uint64_t* reuse_words);
+
+  std::uint32_t alloc(gpu::ThreadCtx& ctx);
+  void free(gpu::ThreadCtx& ctx, std::uint32_t chunk);
+  /// Constructor-time chunk grab (before the pool is shared with lanes).
+  std::uint32_t alloc_host() { return (*bump_)++; }
+
+  [[nodiscard]] std::byte* data(std::uint32_t chunk) {
+    return data_ + std::size_t{chunk} * chunk_bytes_;
+  }
+  [[nodiscard]] std::uint32_t num_chunks() const { return num_chunks_; }
+  [[nodiscard]] std::size_t chunk_bytes() const { return chunk_bytes_; }
+  [[nodiscard]] std::byte* base() { return data_; }
+
+ private:
+  std::byte* data_ = nullptr;
+  std::uint32_t num_chunks_ = 0;
+  std::size_t chunk_bytes_ = 0;
+  std::uint32_t* bump_ = nullptr;    // first word of reuse storage block
+  BoundedTicketQueue reuse_;
+};
+
+/// Index-queue interface shared by the three queue designs of Fig. 7.
+/// Values are 16 B-unit offsets (pages) or chunk ids. Both sides are
+/// non-blocking; a false dequeue sends the allocator down its slow path and
+/// a false enqueue is an accounted leak (bounded-capacity overflow).
+class OuroQueue {
+ public:
+  virtual ~OuroQueue() = default;
+  virtual bool try_enqueue(gpu::ThreadCtx& ctx, std::uint32_t value) = 0;
+  virtual bool try_dequeue(gpu::ThreadCtx& ctx, std::uint32_t& value) = 0;
+  /// Chunks of queue *storage* currently held (0 for the standard queue).
+  [[nodiscard]] virtual std::uint32_t storage_chunks(gpu::ThreadCtx& ctx) = 0;
+};
+
+/// Ouro-S: the static ring buffer. Fast and simple, but its storage must be
+/// "large enough to hold the largest expected number of free pages/chunks" —
+/// the static-memory weakness that motivates the virtualized designs.
+class StandardOuroQueue final : public OuroQueue {
+ public:
+  StandardOuroQueue(std::uint64_t* words, std::size_t capacity)
+      : queue_(words, capacity) {
+    queue_.init_host();
+  }
+  bool try_enqueue(gpu::ThreadCtx& ctx, std::uint32_t value) override {
+    return queue_.try_enqueue(ctx, value);
+  }
+  bool try_dequeue(gpu::ThreadCtx& ctx, std::uint32_t& value) override {
+    std::uint64_t v = 0;
+    if (!queue_.try_dequeue(ctx, v)) return false;
+    value = static_cast<std::uint32_t>(v);
+    return true;
+  }
+  std::uint32_t storage_chunks(gpu::ThreadCtx&) override { return 0; }
+
+ private:
+  BoundedTicketQueue queue_;
+};
+
+/// Ouro-VA: virtualized array-hierarchy queue. Queue storage lives on
+/// dynamically allocated chunks referenced from a small chunk-pointer array;
+/// segments are installed as the back grows and retired (returned to the
+/// chunk pool) as the front drains. Per-slot reader counters (stable side
+/// memory) fence segment retirement against in-flight readers.
+class VirtArrayOuroQueue final : public OuroQueue {
+ public:
+  /// words: [head, tail, slot_cap x slot word] ; readers: slot_cap counters.
+  VirtArrayOuroQueue(std::uint64_t* words, std::uint32_t* readers,
+                     std::size_t slot_cap, ChunkPool& pool);
+
+  bool try_enqueue(gpu::ThreadCtx& ctx, std::uint32_t value) override;
+  bool try_dequeue(gpu::ThreadCtx& ctx, std::uint32_t& value) override;
+  std::uint32_t storage_chunks(gpu::ThreadCtx& ctx) override;
+
+  /// words layout: head, tail, storage_count, reserve, slot_cap slot words.
+  static constexpr std::size_t layout_words(std::size_t slot_cap) {
+    return 4 + slot_cap;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t seq;  // 0 = reusable, pos+1 = published
+    std::uint64_t val;
+  };
+  [[nodiscard]] std::size_t entries_per_seg() const {
+    return pool_->chunk_bytes() / sizeof(Entry);
+  }
+  static std::uint64_t slot_pack(std::uint64_t gen, std::uint32_t chunk) {
+    return (gen << 32) | chunk;
+  }
+
+  /// Resolves the segment chunk for `seg` (generation-checked), installing a
+  /// fresh one when the caller is an enqueuer. Returns kInvalid when the
+  /// caller should back off / report empty. On success the caller holds a
+  /// reader reference on the slot and must call release_slot().
+  std::uint32_t acquire_segment(gpu::ThreadCtx& ctx, std::uint64_t seg,
+                                bool install);
+  void release_slot(gpu::ThreadCtx& ctx, std::size_t slot);
+  void retire_segment(gpu::ThreadCtx& ctx, std::uint64_t seg,
+                      std::uint32_t chunk);
+
+  std::uint64_t* head_ = nullptr;
+  std::uint64_t* tail_ = nullptr;
+  std::uint64_t* slots_ = nullptr;  // {gen+1 : high, chunk : low}
+  std::uint64_t* storage_count_ = nullptr;
+  std::uint32_t* readers_ = nullptr;
+  std::size_t slot_cap_ = 0;
+  ChunkPool* pool_ = nullptr;
+};
+
+/// Ouro-VL: virtualized linked-chunk queue. No pointer array at all — the
+/// storage chunks are linked through descriptors; front/back descriptor
+/// indices replace the array. Unlimited virtual queue size (bounded here by
+/// the descriptor pool), at the price of pointer chasing on the walk.
+class VirtLinkedOuroQueue final : public OuroQueue {
+ public:
+  VirtLinkedOuroQueue(std::uint64_t* words, std::size_t num_descs,
+                      ChunkPool& pool);
+
+  bool try_enqueue(gpu::ThreadCtx& ctx, std::uint32_t value) override;
+  bool try_dequeue(gpu::ThreadCtx& ctx, std::uint32_t& value) override;
+  std::uint32_t storage_chunks(gpu::ThreadCtx& ctx) override;
+
+  /// words layout: head, tail, front, back, storage_count, reserve,
+  ///               per-desc {base, chunk|next, readers|state} (3 words each),
+  ///               desc free queue.
+  static constexpr std::size_t layout_words(std::size_t num_descs) {
+    return 6 + 3 * num_descs + BoundedTicketQueue::layout_words(num_descs);
+  }
+
+  /// Host-side: creates the initial (base 0) segment. Call once.
+  void init_host_first_segment();
+
+ private:
+  struct Entry {
+    std::uint64_t seq;
+    std::uint64_t val;
+  };
+  static constexpr std::uint32_t kInvalidDesc = 0xFFFFFFFFu;
+  // desc words: [0] base pos, [1] {chunk:high32, next:low32},
+  //             [2] {state:high32 (1=active), readers:low32}
+  [[nodiscard]] std::uint64_t* desc(std::uint32_t d) {
+    return descs_ + std::size_t{d} * 3;
+  }
+  [[nodiscard]] std::size_t entries_per_seg() const {
+    return pool_->chunk_bytes() / sizeof(Entry);
+  }
+
+  /// Walks the chain from `start` for the segment covering `pos`; grows the
+  /// chain when `grow` and the position is beyond the back. On success the
+  /// caller holds a reader reference (release_desc()). Returns kInvalidDesc
+  /// when the segment is unavailable (report empty / retry).
+  std::uint32_t find_segment(gpu::ThreadCtx& ctx, std::uint64_t pos,
+                             bool grow);
+  bool acquire_desc(gpu::ThreadCtx& ctx, std::uint32_t d);
+  void release_desc(gpu::ThreadCtx& ctx, std::uint32_t d);
+  void advance_front(gpu::ThreadCtx& ctx, std::uint64_t pos);
+
+  std::uint64_t* head_ = nullptr;
+  std::uint64_t* tail_ = nullptr;
+  std::uint64_t* front_ = nullptr;   // desc index (low 32 bits used)
+  std::uint64_t* back_ = nullptr;
+  std::uint64_t* storage_count_ = nullptr;
+  std::uint64_t* descs_ = nullptr;
+  std::size_t num_descs_ = 0;
+  BoundedTicketQueue desc_free_;
+  ChunkPool* pool_ = nullptr;
+};
+
+/// Ouroboros (Winter et al., ICS 2020) — §2.10 / Fig. 7. One index queue per
+/// page size; chunks are split into pages on demand.
+///
+///  * Page variants (-P) enqueue page offsets directly: fast, but a chunk
+///    assigned to a page size is never reusable for another.
+///  * Chunk variants (-C) enqueue chunk ids with free-page bookkeeping: a
+///    two-stage access design that trades speed for full chunk reuse.
+///  * Queue storage: -S static rings, -VA array-hierarchy virtualized,
+///    -VL linked-chunk virtualized.
+///
+/// Requests above the largest page size are relayed to the CUDA stand-in
+/// ("otherwise larger allocations are relayed to the CUDA-Allocator").
+class Ouroboros final : public core::MemoryManager {
+ public:
+  enum class QueueKind { kStandard, kVirtArray, kVirtLinked };
+
+  struct Config {
+    QueueKind queue = QueueKind::kStandard;
+    bool chunk_based = false;
+    std::size_t chunk_bytes = 8192;
+    std::size_t standard_capacity = 1u << 16;  ///< entries per -S queue
+    std::size_t va_slots = 1u << 12;           ///< chunk-pointer array size
+    std::size_t vl_descs = 1u << 12;           ///< descriptor pool size
+    std::size_t relay_percent = 10;
+  };
+
+  Ouroboros(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
+
+  [[nodiscard]] const core::AllocatorTraits& traits() const override;
+  [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
+  void free(gpu::ThreadCtx& ctx, void* ptr) override;
+
+  static constexpr std::size_t kNumClasses = 10;  // 16 B .. 8 KiB
+  static constexpr std::size_t class_bytes(std::size_t c) {
+    return std::size_t{16} << c;
+  }
+
+  /// Pages a freed value could not be queued back for (capacity overflow) —
+  /// accounted, bounded leakage rather than a blocked free.
+  [[nodiscard]] std::uint64_t leaked_pages(gpu::ThreadCtx& ctx) {
+    return ctx.atomic_load(leak_counter_);
+  }
+
+ private:
+  struct ChunkMeta {
+    std::uint64_t state;       // {class+1 : high 32, free pages : low 32}
+    std::uint64_t bitmap[8];   // used pages (chunk-based variants)
+  };
+
+  [[nodiscard]] std::size_t pages_per_chunk(std::size_t cls) const {
+    return cfg_.chunk_bytes / class_bytes(cls);
+  }
+  void* malloc_page_based(gpu::ThreadCtx& ctx, std::size_t cls);
+  void* malloc_chunk_based(gpu::ThreadCtx& ctx, std::size_t cls);
+  void free_page_based(gpu::ThreadCtx& ctx, std::uint32_t chunk,
+                       std::size_t off_in_chunk);
+  void free_chunk_based(gpu::ThreadCtx& ctx, std::uint32_t chunk,
+                        std::size_t off_in_chunk);
+
+  Config cfg_;
+  core::AllocatorTraits traits_{};
+  ChunkPool pool_;
+  ChunkMeta* meta_ = nullptr;
+  std::array<std::unique_ptr<OuroQueue>, kNumClasses> queues_;
+  std::uint64_t* leak_counter_ = nullptr;
+  std::unique_ptr<CudaStandin> relay_;
+};
+
+}  // namespace gms::alloc

@@ -1,0 +1,214 @@
+#include "allocators/reg_eff.h"
+
+namespace gms::alloc {
+
+namespace {
+// Flag bit pairs inside one 64-bit word: bit 2i = chunk start, 2i+1 = in use.
+constexpr std::uint64_t start_bit(std::uint32_t unit) {
+  return 1ull << ((unit % 32) * 2);
+}
+constexpr std::uint64_t alloc_bit(std::uint32_t unit) {
+  return 2ull << ((unit % 32) * 2);
+}
+}  // namespace
+
+RegEffAlloc::RegEffAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
+    : cfg_(cfg) {
+  core::Stopwatch timer;
+  num_arenas_ = cfg_.multi ? dev.config().num_sms : 1;
+
+  traits_ = core::AllocatorTraits{
+      .name = cfg_.fused ? (cfg_.multi ? "RegEff-CFM" : "RegEff-CF")
+                         : (cfg_.multi ? "RegEff-CM" : "RegEff-C"),
+      .family = "Reg-Eff",
+      .paper_ref = "[19], CGF 2015",
+      .year = 2014,
+      .general_purpose = true,
+      .supports_free = true,
+      .individual_free = true,
+      .its_safe = false,  // paper: pre-Volta warp-synchronous builds only
+      // Paper: "not all variants are entirely stable" — the multi variants
+      // showed the repeated-allocation slowdowns in §4.2.1.
+      .stable = !cfg_.multi,
+      // The paper's headline: lowest register usage of all approaches; the
+      // fused variants touch one header word fewer.
+      .malloc_state_bytes = cfg_.fused ? 20u : 24u,
+      .free_state_bytes = cfg_.fused ? 12u : 16u,
+  };
+
+  HeapCarver carver(dev, heap_bytes);
+  // Side flags cost 2 bits per 16 B unit = 1.6 % of the heap.
+  const std::size_t est_units = heap_bytes / kUnit;
+  flag_words_ = carver.take<std::uint64_t>(est_units / 32 + 1);
+  offsets_ = carver.take<std::uint32_t>(num_arenas_);
+  std::size_t rest = 0;
+  pool_ = carver.take_rest(rest, kUnit);
+  heap_units_ = static_cast<std::uint32_t>(rest / kUnit);
+
+  // Pre-split each arena's share into the binary-heap chunk ladder (Fig. 4).
+  const std::uint32_t per_arena = heap_units_ / num_arenas_;
+  for (unsigned a = 0; a < num_arenas_; ++a) {
+    const std::uint32_t first = a * per_arena;
+    const std::uint32_t end =
+        (a + 1 == num_arenas_) ? heap_units_ : (a + 1) * per_arena;
+    presplit(first, end);
+    offsets_[a] = first;
+  }
+  init_ms_ = timer.elapsed_ms();
+}
+
+void RegEffAlloc::presplit(std::uint32_t first_unit, std::uint32_t end_unit) {
+  // Recursive halving: chunks of R/2, R/4, ... down to 256 units (4 KiB);
+  // "the memory not used by the heap forms the last chunk".
+  std::uint32_t cur = first_unit;
+  std::uint32_t remaining = end_unit - first_unit;
+  while (remaining > 512) {
+    const std::uint32_t half = remaining / 2;
+    // host-side init: plain writes, the arena is not yet shared
+    flag_words_[cur / 32] |= start_bit(cur);
+    *link_word(cur) = cur + half;
+    if (!cfg_.fused) *size_word(cur) = (half - 1) * kUnit;
+    cur += half;
+    remaining -= half;
+  }
+  flag_words_[cur / 32] |= start_bit(cur);
+  *link_word(cur) = end_unit;
+  if (!cfg_.fused) *size_word(cur) = (remaining - 1) * kUnit;
+}
+
+const core::AllocatorTraits& RegEffAlloc::traits() const { return traits_; }
+
+std::uint32_t* RegEffAlloc::link_word(std::uint32_t unit) {
+  return reinterpret_cast<std::uint32_t*>(pool_ + std::size_t{unit} * kUnit);
+}
+std::uint32_t* RegEffAlloc::size_word(std::uint32_t unit) {
+  return link_word(unit) + 1;
+}
+
+bool RegEffAlloc::flags_start(gpu::ThreadCtx& ctx, std::uint32_t unit) {
+  return (ctx.atomic_load(&flag_words_[unit / 32]) & start_bit(unit)) != 0;
+}
+
+bool RegEffAlloc::try_claim(gpu::ThreadCtx& ctx, std::uint32_t unit) {
+  std::uint64_t* word = &flag_words_[unit / 32];
+  for (;;) {
+    const std::uint64_t seen = ctx.atomic_load(word);
+    if ((seen & start_bit(unit)) == 0) return false;  // absorbed meanwhile
+    if ((seen & alloc_bit(unit)) != 0) return false;  // claimed by another
+    if (ctx.atomic_cas(word, seen, seen | alloc_bit(unit)) == seen) {
+      return true;
+    }
+    // The CAS can fail because of *neighbouring* chunks' bits; retry.
+  }
+}
+
+void RegEffAlloc::release(gpu::ThreadCtx& ctx, std::uint32_t unit) {
+  ctx.atomic_and(&flag_words_[unit / 32], ~alloc_bit(unit));
+}
+
+void RegEffAlloc::absorb(gpu::ThreadCtx& ctx, std::uint32_t unit) {
+  ctx.atomic_and(&flag_words_[unit / 32],
+                 ~(start_bit(unit) | alloc_bit(unit)));
+}
+
+void RegEffAlloc::mark_start(gpu::ThreadCtx& ctx, std::uint32_t unit) {
+  ctx.atomic_or(&flag_words_[unit / 32], start_bit(unit));
+}
+
+unsigned RegEffAlloc::arena_of(const gpu::ThreadCtx& ctx) const {
+  return cfg_.multi ? ctx.smid() % num_arenas_ : 0;
+}
+
+void* RegEffAlloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
+  if (size == 0) size = 1;
+  const auto need_units =
+      static_cast<std::uint32_t>((size + kUnit - 1) / kUnit);
+  const unsigned arena = arena_of(ctx);
+
+  std::uint32_t off = ctx.atomic_load(&offsets_[arena]) % heap_units_;
+  std::uint32_t lap_start = off;
+  unsigned laps = 0;
+  for (std::size_t step = 0; step < cfg_.max_walk_steps; ++step) {
+    if (!flags_start(ctx, off)) {
+      // Stale position (chunk absorbed under us): restart from the shared
+      // offset — unit 0 is always a valid anchor (wrap merges are forbidden).
+      off = ctx.atomic_load(&offsets_[arena]) % heap_units_;
+      if (!flags_start(ctx, off)) off = 0;
+      lap_start = off;
+      continue;
+    }
+    const std::uint32_t next = ctx.atomic_load(link_word(off));
+    if (next <= off || next > heap_units_) {
+      off = 0;  // garbage link from a stale header: re-anchor
+      lap_start = 0;
+      continue;
+    }
+    const std::uint32_t chunk_units = next - off - 1;  // minus header
+    if (chunk_units >= need_units && try_claim(ctx, off)) {
+      // Re-read the link now that the chunk is ours.
+      const std::uint32_t owned_next = ctx.atomic_load(link_word(off));
+      const std::uint32_t owned_units = owned_next - off - 1;
+      if (owned_units < need_units) {
+        release(ctx, off);  // shrunk by a racing merge partner? move on
+      } else {
+        // Split when the remainder can hold a useful chunk ("maximum
+        // fragmentation constant").
+        const std::uint32_t used = need_units + 1;
+        if (owned_units + 1 - used >=
+            static_cast<std::uint32_t>(cfg_.min_split_units)) {
+          const std::uint32_t split = off + used;
+          ctx.atomic_store(link_word(split), owned_next);
+          if (!cfg_.fused) {
+            ctx.atomic_store(size_word(split),
+                             (owned_next - split - 1) * kUnit);
+          }
+          mark_start(ctx, split);
+          ctx.atomic_store(link_word(off), split);
+          if (!cfg_.fused) ctx.atomic_store(size_word(off), need_units * kUnit);
+        }
+        ctx.atomic_store(&offsets_[arena],
+                         ctx.atomic_load(link_word(off)) % heap_units_);
+        return pool_ + std::size_t{off} * kUnit + kUnit;
+      }
+    }
+    off = next % heap_units_;
+    if (off == lap_start && ++laps >= 2) break;  // full circle twice: OOM
+  }
+  return nullptr;
+}
+
+void RegEffAlloc::free(gpu::ThreadCtx& ctx, void* ptr) {
+  if (ptr == nullptr) return;
+  const std::size_t byte_off = static_cast<std::byte*>(ptr) - pool_;
+  const auto unit = static_cast<std::uint32_t>(byte_off / kUnit) - 1;
+  assert(flags_start(ctx, unit) && "free of a non-chunk pointer");
+
+  // Try to concatenate with the following chunk (Fig. 4 "free & concatenate")
+  // before publishing ourselves as free. We own `unit`, so its link is stable.
+  const std::uint32_t next = ctx.atomic_load(link_word(unit));
+  if (next < heap_units_ && flags_start(ctx, next) && try_claim(ctx, next)) {
+    const std::uint32_t next_next = ctx.atomic_load(link_word(next));
+    ctx.atomic_store(link_word(unit), next_next);
+    if (!cfg_.fused) {
+      ctx.atomic_store(size_word(unit), (next_next - unit - 1) * kUnit);
+    }
+    absorb(ctx, next);
+  }
+  release(ctx, unit);
+}
+
+std::size_t RegEffAlloc::count_free_chunks(gpu::ThreadCtx& ctx) {
+  std::size_t count = 0;
+  std::uint32_t off = 0;
+  while (off < heap_units_) {
+    if (!flags_start(ctx, off)) break;  // corrupt walk; tests assert count
+    const std::uint64_t word = ctx.atomic_load(&flag_words_[off / 32]);
+    if ((word & alloc_bit(off)) == 0) ++count;
+    const std::uint32_t next = ctx.atomic_load(link_word(off));
+    if (next <= off) break;
+    off = next;
+  }
+  return count;
+}
+
+}  // namespace gms::alloc

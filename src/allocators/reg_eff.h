@@ -1,0 +1,73 @@
+#pragma once
+
+#include "allocators/common.h"
+
+namespace gms::alloc {
+
+/// Register-Efficient memory allocator (Vinkler & Havran, CGF 2015) —
+/// §2.5 / Fig. 4. A circular memory pool organised as a single-linked list
+/// of chunks. Allocation walks from a shared offset for the first free chunk
+/// that fits, claims it with CAS and splits it when the remainder exceeds the
+/// maximum-fragmentation constant; deallocation merges with the following
+/// free chunk ("malloc & split / free & concatenate"). The memory is
+/// pre-split into a binary-heap-like chunk ladder so the first allocations
+/// do not serialize on one huge chunk.
+///
+/// Variants (paper names):
+///  * Reg-Eff-C   — CircularMalloc: two header words, one shared offset.
+///  * Reg-Eff-CF  — CircularFusedMalloc: fused single header word.
+///  * Reg-Eff-CM  — CircularMultiMalloc: one offset *and* pre-split ladder
+///                  per SM, trading fragmentation for fewer collisions.
+///  * Reg-Eff-CFM — both.
+///
+/// Reproduction note (documented divergence): the original keeps the
+/// allocation flag inline in the chunk header, which lets a stale traversal
+/// claim a merged-away header — part of the instability the survey reports.
+/// We keep the link words inline but move the {chunk-start, allocated} flags
+/// into a side bitmap (2 bits per 16 B unit) whose CAS can never succeed on
+/// an absorbed chunk. The walk length, split/merge behaviour and contention
+/// profile are unchanged; the undefined behaviour is not reproduced.
+class RegEffAlloc final : public core::MemoryManager {
+ public:
+  struct Config {
+    bool fused = false;  ///< single fused header word (CF/CFM)
+    bool multi = false;  ///< per-SM offsets and ladders (CM/CFM)
+    std::size_t min_split_units = 3;  ///< smallest splinter: header + 32 B
+    std::size_t max_walk_steps = 200'000;  ///< stand-in for the 1 h timeout
+  };
+
+  RegEffAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
+
+  [[nodiscard]] const core::AllocatorTraits& traits() const override;
+  [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
+  void free(gpu::ThreadCtx& ctx, void* ptr) override;
+
+  /// White-box hooks for tests.
+  [[nodiscard]] std::size_t count_free_chunks(gpu::ThreadCtx& ctx);
+
+ private:
+  static constexpr std::uint32_t kUnit = 16;
+
+  // Side-bitmap flags, 2 bits per unit.
+  [[nodiscard]] bool flags_start(gpu::ThreadCtx& ctx, std::uint32_t unit);
+  bool try_claim(gpu::ThreadCtx& ctx, std::uint32_t unit);
+  void release(gpu::ThreadCtx& ctx, std::uint32_t unit);
+  void absorb(gpu::ThreadCtx& ctx, std::uint32_t unit);
+  void mark_start(gpu::ThreadCtx& ctx, std::uint32_t unit);
+
+  [[nodiscard]] std::uint32_t* link_word(std::uint32_t unit);
+  [[nodiscard]] std::uint32_t* size_word(std::uint32_t unit);
+
+  [[nodiscard]] unsigned arena_of(const gpu::ThreadCtx& ctx) const;
+  void presplit(std::uint32_t first_unit, std::uint32_t end_unit);
+
+  Config cfg_;
+  unsigned num_arenas_ = 1;
+  std::uint32_t heap_units_ = 0;
+  std::uint64_t* flag_words_ = nullptr;  // 32 units per word
+  std::uint32_t* offsets_ = nullptr;     // shared walk offsets, one per arena
+  std::byte* pool_ = nullptr;
+  core::AllocatorTraits traits_{};
+};
+
+}  // namespace gms::alloc

@@ -1,0 +1,77 @@
+#include "allocators/atomic_alloc.h"
+#include "allocators/bulk_alloc.h"
+#include "allocators/cuda_standin.h"
+#include "allocators/fdg_malloc.h"
+#include "allocators/halloc.h"
+#include "allocators/ouroboros.h"
+#include "allocators/reg_eff.h"
+#include "allocators/scatter_alloc.h"
+#include "allocators/xmalloc.h"
+#include "core/registry.h"
+
+namespace gms::core {
+
+namespace {
+
+template <typename Manager, typename... Extra>
+ManagerFactory make_factory(Extra... extra) {
+  return [extra...](gpu::Device& dev, std::size_t heap) {
+    return std::make_unique<Manager>(dev, heap, extra...);
+  };
+}
+
+/// Builds a dummy manager once to copy its traits into the registry entry.
+/// (Traits are static per variant; a tiny throwaway device keeps this cheap.)
+AllocatorTraits probe_traits(const ManagerFactory& factory) {
+  static gpu::Device probe_dev(32u << 20, gpu::GpuConfig{.num_sms = 1});
+  return factory(probe_dev, 16u << 20)->traits();
+}
+
+void add(char selector, ManagerFactory factory) {
+  Registry::instance().add(RegistryEntry{
+      .traits = probe_traits(factory),
+      .selector = selector,
+      .factory = std::move(factory),
+  });
+}
+
+}  // namespace
+
+void register_all_allocators() {
+  auto& reg = Registry::instance();
+  if (!reg.entries().empty()) return;  // idempotent
+
+  using alloc::Ouroboros;
+  using alloc::RegEffAlloc;
+  using QK = Ouroboros::QueueKind;
+
+  // Paper selector letters: o+s+h+c+r+x (+a Atomic, +f FDGMalloc).
+  add('a', make_factory<alloc::AtomicAlloc>());
+  add('c', make_factory<alloc::CudaStandin>());
+  add('x', make_factory<alloc::XMalloc>(alloc::XMalloc::Config{}));
+  add('s', make_factory<alloc::ScatterAlloc>(alloc::ScatterAlloc::Config{}));
+  add('f', make_factory<alloc::FDGMalloc>(alloc::FDGMalloc::Config{}));
+  add('h', make_factory<alloc::Halloc>(alloc::Halloc::Config{}));
+
+  add('r', make_factory<RegEffAlloc>(
+               RegEffAlloc::Config{.fused = false, .multi = false}));
+  add('r', make_factory<RegEffAlloc>(
+               RegEffAlloc::Config{.fused = true, .multi = false}));
+  add('r', make_factory<RegEffAlloc>(
+               RegEffAlloc::Config{.fused = false, .multi = true}));
+  add('r', make_factory<RegEffAlloc>(
+               RegEffAlloc::Config{.fused = true, .multi = true}));
+
+  for (bool chunk_based : {false, true}) {
+    for (QK kind : {QK::kStandard, QK::kVirtArray, QK::kVirtLinked}) {
+      add('o', make_factory<Ouroboros>(Ouroboros::Config{
+                   .queue = kind, .chunk_based = chunk_based}));
+    }
+  }
+
+  // Extension beyond the paper's evaluated population (§2.9 had no public
+  // version): our BulkAllocator rebuild, selector 'b'.
+  add('b', make_factory<alloc::BulkAlloc>(alloc::BulkAlloc::Config{}));
+}
+
+}  // namespace gms::core

@@ -1,0 +1,336 @@
+#include "allocators/scatter_alloc.h"
+
+#include <cstring>
+
+namespace gms::alloc {
+
+namespace {
+constexpr core::AllocatorTraits kTraits{
+    .name = "ScatterAlloc",
+    .family = "ScatterAlloc",
+    .paper_ref = "[17], InPar 2012",
+    .year = 2012,
+    .general_purpose = true,
+    .supports_free = true,
+    .individual_free = true,
+    .resizable = true,  // super blocks may be chained in at kernel boundaries
+    .its_safe = false,  // paper: needs warp-synchronous execution (<7.0)
+    .stable = true,
+    .malloc_state_bytes = 44,
+    .free_state_bytes = 28,
+};
+
+// Scatter hash constants (primes, in the spirit of Fig. 2's k_S and k_mp;
+// the warp factor provides the per-request scattering that gives the
+// allocator its name — without it every thread of an SM probes the same
+// page sequence and the linear probe degenerates).
+constexpr std::uint64_t kSizeFactor = 38183;
+constexpr std::uint64_t kSmFactor = 17497;
+constexpr std::uint64_t kWarpFactor = 9949;
+
+// Bytes reserved at the start of a hierarchical page for its 32 on-page
+// level-2 usage words (1024 bits -> the paper's 1024-chunk page maximum).
+constexpr std::size_t kHierBytes = 128;
+}  // namespace
+
+ScatterAlloc::ScatterAlloc(gpu::Device& dev, std::size_t heap_bytes,
+                           Config cfg)
+    : cfg_(cfg) {
+  core::Stopwatch timer;
+  const std::size_t sb_bytes = cfg_.page_size * cfg_.pages_per_superblock;
+  // Leave ~2% headroom for metadata when sizing the super block count.
+  num_superblocks_ = (heap_bytes - heap_bytes / 50) / sb_bytes;
+  if (num_superblocks_ < 2) num_superblocks_ = 2;
+  const std::size_t reserved =
+      std::max<std::size_t>(1, num_superblocks_ / cfg_.reserved_fraction);
+  chunk_superblocks_ = num_superblocks_ - reserved;
+  num_pages_ = num_superblocks_ * cfg_.pages_per_superblock;
+
+  HeapCarver carver(dev, heap_bytes);
+  page_state_ = carver.take<std::uint64_t>(num_pages_);
+  page_bitfield_ = carver.take<std::uint32_t>(num_pages_);
+  const std::size_t regions =
+      num_pages_ / cfg_.pages_per_region + 1;
+  region_full_ = carver.take<std::uint32_t>(regions);
+  multi_bitmap_ = carver.take<std::uint64_t>(num_pages_ / 64 + 1);
+  multi_count_ = carver.take<std::uint32_t>(num_pages_);
+  active_sb_ = carver.take<std::uint32_t>(1);
+  std::size_t rest = 0;
+  pages_ = carver.take_rest(rest, cfg_.page_size);
+  while (num_pages_ * cfg_.page_size > rest) {
+    --num_superblocks_;
+    --chunk_superblocks_;
+    num_pages_ -= cfg_.pages_per_superblock;
+  }
+  init_ms_ = timer.elapsed_ms();
+}
+
+const core::AllocatorTraits& ScatterAlloc::traits() const { return kTraits; }
+
+std::uint32_t ScatterAlloc::page_capacity(std::uint32_t chunk) const {
+  if (hierarchical(chunk)) {
+    const auto cap = (cfg_.page_size - kHierBytes) / chunk;
+    return static_cast<std::uint32_t>(std::min<std::size_t>(cap, 1024));
+  }
+  return static_cast<std::uint32_t>(cfg_.page_size / chunk);
+}
+
+std::uint32_t* ScatterAlloc::usage_words(std::size_t page,
+                                         std::uint32_t chunk) {
+  if (hierarchical(chunk)) {
+    return reinterpret_cast<std::uint32_t*>(pages_ + page * cfg_.page_size);
+  }
+  return &page_bitfield_[page];
+}
+
+std::byte* ScatterAlloc::chunk_base(std::size_t page, std::uint32_t chunk) {
+  return pages_ + page * cfg_.page_size + (hierarchical(chunk) ? kHierBytes : 0);
+}
+
+std::uint32_t ScatterAlloc::page_chunk_size(std::size_t page) const {
+  return state_chunk(page_state_[page]);
+}
+std::uint32_t ScatterAlloc::page_count(std::size_t page) const {
+  return state_count(page_state_[page]);
+}
+
+void* ScatterAlloc::claim_fresh_page(gpu::ThreadCtx& ctx, std::size_t page,
+                                     std::uint32_t chunk) {
+  const std::uint64_t claimed = make_state(chunk, 1) | kInitFlag;
+  if (ctx.atomic_cas(&page_state_[page], std::uint64_t{0}, claimed) != 0) {
+    return nullptr;  // somebody else claimed it first
+  }
+  // We own the page exclusively while the init flag is set: lay out the
+  // usage hierarchy and take chunk 0 for ourselves.
+  const std::uint32_t cap = page_capacity(chunk);
+  if (hierarchical(chunk)) {
+    auto* words = usage_words(page, chunk);
+    const std::uint32_t groups = (cap + 31) / 32;
+    for (std::uint32_t g = 0; g < 32; ++g) {
+      if (g >= groups) {
+        words[g] = ~0u;
+        continue;
+      }
+      const std::uint32_t valid =
+          std::min<std::uint32_t>(32, cap - g * 32);
+      words[g] = valid == 32 ? 0u : ~((1u << valid) - 1u);
+    }
+    words[0] |= 1u;  // our chunk
+    ctx.atomic_store(&page_bitfield_[page],
+                     groups == 1 && cap == 1 ? 1u : 0u);
+  } else {
+    const std::uint32_t invalid = cap == 32 ? 0u : ~((1u << cap) - 1u);
+    ctx.atomic_store(&page_bitfield_[page], invalid | 1u);
+  }
+  // Publish: drop the init flag so other lanes may join the page.
+  ctx.atomic_and(&page_state_[page], ~kInitFlag);
+  if (cap == 1) {
+    ctx.atomic_add(&region_full_[page / cfg_.pages_per_region], 1u);
+  }
+  return chunk_base(page, chunk);
+}
+
+void* ScatterAlloc::try_alloc_on_page(gpu::ThreadCtx& ctx, std::size_t page,
+                                      std::uint32_t chunk) {
+  const std::uint32_t cap = page_capacity(chunk);
+  // Reserve a slot first; the reservation guarantees a free bit exists.
+  const std::uint64_t prev = ctx.atomic_add(&page_state_[page], std::uint64_t{1});
+  if (state_chunk(prev) != chunk || (prev & kInitFlag) != 0 ||
+      state_count(prev) >= cap) {
+    ctx.atomic_sub(&page_state_[page], std::uint64_t{1});
+    return nullptr;
+  }
+  if (state_count(prev) + 1 == cap) {
+    ctx.atomic_add(&region_full_[page / cfg_.pages_per_region], 1u);
+  }
+
+  // Scatter the bit search start per thread to avoid bit-level collisions.
+  const std::uint32_t start = (ctx.thread_rank() * 0x9E3779B9u) >> 16;
+  if (!hierarchical(chunk)) {
+    std::uint32_t* word = &page_bitfield_[page];
+    for (;;) {
+      const std::uint32_t seen = ctx.atomic_load(word);
+      std::uint32_t free_bits = ~seen;
+      if (free_bits == 0) {
+        ctx.backoff();  // a racing reservation has not set its bit yet
+        continue;
+      }
+      // Rotate so the search begins at the scattered position.
+      const unsigned rot = start % 32;
+      const std::uint32_t rotated = (free_bits >> rot) | (free_bits << (32 - rot) % 32);
+      unsigned bit = (static_cast<unsigned>(std::countr_zero(
+                          rotated == 0 ? free_bits : rotated)) +
+                      (rotated == 0 ? 0 : rot)) %
+                     32;
+      if ((ctx.atomic_or(word, 1u << bit) & (1u << bit)) == 0) {
+        return chunk_base(page, chunk) + bit * std::size_t{chunk};
+      }
+    }
+  }
+
+  // Hierarchical page: level 1 marks full groups, level 2 lives on the page.
+  // Level 1 is strictly a *hint*: a concurrent free may clear a level-2 bit
+  // after an allocator re-marked the group full, so when the hint claims
+  // everything is full we must fall back to scanning the ground truth —
+  // otherwise a reservation could spin on an invisible free chunk forever.
+  auto* level2 = usage_words(page, chunk);
+  const std::uint32_t groups = (cap + 31) / 32;
+  const std::uint32_t group_mask =
+      groups == 32 ? ~0u : ((1u << groups) - 1u);
+  for (;;) {
+    const std::uint32_t full = ctx.atomic_load(&page_bitfield_[page]);
+    std::uint32_t candidates = ~full & group_mask;
+    if (candidates == 0) candidates = group_mask;  // hint exhausted: scan all
+    while (candidates != 0) {
+      const unsigned g = static_cast<unsigned>(std::countr_zero(candidates));
+      candidates &= candidates - 1;
+      const std::uint32_t seen = ctx.atomic_load(&level2[g]);
+      const std::uint32_t free_bits = ~seen;
+      if (free_bits == 0) {
+        // Group filled up under us: record it at level 1 and move on.
+        ctx.atomic_or(&page_bitfield_[page], 1u << g);
+        continue;
+      }
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(free_bits));
+      if ((ctx.atomic_or(&level2[g], 1u << bit) & (1u << bit)) == 0) {
+        if ((seen | (1u << bit)) == ~0u) {
+          ctx.atomic_or(&page_bitfield_[page], 1u << g);
+        } else if ((full >> g) & 1u) {
+          // Repair a stale "full" hint we scanned past.
+          ctx.atomic_and(&page_bitfield_[page], ~(1u << g));
+        }
+        return chunk_base(page, chunk) +
+               (g * 32 + bit) * std::size_t{chunk};
+      }
+    }
+    ctx.backoff();  // racing reservations have not published their bits yet
+  }
+}
+
+void* ScatterAlloc::malloc_chunk(gpu::ThreadCtx& ctx, std::uint32_t chunk) {
+  const std::size_t pages_per_sb = cfg_.pages_per_superblock;
+  const std::size_t start_sb = ctx.atomic_load(active_sb_) % chunk_superblocks_;
+  for (std::size_t sb_step = 0; sb_step < chunk_superblocks_; ++sb_step) {
+    const std::size_t sb = (start_sb + sb_step) % chunk_superblocks_;
+    // Fig. 2: p = (size * k_S + mp * k_mp [+ warp * k_w]) mod pages/SB.
+    const std::size_t p0 =
+        (chunk * kSizeFactor + ctx.smid() * kSmFactor +
+         ctx.global_warp_id() * kWarpFactor) %
+        pages_per_sb;
+    const std::size_t probes = std::min(cfg_.probe_limit, pages_per_sb);
+    for (std::size_t step = 0; step < probes; ++step) {
+      const std::size_t page_in_sb = (p0 + step) % pages_per_sb;
+      const std::size_t page = sb * pages_per_sb + page_in_sb;
+      // Region rejection: skip regions with no free chunk quickly.
+      const std::size_t region = page / cfg_.pages_per_region;
+      if (ctx.atomic_load(&region_full_[region]) >=
+          cfg_.pages_per_region) {
+        continue;
+      }
+      const std::uint64_t state = ctx.atomic_load(&page_state_[page]);
+      if (state == 0) {
+        if (void* p = claim_fresh_page(ctx, page, chunk)) return p;
+        continue;  // lost the claim race; examine the page's new owner later
+      }
+      if (state_chunk(state) == chunk && (state & kInitFlag) == 0 &&
+          state_count(state) < page_capacity(chunk)) {
+        if (void* p = try_alloc_on_page(ctx, page, chunk)) return p;
+      }
+    }
+    // This super block looks exhausted for our size: advance the shared
+    // active pointer (paper: next super block investigated past fill level).
+    ctx.atomic_cas(active_sb_, static_cast<std::uint32_t>(sb),
+                   static_cast<std::uint32_t>((sb + 1) % chunk_superblocks_));
+  }
+  return nullptr;
+}
+
+void* ScatterAlloc::malloc_multi_page(gpu::ThreadCtx& ctx, std::size_t size) {
+  // Page count is tracked in a side array, so 4/8 KiB requests fit their
+  // pages exactly (no in-band header stealing a whole extra page).
+  const std::size_t k = (size + cfg_.page_size - 1) / cfg_.page_size;
+  if (k > 64) return nullptr;  // runs are confined to one bitmap word
+  const std::size_t first_page = chunk_superblocks_ * cfg_.pages_per_superblock;
+  const std::size_t first_word = first_page / 64;
+  const std::size_t num_words = num_pages_ / 64;
+  const std::uint32_t run_mask_bits = static_cast<std::uint32_t>(k);
+  for (std::size_t w = first_word; w < num_words; ++w) {
+    for (;;) {
+      const std::uint64_t seen = ctx.atomic_load(&multi_bitmap_[w]);
+      if (seen == ~0ull) break;
+      // Find k consecutive zero bits inside this word.
+      std::uint64_t free_bits = ~seen;
+      std::uint64_t run = free_bits;
+      for (std::uint32_t i = 1; i < run_mask_bits; ++i) run &= free_bits >> i;
+      if (run == 0) break;
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(run));
+      const std::uint64_t mask = ((k == 64 ? ~0ull : ((1ull << k) - 1)) << bit);
+      if (ctx.atomic_cas(&multi_bitmap_[w], seen, seen | mask) == seen) {
+        const std::size_t page = w * 64 + bit;
+        ctx.atomic_store(&multi_count_[page], static_cast<std::uint32_t>(k));
+        return pages_ + page * cfg_.page_size;
+      }
+      // CAS lost: re-read and retry this word.
+    }
+  }
+  return nullptr;
+}
+
+void* ScatterAlloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
+  if (size == 0) size = 1;
+  const auto rounded = static_cast<std::uint32_t>(core::round_up(size, 16));
+  if (rounded <= cfg_.page_size / 2) {
+    return malloc_chunk(ctx, rounded);
+  }
+  return malloc_multi_page(ctx, size);
+}
+
+void ScatterAlloc::free_multi_page(gpu::ThreadCtx& ctx, void* ptr,
+                                   std::size_t page) {
+  (void)ptr;
+  const std::size_t k = ctx.atomic_load(&multi_count_[page]);
+  assert(k != 0 && "multi-page free of foreign pointer");
+  ctx.atomic_store(&multi_count_[page], 0u);
+  const std::size_t w = page / 64;
+  const unsigned bit = page % 64;
+  const std::uint64_t mask = ((k == 64 ? ~0ull : ((1ull << k) - 1)) << bit);
+  ctx.atomic_and(&multi_bitmap_[w], ~mask);
+}
+
+void ScatterAlloc::free(gpu::ThreadCtx& ctx, void* ptr) {
+  if (ptr == nullptr) return;
+  const std::size_t off = static_cast<std::byte*>(ptr) - pages_;
+  const std::size_t page = off / cfg_.page_size;
+  if (page >= chunk_superblocks_ * cfg_.pages_per_superblock) {
+    free_multi_page(ctx, ptr, page);
+    return;
+  }
+  const std::uint64_t state = ctx.atomic_load(&page_state_[page]);
+  const std::uint32_t chunk = state_chunk(state);
+  assert(chunk != 0 && "free on an unassigned page");
+  const std::size_t in_page = off % cfg_.page_size;
+  const std::uint32_t cap = page_capacity(chunk);
+
+  if (hierarchical(chunk)) {
+    const std::size_t idx = (in_page - kHierBytes) / chunk;
+    auto* level2 = usage_words(page, chunk);
+    const unsigned g = static_cast<unsigned>(idx / 32);
+    ctx.atomic_and(&level2[g], ~(1u << (idx % 32)));
+    ctx.atomic_and(&page_bitfield_[page], ~(1u << g));
+  } else {
+    const std::size_t idx = in_page / chunk;
+    ctx.atomic_and(&page_bitfield_[page], ~(1u << idx));
+  }
+
+  const std::uint64_t prev = ctx.atomic_sub(&page_state_[page], std::uint64_t{1});
+  if (state_count(prev) == cap) {
+    ctx.atomic_sub(&region_full_[page / cfg_.pages_per_region], 1u);
+  }
+  if (state_count(prev) == 1) {
+    // Last chunk gone: release the page for any future chunk size. The CAS
+    // only succeeds while no new reservation has arrived.
+    ctx.atomic_cas(&page_state_[page], make_state(chunk, 0), std::uint64_t{0});
+  }
+}
+
+}  // namespace gms::alloc

@@ -1,0 +1,92 @@
+#pragma once
+
+#include "allocators/common.h"
+
+namespace gms::alloc {
+
+/// ScatterAlloc (Steinberger et al., InPar 2012) — §2.3 / Fig. 2.
+///
+/// Memory is split into fixed 4 KiB pages grouped into Super Blocks. A hash
+/// of (requested size, multiprocessor id) scatters allocation requests over a
+/// super block's pages; linear probing resolves collisions, regions with fill
+/// counters let the probe skip exhausted areas quickly. Each page serves one
+/// chunk size (fixed at first allocation from the page); free chunks are
+/// tracked in a 32-bit page usage bitfield, with a second on-page hierarchy
+/// level for up to 1024 chunks per page. Requests that do not fit a page are
+/// served as multiple consecutive pages from specially reserved super blocks
+/// — the path responsible for the paper's steep performance drop past 2 KiB.
+class ScatterAlloc final : public core::MemoryManager {
+ public:
+  struct Config {
+    std::size_t page_size = 4096;
+    std::size_t pages_per_superblock = 1024;  // 4 MiB data per super block
+    std::size_t pages_per_region = 64;
+    /// Fraction (as 1/N) of super blocks reserved for multi-page requests.
+    std::size_t reserved_fraction = 4;
+    /// Linear-probe budget within one super block before advancing.
+    std::size_t probe_limit = 256;
+  };
+
+  ScatterAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
+  ScatterAlloc(gpu::Device& dev, std::size_t heap_bytes)
+      : ScatterAlloc(dev, heap_bytes, Config{}) {}
+
+  [[nodiscard]] const core::AllocatorTraits& traits() const override;
+  [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
+  void free(gpu::ThreadCtx& ctx, void* ptr) override;
+
+  /// Exposed for white-box tests: page-state accessors.
+  [[nodiscard]] std::size_t num_pages() const { return num_pages_; }
+  [[nodiscard]] std::uint32_t page_chunk_size(std::size_t page) const;
+  [[nodiscard]] std::uint32_t page_count(std::size_t page) const;
+
+ private:
+  // Page state packs {chunk_size | kInitFlag : high 32, count : low 32} into
+  // one CAS-able word. count is bumped first to reserve, then a usage bit is
+  // claimed — the reservation bounds bit-search retries.
+  static constexpr std::uint64_t kInitFlag = 0x80000000ull << 32;
+  static std::uint64_t make_state(std::uint32_t chunk, std::uint32_t count) {
+    return (static_cast<std::uint64_t>(chunk) << 32) | count;
+  }
+  static std::uint32_t state_chunk(std::uint64_t s) {
+    return static_cast<std::uint32_t>(s >> 32) & 0x7FFFFFFFu;
+  }
+  static std::uint32_t state_count(std::uint64_t s) {
+    return static_cast<std::uint32_t>(s);
+  }
+
+  /// Chunks with size < 128 B need the on-page hierarchy (capacity > 32).
+  [[nodiscard]] bool hierarchical(std::uint32_t chunk) const {
+    return chunk < 128;
+  }
+  [[nodiscard]] std::uint32_t page_capacity(std::uint32_t chunk) const;
+
+  void* try_alloc_on_page(gpu::ThreadCtx& ctx, std::size_t page,
+                          std::uint32_t chunk);
+  void* claim_fresh_page(gpu::ThreadCtx& ctx, std::size_t page,
+                         std::uint32_t chunk);
+  [[nodiscard]] std::uint32_t* usage_words(std::size_t page,
+                                           std::uint32_t chunk);
+  [[nodiscard]] std::byte* chunk_base(std::size_t page, std::uint32_t chunk);
+
+  void* malloc_chunk(gpu::ThreadCtx& ctx, std::uint32_t chunk);
+  void* malloc_multi_page(gpu::ThreadCtx& ctx, std::size_t size);
+  void free_multi_page(gpu::ThreadCtx& ctx, void* ptr, std::size_t page);
+
+  Config cfg_;
+  std::size_t num_superblocks_ = 0;
+  std::size_t chunk_superblocks_ = 0;  // the rest is reserved for multi-page
+  std::size_t num_pages_ = 0;
+
+  std::uint64_t* page_state_ = nullptr;    // one word per page
+  std::uint32_t* page_bitfield_ = nullptr; // level-1 usage bits per page
+  std::uint32_t* region_full_ = nullptr;   // full pages per region
+  std::uint64_t* multi_bitmap_ = nullptr;  // page-claim bits, reserved SBs
+  std::uint32_t* multi_count_ = nullptr;   // pages per multi-page allocation
+  std::uint32_t* active_sb_ = nullptr;
+  std::byte* pages_ = nullptr;
+
+  static constexpr std::uint32_t kMultiMagic = 0x5CA77E8Du;
+};
+
+}  // namespace gms::alloc

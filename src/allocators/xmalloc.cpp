@@ -1,0 +1,147 @@
+#include "allocators/xmalloc.h"
+
+namespace gms::alloc {
+
+namespace {
+constexpr core::AllocatorTraits kTraits{
+    .name = "XMalloc",
+    .family = "XMalloc",
+    .paper_ref = "[9], CIT 2010",
+    .year = 2010,
+    .general_purpose = true,
+    .supports_free = true,
+    .individual_free = true,
+    .its_safe = false,  // needs pre-Volta warp-synchronous execution
+    .stable = false,    // paper: "not stable and fails most test cases"
+    // The paper's register outlier: 168 for malloc vs 24 for free.
+    .malloc_state_bytes = 168,
+    .free_state_bytes = 24,
+};
+}  // namespace
+
+XMalloc::XMalloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
+    : cfg_(cfg) {
+  core::Stopwatch timer;
+  HeapCarver carver(dev, heap_bytes);
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    auto* s1 = carver.take<std::uint64_t>(
+        BoundedTicketQueue::layout_words(cfg_.fifo1_capacity));
+    fifo1_[c] = BoundedTicketQueue(s1, cfg_.fifo1_capacity);
+    fifo1_[c].init_host();
+    auto* s2 = carver.take<std::uint64_t>(
+        BoundedTicketQueue::layout_words(cfg_.fifo2_capacity));
+    fifo2_[c] = BoundedTicketQueue(s2, cfg_.fifo2_capacity);
+    fifo2_[c].init_host();
+  }
+  const std::size_t est_units = heap_bytes / ListHeap::kUnit;
+  auto* flags = carver.take<std::uint64_t>(ListHeap::flag_words(est_units));
+  std::size_t rest = 0;
+  pool_base_ = carver.take_rest(rest, ListHeap::kUnit);
+  heap_.init_host(pool_base_,
+                  static_cast<std::uint32_t>(rest / ListHeap::kUnit), flags);
+  init_ms_ = timer.elapsed_ms();
+}
+
+const core::AllocatorTraits& XMalloc::traits() const { return kTraits; }
+
+void* XMalloc::take_from_superblock(gpu::ThreadCtx& ctx,
+                                    std::uint32_t sb_unit,
+                                    std::uint32_t cls) {
+  // Split the Superblock into its 32 Basicblocks (Fig. 1): index 0 serves the
+  // caller, the rest feed the first-level buffer (overflow stays with the
+  // parent via returned_mask).
+  auto* sb = reinterpret_cast<SuperHeader*>(pool_base_ +
+                                            std::size_t{sb_unit} * 16);
+  sb->magic = kSuperMagic;
+  sb->cls = cls;
+  ctx.atomic_store(&sb->returned_mask, 0u);
+  auto* blocks = reinterpret_cast<std::byte*>(sb + 1);
+  const std::size_t stride = basic_bytes(cls);
+  for (unsigned i = 0; i < kBlocksPerSuper; ++i) {
+    auto* hdr = reinterpret_cast<BasicHeader*>(blocks + i * stride);
+    hdr->magic = kBasicMagic;
+    hdr->cls = cls;
+    hdr->sb_unit = sb_unit;
+    hdr->index = i;
+    if (i == 0) continue;
+    const auto unit = static_cast<std::uint64_t>(
+        (reinterpret_cast<std::byte*>(hdr) - pool_base_) / 16);
+    if (!fifo1_[cls].try_enqueue(ctx, unit)) {
+      ctx.atomic_or(&sb->returned_mask, 1u << i);
+    }
+  }
+  return blocks + sizeof(BasicHeader);
+}
+
+void* XMalloc::malloc_small(gpu::ThreadCtx& ctx, std::uint32_t cls) {
+  std::uint64_t unit = 0;
+  // Fast path: a recycled Basicblock from the first-level buffer.
+  if (fifo1_[cls].try_dequeue(ctx, unit)) {
+    return pool_base_ + unit * 16 + sizeof(BasicHeader);
+  }
+  // Refill path: a buffered Superblock from the second-level buffer.
+  if (fifo2_[cls].try_dequeue(ctx, unit)) {
+    return take_from_superblock(ctx, static_cast<std::uint32_t>(unit), cls);
+  }
+  // Slow path: carve a brand-new Superblock out of the Memoryblock heap.
+  void* sb = heap_.malloc(ctx, super_bytes(cls));
+  if (sb == nullptr) return nullptr;
+  const auto sb_unit = static_cast<std::uint32_t>(
+      (static_cast<std::byte*>(sb) - pool_base_) / 16);
+  return take_from_superblock(ctx, sb_unit, cls);
+}
+
+void* XMalloc::malloc_large(gpu::ThreadCtx& ctx, std::size_t size) {
+  auto* p = static_cast<std::byte*>(
+      heap_.malloc(ctx, size + sizeof(BasicHeader)));
+  if (p == nullptr) return nullptr;
+  auto* hdr = reinterpret_cast<BasicHeader*>(p);
+  hdr->magic = kBasicMagic;
+  hdr->cls = kLargeClass;
+  hdr->sb_unit = 0;
+  hdr->index = 0;
+  return p + sizeof(BasicHeader);
+}
+
+void* XMalloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
+  if (size == 0) size = 1;
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    if (size <= class_payload(c)) {
+      return malloc_small(ctx, static_cast<std::uint32_t>(c));
+    }
+  }
+  return malloc_large(ctx, size);
+}
+
+void XMalloc::free(gpu::ThreadCtx& ctx, void* ptr) {
+  if (ptr == nullptr) return;
+  auto* hdr = reinterpret_cast<BasicHeader*>(static_cast<std::byte*>(ptr) -
+                                             sizeof(BasicHeader));
+  assert(hdr->magic == kBasicMagic && "free of a foreign pointer");
+  if (hdr->cls == kLargeClass) {
+    heap_.free(ctx, hdr);
+    return;
+  }
+  const std::uint32_t cls = hdr->cls;
+  const auto unit = static_cast<std::uint64_t>(
+      (reinterpret_cast<std::byte*>(hdr) - pool_base_) / 16);
+  if (fifo1_[cls].try_enqueue(ctx, unit)) return;
+
+  // First-level buffer full: return the block to its parent Superblock.
+  auto* sb = reinterpret_cast<SuperHeader*>(pool_base_ +
+                                            std::size_t{hdr->sb_unit} * 16);
+  const std::uint32_t bit = 1u << hdr->index;
+  const std::uint32_t before = ctx.atomic_or(&sb->returned_mask, bit);
+  if ((before | bit) != 0xFFFFFFFFu) return;
+
+  // All 32 Basicblocks are home again: recycle the Superblock. The CAS picks
+  // exactly one reclaimer among racing final freers.
+  if (ctx.atomic_cas(&sb->returned_mask, 0xFFFFFFFFu, 0u) != 0xFFFFFFFFu) {
+    return;
+  }
+  if (!fifo2_[cls].try_enqueue(ctx, hdr->sb_unit)) {
+    heap_.free(ctx, sb);  // buffers full: merge back into the Memoryblock heap
+  }
+}
+
+}  // namespace gms::alloc

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <array>
+
+#include "allocators/common.h"
+#include "allocators/list_heap.h"
+#include "allocators/lockfree_queue.h"
+
+namespace gms::alloc {
+
+/// XMalloc (Huang et al., CIT 2010) — §2.2 / Fig. 1. The first
+/// non-proprietary GPU allocator.
+///
+/// Large requests (and Superblocks) come from a heap segmented into free and
+/// allocated Memoryblocks forming a linked list that supports merging —
+/// "relatively slow, as the list has to be traversed". Small requests are
+/// rounded to a static size class and preferably served from a per-class
+/// lock-free FIFO (the first-level buffer) of Basicblocks. Basicblocks are
+/// carved from Superblocks (32 per Superblock, Fig. 1); free Superblocks wait
+/// in a second-level FIFO. Freed Basicblocks re-enter the first-level buffer
+/// when possible, otherwise return to their parent Superblock; a Superblock
+/// whose 32 Basicblocks all returned is recycled (second-level buffer, else
+/// merged back into the heap).
+///
+/// Reproduction note: the original coalesces queue tickets at SIMD width on
+/// pre-Fermi hardware; our queue keeps per-lane CAS tickets (the queue
+/// semantics and fall-through behaviour are identical). The original's
+/// instability ("fails most test cases") is architectural age, not something
+/// we reproduce — but its slow list-walking large path and its huge malloc
+/// footprint are faithfully present.
+class XMalloc final : public core::MemoryManager {
+ public:
+  struct Config {
+    std::size_t fifo1_capacity = 4096;  ///< basicblock slots per class
+    std::size_t fifo2_capacity = 1024;  ///< superblock slots per class
+  };
+
+  XMalloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
+  XMalloc(gpu::Device& dev, std::size_t heap_bytes)
+      : XMalloc(dev, heap_bytes, Config{}) {}
+
+  [[nodiscard]] const core::AllocatorTraits& traits() const override;
+  [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
+  void free(gpu::ThreadCtx& ctx, void* ptr) override;
+
+  static constexpr std::size_t kNumClasses = 9;  // 16 B ... 4096 B payloads
+  static constexpr std::size_t class_payload(std::size_t c) {
+    return std::size_t{16} << c;
+  }
+
+ private:
+  struct BasicHeader {
+    std::uint32_t magic;
+    std::uint32_t cls;       ///< class index, or kLargeClass
+    std::uint32_t sb_unit;   ///< parent superblock heap unit
+    std::uint32_t index;     ///< basicblock index within the superblock
+  };
+  static_assert(sizeof(BasicHeader) == 16);
+  struct SuperHeader {
+    std::uint32_t magic;
+    std::uint32_t cls;
+    std::uint32_t returned_mask;  ///< basicblocks returned to the parent
+    std::uint32_t pad;
+  };
+  static constexpr std::uint32_t kBasicMagic = 0x8A51Cu;
+  static constexpr std::uint32_t kSuperMagic = 0x50B10Cu;
+  static constexpr std::uint32_t kLargeClass = 0xFFFFFFFFu;
+  static constexpr unsigned kBlocksPerSuper = 32;
+
+  [[nodiscard]] static std::size_t basic_bytes(std::size_t c) {
+    return sizeof(BasicHeader) + class_payload(c);
+  }
+  [[nodiscard]] static std::size_t super_bytes(std::size_t c) {
+    return sizeof(SuperHeader) + kBlocksPerSuper * basic_bytes(c);
+  }
+
+  void* take_from_superblock(gpu::ThreadCtx& ctx, std::uint32_t sb_unit,
+                             std::uint32_t cls);
+  void* malloc_small(gpu::ThreadCtx& ctx, std::uint32_t cls);
+  void* malloc_large(gpu::ThreadCtx& ctx, std::size_t size);
+
+  Config cfg_;
+  ListHeap heap_;
+  std::array<BoundedTicketQueue, kNumClasses> fifo1_;
+  std::array<BoundedTicketQueue, kNumClasses> fifo2_;
+  std::byte* pool_base_ = nullptr;  // == heap pool base, for unit math
+};
+
+}  // namespace gms::alloc

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "gpu/thread_ctx.h"
+
+namespace gms::core {
+
+/// Capability metadata for one allocator — the machine-readable form of the
+/// paper's Table 1, printed by `bench_table1` and used by the harness to skip
+/// incompatible test cases (e.g. FDGMalloc in general-purpose sweeps).
+struct AllocatorTraits {
+  std::string_view name;       ///< variant name used on the CLI ("Ouro-P-VA")
+  std::string_view family;     ///< approach family ("Ouroboros")
+  std::string_view paper_ref;  ///< citation in the survey ("[21], ICS'20")
+  int year = 0;
+
+  bool general_purpose = true;   ///< arbitrary malloc/free usable per thread
+  bool warp_level_only = false;  ///< FDGMalloc: allocation only per warp
+  bool supports_free = true;     ///< Atomic baseline: no deallocation at all
+  bool individual_free = true;   ///< FDGMalloc: only frees a warp's entire heap
+  /// Requests above this size are relayed to the system (CUDA) allocator
+  /// stand-in (Halloc > 3 KiB, FDGMalloc > max superblock, Ouroboros > largest
+  /// page), or rejected if no relay exists.
+  std::size_t max_direct_size = std::numeric_limits<std::size_t>::max();
+  bool relays_large_to_system = false;
+  bool resizable = false;  ///< manageable memory growable at runtime
+  /// Safe under independent thread scheduling (paper: only CUDA-Allocator and
+  /// Ouroboros); the others need warp-synchronous execution, which the
+  /// simulator provides just as `compute_60` did for the authors.
+  bool its_safe = false;
+  bool stable = true;  ///< paper-reported stability across the test suite
+  /// True for managers beyond the paper's evaluated population (e.g. our
+  /// BulkAllocator rebuild — §2.9 had no public version to test). Extensions
+  /// join tests and benches but are excluded from paper-population checks.
+  bool extension = false;
+
+  /// §4.1 resource-footprint proxy: the paper reports register counts, which
+  /// have no host equivalent; we document the per-call live-state footprint
+  /// (in bytes) of the reimplementation's hot path, preserving the ranking.
+  unsigned malloc_state_bytes = 0;
+  unsigned free_state_bytes = 0;
+};
+
+/// The unified malloc/free interface of the survey framework (§3): every
+/// manager is constructed on the host with a configurable slice of manageable
+/// memory and is then called from device kernels. Swapping one registry name
+/// swaps the allocator under an unchanged application — the paper's central
+/// usability claim.
+///
+/// Thread-safety: malloc/free/warp_malloc are called concurrently from many
+/// simulated lanes and must be lock-free in the algorithm-specific way each
+/// paper describes. Host-side construction/destruction is single-threaded.
+class MemoryManager {
+ public:
+  virtual ~MemoryManager() = default;
+
+  [[nodiscard]] virtual const AllocatorTraits& traits() const = 0;
+
+  /// Allocates `size` bytes for the calling lane; nullptr on out-of-memory.
+  [[nodiscard]] virtual void* malloc(gpu::ThreadCtx& ctx, std::size_t size) = 0;
+
+  /// Returns an allocation. Passing nullptr is a no-op.
+  virtual void free(gpu::ThreadCtx& ctx, void* ptr) = 0;
+
+  /// Warp-cooperative allocation: lanes of the caller's coalesced group each
+  /// receive `size` bytes. Default forwards to the per-thread path; FDGMalloc
+  /// overrides this with its leader-voting scheme.
+  [[nodiscard]] virtual void* warp_malloc(gpu::ThreadCtx& ctx,
+                                          std::size_t size) {
+    return malloc(ctx, size);
+  }
+
+  /// Releases everything the calling warp ever allocated (FDGMalloc's only
+  /// free mechanism). No-op for managers with individual free.
+  virtual void warp_free_all(gpu::ThreadCtx& /*ctx*/) {}
+
+  /// Host-side: time spent in the constructor carving up the arena.
+  [[nodiscard]] double init_ms() const { return init_ms_; }
+
+ protected:
+  double init_ms_ = 0.0;
+};
+
+}  // namespace gms::core

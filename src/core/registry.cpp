@@ -1,0 +1,102 @@
+#include "core/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace gms::core {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(RegistryEntry entry) {
+  if (find(entry.traits.name) != nullptr) {
+    throw std::logic_error{"duplicate allocator registration: " +
+                           std::string(entry.traits.name)};
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const RegistryEntry* Registry::find(std::string_view name) const {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const auto& e) { return e.traits.name == name; });
+  return it == entries_.end() ? nullptr : &*it;
+}
+
+std::vector<std::string> Registry::names(bool general_purpose_only) const {
+  std::vector<std::string> out;
+  for (const auto& e : entries_) {
+    if (general_purpose_only && !e.traits.general_purpose) continue;
+    out.emplace_back(e.traits.name);
+  }
+  return out;
+}
+
+std::vector<std::string> Registry::select(std::string_view spec) const {
+  std::vector<std::string> out;
+  auto push_unique = [&](std::string_view n) {
+    if (std::find(out.begin(), out.end(), n) == out.end()) {
+      out.emplace_back(n);
+    }
+  };
+  if (spec.empty() || spec == "all") return names();
+
+  // Paper-style selector letters separated by '+', e.g. "o+s+h+c+r+x".
+  const bool selector_style =
+      spec.find(',') == std::string_view::npos &&
+      std::all_of(spec.begin(), spec.end(),
+                  [](char c) { return c == '+' || std::islower(c); }) &&
+      spec.find('+') != std::string_view::npos;
+  if (selector_style || spec.size() == 1) {
+    for (char c : spec) {
+      if (c == '+') continue;
+      bool matched = false;
+      for (const auto& e : entries_) {
+        if (e.selector == c) {
+          push_unique(e.traits.name);
+          matched = true;
+        }
+      }
+      if (!matched) {
+        throw std::invalid_argument{std::string("unknown selector letter: ") +
+                                    c};
+      }
+    }
+    return out;
+  }
+
+  // Comma-separated explicit names.
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto comma = spec.find(',', pos);
+    const auto name = spec.substr(
+        pos, comma == std::string_view::npos ? spec.size() - pos : comma - pos);
+    if (!name.empty()) {
+      if (find(name) == nullptr) {
+        throw std::invalid_argument{"unknown allocator: " + std::string(name)};
+      }
+      push_unique(name);
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::unique_ptr<MemoryManager> Registry::make(std::string_view name,
+                                              gpu::Device& dev,
+                                              std::size_t heap_bytes) const {
+  const auto* entry = find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument{"unknown allocator: " + std::string(name)};
+  }
+  if (heap_bytes > dev.arena().size()) {
+    throw std::invalid_argument{"heap larger than device arena"};
+  }
+  dev.arena().clear();
+  return entry->factory(dev, heap_bytes);
+}
+
+}  // namespace gms::core

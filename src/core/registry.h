@@ -1,0 +1,61 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/memory_manager.h"
+#include "gpu/device.h"
+
+namespace gms::core {
+
+/// Factory signature: builds a manager governing `heap_bytes` of the device
+/// arena (starting at offset 0; the arena is cleared first so every manager
+/// gets an identical cold start).
+using ManagerFactory = std::function<std::unique_ptr<MemoryManager>(
+    gpu::Device& dev, std::size_t heap_bytes)>;
+
+struct RegistryEntry {
+  AllocatorTraits traits;
+  /// Paper CLI selector letter: o+s+h+c+r+x (+a atomic, +f FDG).
+  char selector = '?';
+  ManagerFactory factory;
+};
+
+/// Global catalogue of every surveyed allocator variant. Populated by
+/// register_all_allocators(); benches and tests enumerate it instead of
+/// hard-coding the sixteen variants.
+class Registry {
+ public:
+  static Registry& instance();
+
+  void add(RegistryEntry entry);
+
+  [[nodiscard]] const RegistryEntry* find(std::string_view name) const;
+  [[nodiscard]] const std::vector<RegistryEntry>& entries() const {
+    return entries_;
+  }
+
+  /// All variant names, optionally restricted to general-purpose managers.
+  [[nodiscard]] std::vector<std::string> names(
+      bool general_purpose_only = false) const;
+
+  /// Expands a paper-style selector ("o+s+h") or a comma list of names
+  /// ("Halloc,Ouro-P-S") into registry names. Throws on unknown selectors.
+  [[nodiscard]] std::vector<std::string> select(std::string_view spec) const;
+
+  /// Builds a manager over a freshly cleared arena.
+  [[nodiscard]] std::unique_ptr<MemoryManager> make(std::string_view name,
+                                                    gpu::Device& dev,
+                                                    std::size_t heap_bytes) const;
+
+ private:
+  std::vector<RegistryEntry> entries_;
+};
+
+/// Registers S4-S11 (idempotent). Call once at program start.
+void register_all_allocators();
+
+}  // namespace gms::core

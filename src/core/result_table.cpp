@@ -1,0 +1,93 @@
+#include "core/result_table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gms::core {
+
+ResultTable::ResultTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void ResultTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument{"row width does not match table"};
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void ResultTable::print_markdown(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(width[c] - cells[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  os << '|';
+  for (auto w : width) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void ResultTable::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void ResultTable::write_csv_file(const std::string& path) const {
+  if (path.empty()) return;
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error{"cannot open csv output: " + path};
+  print_csv(f);
+}
+
+std::string ResultTable::fmt_ms(double ms) {
+  if (ms < 0) return "n/a";
+  return fmt(ms, 4);
+}
+
+std::string ResultTable::fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss.precision(precision);
+  ss << std::fixed << v;
+  auto s = ss.str();
+  // Trim trailing zeros but keep at least one decimal.
+  while (s.find('.') != std::string::npos && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.push_back('0');
+  return s;
+}
+
+TimingSummary TimingSummary::of(std::vector<double> samples_ms) {
+  TimingSummary out;
+  if (samples_ms.empty()) return out;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  out.min_ms = samples_ms.front();
+  out.max_ms = samples_ms.back();
+  out.mean_ms = std::accumulate(samples_ms.begin(), samples_ms.end(), 0.0) /
+                static_cast<double>(samples_ms.size());
+  const auto n = samples_ms.size();
+  out.median_ms = (n % 2 == 1)
+                      ? samples_ms[n / 2]
+                      : 0.5 * (samples_ms[n / 2 - 1] + samples_ms[n / 2]);
+  return out;
+}
+
+}  // namespace gms::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gms::core {
+
+/// Column-oriented result sink used by every bench binary: collects rows and
+/// renders them as the markdown tables shown on stdout and/or the CSV files
+/// the paper's artifact scripts emit.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  void print_markdown(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+  /// Writes CSV to `path`; silently does nothing for an empty path.
+  void write_csv_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a duration with the paper's plots in mind: fixed notation,
+  /// 4 significant digits, "n/a" for negatives (= case skipped/failed).
+  static std::string fmt_ms(double ms);
+  static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Aggregate of repeated timings; the paper reports mean and median (and
+/// discusses their divergence for Reg-Eff and Ouroboros re-use, §5).
+struct TimingSummary {
+  double mean_ms = 0, median_ms = 0, min_ms = 0, max_ms = 0;
+  static TimingSummary of(std::vector<double> samples_ms);
+};
+
+}  // namespace gms::core

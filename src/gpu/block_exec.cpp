@@ -1,0 +1,469 @@
+#include "gpu/block_exec.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+#include <thread>
+
+namespace gms::gpu {
+
+using detail::CollOp;
+using detail::ParkSlot;
+
+BlockExec::BlockExec(const GpuConfig& cfg, unsigned smid, StatsCounters& stats)
+    : cfg_(cfg), smid_(smid), stats_(stats) {}
+
+BlockExec::~BlockExec() = default;
+
+void BlockExec::prepare(unsigned grid_dim, unsigned block_dim,
+                        std::size_t shared_bytes, KernelRef kernel) {
+  if (block_dim == 0 || block_dim > 1024) {
+    throw std::invalid_argument{"block_dim must be in [1, 1024]"};
+  }
+  kernel_ = kernel;
+  grid_dim_ = grid_dim;
+  block_dim_ = block_dim;
+  warps_ = (block_dim + kWarpSize - 1) / kWarpSize;
+  if (lanes_.size() < block_dim) lanes_.resize(block_dim);
+  for (auto& lane : lanes_) {
+    if (!lane.fiber) lane.fiber = std::make_unique<Fiber>(cfg_.lane_stack_bytes);
+  }
+  shared_mem_.assign(shared_bytes, std::byte{0});
+}
+
+void BlockExec::lane_entry(void* lane_erased) {
+  auto* lane = static_cast<Lane*>(lane_erased);
+  BlockExec* self = lane->ctx.block_;
+  try {
+    self->kernel_.invoke(self->kernel_.object, lane->ctx);
+  } catch (...) {
+    // First failure wins; lanes all run on this SM's OS thread, so no lock.
+    if (!self->kernel_error_) self->kernel_error_ = std::current_exception();
+  }
+}
+
+void BlockExec::run_block(unsigned block_idx) {
+  done_lanes_ = 0;
+  kernel_error_ = nullptr;
+  // Each block starts with pristine shared memory, as on hardware.
+  std::fill(shared_mem_.begin(), shared_mem_.end(), std::byte{0});
+  for (unsigned i = 0; i < block_dim_; ++i) {
+    Lane& lane = lanes_[i];
+    lane.status = LaneStatus::kReady;
+    lane.spin_streak = 0;
+    lane.park = ParkSlot{};
+    ThreadCtx& ctx = lane.ctx;
+    ctx.block_ = this;
+    ctx.stats_ = &stats_;
+    ctx.shared_ = {shared_mem_.data(), shared_mem_.size()};
+    ctx.thread_rank_ = block_idx * block_dim_ + i;
+    ctx.block_idx_ = block_idx;
+    ctx.block_dim_ = block_dim_;
+    ctx.grid_dim_ = grid_dim_;
+    ctx.lane_ = i % kWarpSize;
+    ctx.warp_in_block_ = i / kWarpSize;
+    ctx.smid_ = smid_;
+    ctx.num_sms_ = cfg_.num_sms;
+    lane.fiber->reset(&lane_entry, &lane);
+  }
+
+  unsigned long long stall_passes = 0;
+  while (done_lanes_ < block_dim_) {
+    bool progress = false;
+    for (unsigned w = 0; w < warps_; ++w) progress |= run_warp(w);
+    progress |= try_release_barrier();
+    if (progress) {
+      stall_passes = 0;
+      continue;
+    }
+    ++stall_passes;
+    if (stall_passes % cfg_.stall_passes_before_os_yield == 0) {
+      ++stats_.os_yields;
+      std::this_thread::yield();
+    }
+    if (stall_passes > cfg_.deadlock_pass_limit) report_deadlock(block_idx);
+  }
+  if (kernel_error_) std::rethrow_exception(kernel_error_);
+}
+
+bool BlockExec::run_warp(unsigned w) {
+  const unsigned base = w * kWarpSize;
+  const unsigned n = std::min(kWarpSize, block_dim_ - base);
+  bool progress = false;
+  for (unsigned i = 0; i < n; ++i) lanes_[base + i].spin_streak = 0;
+
+  for (;;) {
+    bool ran = false;
+    for (unsigned i = 0; i < n; ++i) {
+      Lane& lane = lanes_[base + i];
+      if (lane.status != LaneStatus::kReady ||
+          lane.spin_streak >= kSpinQuantum) {
+        continue;
+      }
+      ran = true;
+      ++stats_.lane_switches;
+      const bool finished = lane.fiber->resume();
+      if (finished) {
+        lane.status = LaneStatus::kDone;
+        ++done_lanes_;
+        progress = true;
+      } else if (lane.status == LaneStatus::kParked) {
+        progress = true;
+      }
+      // else: the lane backed off and stays ready with a bumped streak.
+    }
+    if (ran) continue;
+    // Every remaining ready lane exhausted its spin quantum: whoever is
+    // parked at a collective now *is* the coalesced group (activemask
+    // semantics — persistent spinners do not count as converged).
+    if (resolve_collectives(w)) {
+      progress = true;
+      continue;
+    }
+    return progress;
+  }
+}
+
+bool BlockExec::resolve_collectives(unsigned w) {
+  const unsigned base = w * kWarpSize;
+  const unsigned n = std::min(kWarpSize, block_dim_ - base);
+  bool any = false;
+
+  std::uint32_t handled = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    Lane& lane = lanes_[base + i];
+    if ((handled >> i) & 1u) continue;
+    if (lane.status != LaneStatus::kParked ||
+        lane.park.kind != ParkSlot::Kind::kCollective) {
+      continue;
+    }
+    if (lane.park.mask != 0) {
+      // Explicit-mask op: releases only when every member has arrived at the
+      // same site with the same mask.
+      bool complete = true;
+      for (unsigned j = 0; j < n; ++j) {
+        if (!((lane.park.mask >> j) & 1u)) continue;
+        const Lane& member = lanes_[base + j];
+        if (member.status == LaneStatus::kDone) {
+          throw std::runtime_error{
+              "SIMT deadlock: masked collective waits on an exited lane"};
+        }
+        if (member.status != LaneStatus::kParked ||
+            member.park.kind != ParkSlot::Kind::kCollective ||
+            member.park.site != lane.park.site ||
+            member.park.mask != lane.park.mask) {
+          complete = false;
+          break;
+        }
+      }
+      if (!complete) continue;
+      resolve_group(w, lane.park.mask);
+      handled |= lane.park.mask;
+      any = true;
+    } else {
+      // Open group: every lane currently parked at the same call site.
+      std::uint32_t members = 0;
+      for (unsigned j = 0; j < n; ++j) {
+        const Lane& m = lanes_[base + j];
+        if (m.status == LaneStatus::kParked &&
+            m.park.kind == ParkSlot::Kind::kCollective && m.park.mask == 0 &&
+            m.park.site == lane.park.site && m.park.op == lane.park.op) {
+          members |= 1u << j;
+        }
+      }
+      resolve_group(w, members);
+      handled |= members;
+      any = true;
+    }
+  }
+  return any;
+}
+
+void BlockExec::resolve_group(unsigned w, std::uint32_t member_mask) {
+  assert(member_mask != 0);
+  const unsigned base = w * kWarpSize;
+  const unsigned leader = static_cast<unsigned>(std::countr_zero(member_mask));
+  const unsigned size = static_cast<unsigned>(std::popcount(member_mask));
+  Lane& first = lanes_[base + leader];
+  const CollOp op = first.park.op;
+  ++stats_.collectives;
+
+  if (op == CollOp::kAggAtomicAdd) {
+    // Warp-aggregated atomics sub-group by target address (hardware does
+    // this with __match_any): lanes adding to different words must not be
+    // folded into one RMW on the leader's word.
+    std::uint32_t remaining = member_mask;
+    while (remaining != 0) {
+      const unsigned lead =
+          static_cast<unsigned>(std::countr_zero(remaining));
+      void* addr = lanes_[base + lead].park.agg_addr;
+      std::uint32_t sub = 0;
+      for (unsigned j = lead; j < kWarpSize; ++j) {
+        if (((remaining >> j) & 1u) &&
+            lanes_[base + j].park.agg_addr == addr) {
+          sub |= 1u << j;
+        }
+      }
+      remaining &= ~sub;
+      resolve_agg_add_subgroup(w, sub, member_mask);
+    }
+    return;
+  }
+
+  // Pre-compute group-wide values.
+  std::uint64_t reduced = 0;
+  std::uint32_t ballot_bits = 0;
+  switch (op) {
+    case CollOp::kReduceAdd:
+      for (unsigned j = 0; j < kWarpSize; ++j)
+        if ((member_mask >> j) & 1u) reduced += lanes_[base + j].park.value;
+      break;
+    case CollOp::kReduceMin:
+      reduced = ~std::uint64_t{0};
+      for (unsigned j = 0; j < kWarpSize; ++j)
+        if ((member_mask >> j) & 1u)
+          reduced = std::min(reduced, lanes_[base + j].park.value);
+      break;
+    case CollOp::kReduceMax:
+      for (unsigned j = 0; j < kWarpSize; ++j)
+        if ((member_mask >> j) & 1u)
+          reduced = std::max(reduced, lanes_[base + j].park.value);
+      break;
+    case CollOp::kReduceAnd:
+      reduced = ~std::uint64_t{0};
+      for (unsigned j = 0; j < kWarpSize; ++j)
+        if ((member_mask >> j) & 1u) reduced &= lanes_[base + j].park.value;
+      break;
+    case CollOp::kReduceOr:
+      for (unsigned j = 0; j < kWarpSize; ++j)
+        if ((member_mask >> j) & 1u) reduced |= lanes_[base + j].park.value;
+      break;
+    case CollOp::kBallot:
+      for (unsigned j = 0; j < kWarpSize; ++j)
+        if (((member_mask >> j) & 1u) && lanes_[base + j].park.pred)
+          ballot_bits |= 1u << j;
+      break;
+    default:
+      break;
+  }
+
+  std::uint64_t running = 0;  // exclusive prefix for the scan
+  for (unsigned j = 0; j < kWarpSize; ++j) {
+    if (!((member_mask >> j) & 1u)) continue;
+    Lane& lane = lanes_[base + j];
+    ParkSlot& slot = lane.park;
+    slot.out_group.mask = member_mask;
+    slot.out_group.size = size;
+    slot.out_group.leader = leader;
+    slot.out_group.rank = static_cast<unsigned>(
+        std::popcount(member_mask & ((1u << j) - 1u)));
+    switch (op) {
+      case CollOp::kSync:
+      case CollOp::kCoalesce:
+        break;
+      case CollOp::kBallot:
+        slot.out_ballot = ballot_bits;
+        break;
+      case CollOp::kShfl: {
+        const unsigned src = slot.src_lane;
+        slot.out_value = (src < kWarpSize && ((member_mask >> src) & 1u))
+                             ? lanes_[base + src].park.value
+                             : slot.value;
+        break;
+      }
+      case CollOp::kReduceAdd:
+      case CollOp::kReduceMin:
+      case CollOp::kReduceMax:
+      case CollOp::kReduceAnd:
+      case CollOp::kReduceOr:
+        slot.out_value = reduced;
+        break;
+      case CollOp::kScanExclAdd:
+        slot.out_value = running;
+        running += slot.value;
+        break;
+      case CollOp::kAggAtomicAdd:
+        break;  // handled by resolve_agg_add_subgroup above
+    }
+    slot.kind = ParkSlot::Kind::kNone;
+    lane.status = LaneStatus::kReady;
+    lane.spin_streak = 0;
+  }
+}
+
+void BlockExec::resolve_agg_add_subgroup(unsigned w, std::uint32_t sub_mask,
+                                         std::uint32_t group_mask) {
+  const unsigned base = w * kWarpSize;
+  const unsigned lead = static_cast<unsigned>(std::countr_zero(sub_mask));
+  Lane& leader = lanes_[base + lead];
+
+  std::uint64_t total = 0;
+  for (unsigned j = 0; j < kWarpSize; ++j) {
+    if ((sub_mask >> j) & 1u) total += lanes_[base + j].park.value;
+  }
+  // The single RMW this sub-group's aggregation issues on hardware.
+  ++stats_.atomic_rmw;
+  std::uint64_t agg_base = 0;
+  if (leader.park.agg_wide) {
+    auto* p = static_cast<std::uint64_t*>(leader.park.agg_addr);
+    agg_base = std::atomic_ref<std::uint64_t>(*p).fetch_add(
+        total, std::memory_order_acq_rel);
+  } else {
+    auto* p = static_cast<std::uint32_t*>(leader.park.agg_addr);
+    agg_base = std::atomic_ref<std::uint32_t>(*p).fetch_add(
+        static_cast<std::uint32_t>(total), std::memory_order_acq_rel);
+  }
+
+  std::uint64_t running = 0;
+  for (unsigned j = 0; j < kWarpSize; ++j) {
+    if (!((sub_mask >> j) & 1u)) continue;
+    Lane& lane = lanes_[base + j];
+    ParkSlot& slot = lane.park;
+    slot.out_group.mask = group_mask;
+    slot.out_group.size = static_cast<unsigned>(std::popcount(group_mask));
+    slot.out_group.leader =
+        static_cast<unsigned>(std::countr_zero(group_mask));
+    slot.out_group.rank =
+        static_cast<unsigned>(std::popcount(group_mask & ((1u << j) - 1u)));
+    slot.out_value = agg_base + running;
+    running += slot.value;
+    slot.kind = ParkSlot::Kind::kNone;
+    lane.status = LaneStatus::kReady;
+    lane.spin_streak = 0;
+  }
+}
+
+bool BlockExec::try_release_barrier() {
+  bool saw_barrier = false;
+  for (unsigned i = 0; i < block_dim_; ++i) {
+    const Lane& lane = lanes_[i];
+    if (lane.status == LaneStatus::kDone) continue;
+    if (lane.status == LaneStatus::kParked &&
+        lane.park.kind == ParkSlot::Kind::kBarrier) {
+      saw_barrier = true;
+      continue;
+    }
+    return false;  // somebody is still on the way to the barrier
+  }
+  if (!saw_barrier) return false;
+  ++stats_.block_barriers;
+  for (unsigned i = 0; i < block_dim_; ++i) {
+    Lane& lane = lanes_[i];
+    if (lane.status != LaneStatus::kDone) {
+      lane.park.kind = ParkSlot::Kind::kNone;
+      lane.status = LaneStatus::kReady;
+      lane.spin_streak = 0;
+    }
+  }
+  return true;
+}
+
+void BlockExec::report_deadlock(unsigned block_idx) const {
+  if (kernel_error_) std::rethrow_exception(kernel_error_);
+  throw std::runtime_error{"SIMT deadlock detected in block " +
+                           std::to_string(block_idx) +
+                           ": no lane made progress within the pass limit"};
+}
+
+void BlockExec::park_collective(Lane& lane) {
+  lane.park.kind = ParkSlot::Kind::kCollective;
+  lane.status = LaneStatus::kParked;
+  Fiber::yield();
+}
+
+void BlockExec::park_barrier(Lane& lane) {
+  lane.park.kind = ParkSlot::Kind::kBarrier;
+  lane.status = LaneStatus::kParked;
+  Fiber::yield();
+}
+
+void BlockExec::lane_backoff(Lane& lane) {
+  ++lane.spin_streak;
+  ++stats_.backoffs;
+  Fiber::yield();
+}
+
+// ---- ThreadCtx forwarding (needs Lane's definition) -----------------------
+
+std::uint64_t ThreadCtx::collective_value(CollOp op, std::uint64_t value,
+                                          unsigned src_lane,
+                                          std::uint32_t mask,
+                                          const std::source_location& loc) {
+  auto& lane = block_->lanes_[warp_in_block_ * kWarpSize + lane_];
+  ParkSlot& slot = lane.park;
+  slot.op = op;
+  slot.site = detail::site_token(loc);
+  slot.mask = mask;
+  slot.value = value;
+  slot.src_lane = src_lane;
+  slot.pred = false;
+  block_->park_collective(lane);
+  return slot.out_value;
+}
+
+std::uint64_t ThreadCtx::collective_agg_add(void* addr, std::uint64_t value,
+                                            bool wide,
+                                            const std::source_location& loc) {
+  auto& lane = block_->lanes_[warp_in_block_ * kWarpSize + lane_];
+  ParkSlot& slot = lane.park;
+  slot.op = CollOp::kAggAtomicAdd;
+  slot.site = detail::site_token(loc);
+  slot.mask = 0;
+  slot.value = value;
+  slot.agg_addr = addr;
+  slot.agg_wide = wide;
+  block_->park_collective(lane);
+  return slot.out_value;
+}
+
+Coalesced ThreadCtx::coalesce(std::source_location loc) {
+  auto& lane = block_->lanes_[warp_in_block_ * kWarpSize + lane_];
+  ParkSlot& slot = lane.park;
+  slot.op = CollOp::kCoalesce;
+  slot.site = detail::site_token(loc);
+  slot.mask = 0;
+  block_->park_collective(lane);
+  return slot.out_group;
+}
+
+std::uint32_t ThreadCtx::ballot(bool pred, std::source_location loc) {
+  auto& lane = block_->lanes_[warp_in_block_ * kWarpSize + lane_];
+  ParkSlot& slot = lane.park;
+  slot.op = CollOp::kBallot;
+  slot.site = detail::site_token(loc);
+  slot.mask = 0;
+  slot.pred = pred;
+  block_->park_collective(lane);
+  return slot.out_ballot;
+}
+
+void ThreadCtx::sync_warp(std::source_location loc) {
+  auto& lane = block_->lanes_[warp_in_block_ * kWarpSize + lane_];
+  ParkSlot& slot = lane.park;
+  slot.op = CollOp::kSync;
+  slot.site = detail::site_token(loc);
+  slot.mask = 0;
+  block_->park_collective(lane);
+}
+
+void ThreadCtx::sync_group(const Coalesced& g, std::source_location loc) {
+  auto& lane = block_->lanes_[warp_in_block_ * kWarpSize + lane_];
+  ParkSlot& slot = lane.park;
+  slot.op = CollOp::kSync;
+  slot.site = detail::site_token(loc);
+  slot.mask = g.mask;
+  block_->park_collective(lane);
+}
+
+void ThreadCtx::sync_block() {
+  auto& lane = block_->lanes_[warp_in_block_ * kWarpSize + lane_];
+  block_->park_barrier(lane);
+}
+
+void ThreadCtx::backoff() {
+  auto& lane = block_->lanes_[warp_in_block_ * kWarpSize + lane_];
+  block_->lane_backoff(lane);
+}
+
+}  // namespace gms::gpu

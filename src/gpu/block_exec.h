@@ -1,0 +1,98 @@
+#pragma once
+
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "gpu/config.h"
+#include "gpu/fiber.h"
+#include "gpu/stats.h"
+#include "gpu/thread_ctx.h"
+
+namespace gms::gpu {
+
+/// Type-erased kernel entry: `invoke(object, ctx)` calls the user functor.
+struct KernelRef {
+  const void* object = nullptr;
+  void (*invoke)(const void*, ThreadCtx&) = nullptr;
+};
+
+/// Executes one thread block: owns a fiber per lane, schedules the block's
+/// warps round-robin (all warps co-resident so the block barrier works) and
+/// resolves warp collectives over coalesced lane groups.
+///
+/// One BlockExec lives per SM worker and is reused across blocks so that
+/// lane stacks are allocated once per launch configuration, not per block.
+class BlockExec {
+ public:
+  BlockExec(const GpuConfig& cfg, unsigned smid, StatsCounters& stats);
+  ~BlockExec();
+
+  BlockExec(const BlockExec&) = delete;
+  BlockExec& operator=(const BlockExec&) = delete;
+
+  /// (Re)sizes lane state for a launch configuration.
+  void prepare(unsigned grid_dim, unsigned block_dim, std::size_t shared_bytes,
+               KernelRef kernel);
+
+  /// Runs block `block_idx` to completion. Throws on kernel exception or on
+  /// a detected SIMT deadlock.
+  void run_block(unsigned block_idx);
+
+ private:
+  enum class LaneStatus : std::uint8_t { kReady, kParked, kDone };
+
+  struct Lane {
+    std::unique_ptr<Fiber> fiber;
+    ThreadCtx ctx;
+    detail::ParkSlot park;
+    LaneStatus status = LaneStatus::kDone;
+    unsigned spin_streak = 0;  ///< consecutive backoff yields this pass
+  };
+
+  friend class ThreadCtx;
+  static void lane_entry(void* lane_erased);
+
+  /// Gives every runnable lane of warp `w` time slices until only spinners or
+  /// parked lanes remain; resolves warp collectives as groups assemble.
+  /// @return true if any lane made scheduling progress.
+  bool run_warp(unsigned w);
+
+  /// Groups lanes of warp `w` parked at collectives and resolves every group
+  /// whose membership is complete. @return true if any group was released.
+  bool resolve_collectives(unsigned w);
+  void resolve_group(unsigned w, std::uint32_t member_mask);
+  /// One address-homogeneous sub-group of a warp-aggregated atomic add
+  /// (lanes targeting different words must issue separate RMWs).
+  void resolve_agg_add_subgroup(unsigned w, std::uint32_t sub_mask,
+                                std::uint32_t group_mask);
+
+  /// Releases the block barrier once every lane is parked at it or done.
+  bool try_release_barrier();
+
+  [[noreturn]] void report_deadlock(unsigned block_idx) const;
+
+  // Called from lanes (via ThreadCtx) while their fiber runs.
+  void park_collective(Lane& lane);
+  void park_barrier(Lane& lane);
+  void lane_backoff(Lane& lane);
+
+  const GpuConfig& cfg_;
+  unsigned smid_;
+  StatsCounters& stats_;
+
+  KernelRef kernel_{};
+  unsigned grid_dim_ = 0;
+  unsigned block_dim_ = 0;
+  unsigned warps_ = 0;
+  std::vector<Lane> lanes_;
+  std::vector<std::byte> shared_mem_;
+  unsigned done_lanes_ = 0;
+  std::exception_ptr kernel_error_;
+
+  /// Spinner quantum: backoff yields a lane gets within one warp pass before
+  /// the scheduler moves on to siblings.
+  static constexpr unsigned kSpinQuantum = 8;
+};
+
+}  // namespace gms::gpu

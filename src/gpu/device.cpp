@@ -1,0 +1,96 @@
+#include "gpu/device.h"
+
+#include <chrono>
+
+namespace gms::gpu {
+
+Device::Device(std::size_t arena_bytes, GpuConfig cfg)
+    : cfg_(cfg), arena_(arena_bytes), sm_stats_(cfg_.num_sms) {
+  workers_.reserve(cfg_.num_sms);
+  for (unsigned smid = 0; smid < cfg_.num_sms; ++smid) {
+    workers_.emplace_back([this, smid](const std::stop_token& stop) {
+      worker_main(smid, stop);
+    });
+  }
+}
+
+Device::~Device() {
+  {
+    // Taking the lock orders request_stop against the workers' predicate
+    // check, so the wake-up below cannot be lost.
+    std::scoped_lock lock(mu_);
+    for (auto& w : workers_) w.request_stop();
+  }
+  cv_work_.notify_all();
+}
+
+void Device::worker_main(unsigned smid, const std::stop_token& stop) {
+  BlockExec exec(cfg_, smid, sm_stats_[smid]);
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock, [&] {
+        return stop.stop_requested() || epoch_ > seen_epoch;
+      });
+      if (stop.stop_requested() && epoch_ <= seen_epoch) return;
+      seen_epoch = epoch_;
+    }
+    try {
+      exec.prepare(grid_dim_, block_dim_, shared_bytes_, kernel_);
+      for (;;) {
+        const std::uint64_t b =
+            next_block_.fetch_add(1, std::memory_order_relaxed);
+        if (b >= grid_dim_) break;
+        exec.run_block(static_cast<unsigned>(b));
+      }
+    } catch (...) {
+      std::scoped_lock lock(mu_);
+      if (!launch_error_) launch_error_ = std::current_exception();
+      // Stop siblings from picking up further blocks of the failed launch.
+      next_block_.store(grid_dim_, std::memory_order_relaxed);
+    }
+    {
+      std::scoped_lock lock(mu_);
+      ++workers_done_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+LaunchStats Device::launch_erased(unsigned grid_dim, unsigned block_dim,
+                                  std::size_t shared_bytes, KernelRef kernel) {
+  LaunchStats result;
+  if (grid_dim == 0) return result;
+
+  {
+    std::scoped_lock lock(mu_);
+    grid_dim_ = grid_dim;
+    block_dim_ = block_dim;
+    shared_bytes_ = shared_bytes;
+    kernel_ = kernel;
+    workers_done_ = 0;
+    launch_error_ = nullptr;
+    next_block_.store(0, std::memory_order_relaxed);
+    for (auto& s : sm_stats_) s = StatsCounters{};
+    ++epoch_;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  cv_work_.notify_all();
+  {
+    std::unique_lock lock(mu_);
+    cv_done_.wait(lock, [&] { return workers_done_ == workers_.size(); });
+  }
+  const auto stop = std::chrono::steady_clock::now();
+
+  if (launch_error_) std::rethrow_exception(launch_error_);
+
+  for (const auto& s : sm_stats_) result.counters += s;
+  result.elapsed_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  result.threads_launched =
+      static_cast<std::uint64_t>(grid_dim) * block_dim;
+  return result;
+}
+
+}  // namespace gms::gpu

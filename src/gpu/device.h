@@ -1,0 +1,89 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gpu/block_exec.h"
+#include "gpu/config.h"
+#include "gpu/device_arena.h"
+#include "gpu/stats.h"
+#include "gpu/thread_ctx.h"
+
+namespace gms::gpu {
+
+/// The simulated GPU: a device memory arena plus a pool of persistent worker
+/// threads, each playing one streaming multiprocessor. launch() distributes
+/// a grid of blocks over the SMs, runs them with full warp/lane semantics and
+/// returns per-launch wall time and instrumentation counters.
+///
+/// The pool outlives launches (CP.41 — threads are created once); Device is
+/// itself not thread-safe: issue launches from one host thread.
+class Device {
+ public:
+  explicit Device(std::size_t arena_bytes, GpuConfig cfg = {});
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] DeviceArena& arena() { return arena_; }
+  [[nodiscard]] const GpuConfig& config() const { return cfg_; }
+
+  /// Launches `grid_dim` blocks of `block_dim` lanes running `kernel(ctx)`.
+  /// The functor is shared by all lanes and must be const-invocable and
+  /// data-race free with respect to its captures.
+  template <typename Kernel>
+  LaunchStats launch(unsigned grid_dim, unsigned block_dim,
+                     const Kernel& kernel, std::size_t shared_bytes = 0) {
+    KernelRef ref{&kernel, [](const void* obj, ThreadCtx& ctx) {
+                    (*static_cast<const Kernel*>(obj))(ctx);
+                  }};
+    return launch_erased(grid_dim, block_dim, shared_bytes, ref);
+  }
+
+  /// Convenience: launches ceil(n / block_dim) blocks and masks off the tail
+  /// so `kernel` runs exactly once per rank in [0, n).
+  template <typename Kernel>
+  LaunchStats launch_n(std::uint64_t n, const Kernel& kernel,
+                       unsigned block_dim = 256,
+                       std::size_t shared_bytes = 0) {
+    if (n == 0) return {};
+    auto wrapper = [n, &kernel](ThreadCtx& ctx) {
+      if (ctx.thread_rank() < n) kernel(ctx);
+    };
+    const auto grid =
+        static_cast<unsigned>((n + block_dim - 1) / block_dim);
+    auto stats = launch(grid, block_dim, wrapper, shared_bytes);
+    stats.threads_launched = n;
+    return stats;
+  }
+
+ private:
+  LaunchStats launch_erased(unsigned grid_dim, unsigned block_dim,
+                            std::size_t shared_bytes, KernelRef kernel);
+  void worker_main(unsigned smid, const std::stop_token& stop);
+
+  GpuConfig cfg_;
+  DeviceArena arena_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  unsigned workers_done_ = 0;
+  unsigned grid_dim_ = 0;
+  unsigned block_dim_ = 0;
+  std::size_t shared_bytes_ = 0;
+  KernelRef kernel_{};
+  std::atomic<std::uint64_t> next_block_{0};
+  std::vector<StatsCounters> sm_stats_;
+  std::exception_ptr launch_error_;
+
+  std::vector<std::jthread> workers_;  // last member: joins before the rest dies
+};
+
+}  // namespace gms::gpu

@@ -1,0 +1,32 @@
+#include "gpu/device_arena.h"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace gms::gpu {
+
+namespace {
+constexpr std::align_val_t kPageAlign{4096};
+}
+
+void DeviceArena::PageAlignedDelete::operator()(std::byte* p) const {
+  ::operator delete[](p, kPageAlign);
+}
+
+DeviceArena::DeviceArena(std::size_t bytes) : size_(bytes) {
+  if (bytes == 0) throw std::invalid_argument{"arena size must be nonzero"};
+  data_.reset(static_cast<std::byte*>(::operator new[](bytes, kPageAlign)));
+  clear();
+}
+
+std::size_t DeviceArena::offset_of(const void* p) const {
+  assert(contains(p));
+  return static_cast<std::size_t>(static_cast<const std::byte*>(p) -
+                                  data_.get());
+}
+
+void DeviceArena::clear() { std::memset(data_.get(), 0, size_); }
+
+}  // namespace gms::gpu

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+namespace gms::gpu {
+
+/// The simulated device memory: one contiguous, zero-initialised region that
+/// stands in for the GPU's "manageable memory" every surveyed allocator
+/// carves up. Device pointers are plain host pointers into this buffer, so
+/// the fragmentation experiments (Fig. 11a) can measure real address ranges.
+class DeviceArena {
+ public:
+  explicit DeviceArena(std::size_t bytes);
+
+  DeviceArena(const DeviceArena&) = delete;
+  DeviceArena& operator=(const DeviceArena&) = delete;
+
+  [[nodiscard]] std::byte* data() { return data_.get(); }
+  [[nodiscard]] const std::byte* data() const { return data_.get(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] std::span<std::byte> span() { return {data_.get(), size_}; }
+
+  [[nodiscard]] bool contains(const void* p) const {
+    auto* b = static_cast<const std::byte*>(p);
+    return b >= data_.get() && b < data_.get() + size_;
+  }
+
+  /// Offset of a device pointer from the arena base (asserts containment).
+  [[nodiscard]] std::size_t offset_of(const void* p) const;
+
+  template <typename T>
+  [[nodiscard]] T* at(std::size_t offset) {
+    return reinterpret_cast<T*>(data_.get() + offset);
+  }
+
+  /// Re-zeroes the whole region (used between benchmark repetitions to give
+  /// every allocator an identical cold start).
+  void clear();
+
+ private:
+  struct PageAlignedDelete {
+    void operator()(std::byte* p) const;
+  };
+  std::unique_ptr<std::byte[], PageAlignedDelete> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gms::gpu

@@ -1,0 +1,149 @@
+#include "gpu/fiber.h"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+#ifdef GMS_FIBER_UCONTEXT
+#include <ucontext.h>
+#endif
+
+namespace gms::gpu {
+namespace {
+
+thread_local Fiber* tl_current_fiber = nullptr;
+
+// Byte pattern used to watermark fresh stacks for high-water diagnostics.
+constexpr std::byte kStackFill{0xA5};
+
+}  // namespace
+
+void fiber_entry_dispatch(void* self_erased);
+
+extern "C" {
+// Assembly interface — see fiber_x86_64.S.
+void* gms_fiber_swap(void** save_sp, void* restore_sp, void* arg);
+void gms_fiber_boot();
+
+[[noreturn]] void fiber_entry_dispatch_c(void* self_erased) {
+  fiber_entry_dispatch(self_erased);
+  // fiber_entry_dispatch never returns; reaching here is a logic error.
+  std::abort();
+}
+}  // extern "C"
+
+void fiber_entry_dispatch(void* self_erased) {
+  auto* self = static_cast<Fiber*>(self_erased);
+  Fiber::run_body(self);
+  std::abort();  // unreachable: run_body swaps away forever
+}
+
+#ifdef GMS_FIBER_UCONTEXT
+struct Fiber::UctxImpl {
+  ucontext_t fiber_ctx{};
+  ucontext_t caller_ctx{};
+};
+#endif
+
+Fiber::Fiber(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {
+  if (stack_bytes_ < 4096) throw std::invalid_argument{"fiber stack too small"};
+  stack_ = std::make_unique<std::byte[]>(stack_bytes_);
+  std::memset(stack_.get(), static_cast<int>(kStackFill), stack_bytes_);
+#ifdef GMS_FIBER_UCONTEXT
+  uctx_ = std::make_unique<UctxImpl>();
+#endif
+}
+
+Fiber::~Fiber() {
+  // A fiber must not be destroyed while suspended mid-body: its stack holds
+  // live frames whose destructors would silently never run.
+  assert(finished_ && "destroying a suspended fiber");
+}
+
+void Fiber::reset(EntryFn fn, void* arg) {
+  assert(finished_ && "reset() on a suspended fiber");
+  fn_ = fn;
+  arg_ = arg;
+  finished_ = false;
+
+#ifdef GMS_FIBER_UCONTEXT
+  getcontext(&uctx_->fiber_ctx);
+  uctx_->fiber_ctx.uc_stack.ss_sp = stack_.get();
+  uctx_->fiber_ctx.uc_stack.ss_size = stack_bytes_;
+  uctx_->fiber_ctx.uc_link = nullptr;
+  makecontext(&uctx_->fiber_ctx,
+              reinterpret_cast<void (*)()>(+[](unsigned hi, unsigned lo) {
+                auto bits = (static_cast<std::uintptr_t>(hi) << 32) |
+                            static_cast<std::uintptr_t>(lo);
+                fiber_entry_dispatch(reinterpret_cast<void*>(bits));
+              }),
+              2,
+              static_cast<unsigned>(reinterpret_cast<std::uintptr_t>(this) >> 32),
+              static_cast<unsigned>(reinterpret_cast<std::uintptr_t>(this) &
+                                    0xFFFFFFFFu));
+#else
+  // Craft the initial frame gms_fiber_swap will unwind into gms_fiber_boot:
+  //   [mxcsr|fcw|pad][6 x callee-saved (don't care)][&gms_fiber_boot]
+  auto* top = stack_.get() + stack_bytes_;
+  top -= reinterpret_cast<std::uintptr_t>(top) % 16;  // 16-byte align
+  auto* frame = top - 64;
+  std::memset(frame, 0, 64);
+  const std::uint32_t mxcsr = 0x1F80;  // default: all FP exceptions masked
+  const std::uint16_t fcw = 0x037F;    // default x87 control word
+  std::memcpy(frame, &mxcsr, sizeof mxcsr);
+  std::memcpy(frame + 4, &fcw, sizeof fcw);
+  auto boot = reinterpret_cast<std::uintptr_t>(&gms_fiber_boot);
+  std::memcpy(frame + 56, &boot, sizeof boot);
+  fiber_sp_ = frame;
+#endif
+}
+
+bool Fiber::resume() {
+  assert(!finished_ && "resume() on a finished fiber");
+  assert(tl_current_fiber == nullptr && "nested fiber resume unsupported");
+  tl_current_fiber = this;
+#ifdef GMS_FIBER_UCONTEXT
+  swapcontext(&uctx_->caller_ctx, &uctx_->fiber_ctx);
+#else
+  gms_fiber_swap(&caller_sp_, fiber_sp_, this);
+#endif
+  tl_current_fiber = nullptr;
+  return finished_;
+}
+
+void Fiber::yield() {
+  Fiber* self = tl_current_fiber;
+  assert(self != nullptr && "yield() outside any fiber");
+#ifdef GMS_FIBER_UCONTEXT
+  swapcontext(&self->uctx_->fiber_ctx, &self->uctx_->caller_ctx);
+#else
+  gms_fiber_swap(&self->fiber_sp_, self->caller_sp_, nullptr);
+#endif
+}
+
+bool Fiber::on_fiber() { return tl_current_fiber != nullptr; }
+
+std::size_t Fiber::stack_high_water() const {
+  // The stack grows downward; scan from the low end for the first byte that
+  // no longer carries the fill pattern.
+  std::size_t untouched = 0;
+  while (untouched < stack_bytes_ && stack_[untouched] == kStackFill) {
+    ++untouched;
+  }
+  return stack_bytes_ - untouched;
+}
+
+void Fiber::run_body(Fiber* self) {
+  self->fn_(self->arg_);
+  self->finished_ = true;
+  // Hand control back to the scheduler permanently. resume() asserts against
+  // re-entry of finished fibers, so this swap never returns.
+#ifdef GMS_FIBER_UCONTEXT
+  swapcontext(&self->uctx_->fiber_ctx, &self->uctx_->caller_ctx);
+#else
+  gms_fiber_swap(&self->fiber_sp_, self->caller_sp_, nullptr);
+#endif
+}
+
+}  // namespace gms::gpu

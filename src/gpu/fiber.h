@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace gms::gpu {
+
+/// Stackful coroutine used to execute one SIMT lane.
+///
+/// A lane's kernel body runs on its own stack so it can suspend anywhere in
+/// its call chain (inside a warp collective, a block barrier or a back-off
+/// point) and later resume exactly where it stopped — the property that makes
+/// lane-level lock-step emulation possible.
+///
+/// The context switch is a ~20 instruction assembly routine on x86-64
+/// (callee-saved registers + stack pointer + FP control words); define
+/// GMS_FIBER_UCONTEXT to fall back to POSIX ucontext on other platforms.
+///
+/// Fibers are resumed only from a plain OS-thread stack (the warp scheduler);
+/// nesting fibers inside fibers is not supported and asserted against.
+class Fiber {
+ public:
+  using EntryFn = void (*)(void*);
+
+  explicit Fiber(std::size_t stack_bytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+  Fiber(Fiber&&) = delete;
+  Fiber& operator=(Fiber&&) = delete;
+
+  /// Arms the fiber to run `fn(arg)` from the top of its (reused) stack on
+  /// the next resume(). Must not be called while the fiber is suspended
+  /// mid-body.
+  void reset(EntryFn fn, void* arg);
+
+  /// Runs the fiber until it yields or its body returns.
+  /// @return true when the body finished.
+  bool resume();
+
+  /// Suspends the currently running fiber, returning control to resume().
+  /// Must be called from inside a fiber body.
+  static void yield();
+
+  /// True while the calling code executes on some fiber's stack.
+  static bool on_fiber();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] std::size_t stack_bytes() const { return stack_bytes_; }
+
+  /// Bytes of the stack that were ever touched (high-water mark, diagnostic).
+  [[nodiscard]] std::size_t stack_high_water() const;
+
+ private:
+  static void run_body(Fiber* self);
+  friend void fiber_entry_dispatch(void*);
+
+  std::unique_ptr<std::byte[]> stack_;
+  std::size_t stack_bytes_ = 0;
+  void* fiber_sp_ = nullptr;   // lane stack pointer while suspended
+  void* caller_sp_ = nullptr;  // scheduler stack pointer while lane runs
+  EntryFn fn_ = nullptr;
+  void* arg_ = nullptr;
+  bool finished_ = true;
+#ifdef GMS_FIBER_UCONTEXT
+  struct UctxImpl;
+  std::unique_ptr<UctxImpl> uctx_;
+#endif
+};
+
+}  // namespace gms::gpu

@@ -1,0 +1,83 @@
+#include "workloads/fragmentation.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/utils.h"
+
+namespace gms::work {
+
+FragmentationResult run_fragmentation(gpu::Device& dev,
+                                      core::MemoryManager& mgr,
+                                      std::size_t num_allocs, std::size_t size,
+                                      unsigned cycles) {
+  FragmentationResult result;
+  result.theoretical = num_allocs * core::round_up(size, 16);
+  const bool warp_only = mgr.traits().warp_level_only;
+  const bool can_free =
+      mgr.traits().supports_free && mgr.traits().individual_free;
+  std::vector<void*> ptrs(num_allocs, nullptr);
+
+  for (unsigned cycle = 0; cycle < cycles; ++cycle) {
+    dev.launch_n(num_allocs, [&](gpu::ThreadCtx& t) {
+      ptrs[t.thread_rank()] =
+          warp_only ? mgr.warp_malloc(t, size) : mgr.malloc(t, size);
+    });
+    std::size_t lo = ~std::size_t{0}, hi = 0;
+    for (void* p : ptrs) {
+      if (p == nullptr) {
+        ++result.failed;
+        continue;
+      }
+      const std::size_t off = dev.arena().offset_of(p);
+      lo = std::min(lo, off);
+      hi = std::max(hi, off + size);
+    }
+    const std::size_t range = hi > lo ? hi - lo : 0;
+    if (cycle == 0) result.first_round_range = range;
+    result.max_range = std::max(result.max_range, range);
+
+    if (can_free) {
+      dev.launch_n(num_allocs, [&](gpu::ThreadCtx& t) {
+        mgr.free(t, ptrs[t.thread_rank()]);
+      });
+    } else if (warp_only) {
+      dev.launch_n(num_allocs,
+                   [&](gpu::ThreadCtx& t) { mgr.warp_free_all(t); });
+    } else {
+      break;  // no deallocation: repeating cycles only drains the heap
+    }
+    std::fill(ptrs.begin(), ptrs.end(), nullptr);
+  }
+  return result;
+}
+
+OomResult run_oom(gpu::Device& dev, core::MemoryManager& mgr,
+                  std::size_t threads, std::size_t size,
+                  std::size_t heap_bytes, double timeout_s) {
+  OomResult result;
+  result.theoretical = heap_bytes / core::round_up(size, 16);
+  const bool warp_only = mgr.traits().warp_level_only;
+  core::Stopwatch timer;
+  for (;;) {
+    std::uint64_t ok = 0, failed = 0;
+    dev.launch_n(threads, [&](gpu::ThreadCtx& t) {
+      void* p = warp_only ? mgr.warp_malloc(t, size) : mgr.malloc(t, size);
+      if (p != nullptr) {
+        t.atomic_add(&ok, std::uint64_t{1});
+      } else {
+        t.atomic_add(&failed, std::uint64_t{1});
+      }
+    });
+    result.achieved += ok;
+    if (failed != 0) break;  // the manager reported out-of-memory
+    if (timer.elapsed_ms() > timeout_s * 1000.0) {
+      // The paper reins CUDA-Allocator and Reg-Eff in with the 1 h mark.
+      result.timed_out = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace gms::work

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/memory_manager.h"
+#include "gpu/device.h"
+
+namespace gms::work {
+
+/// §4.3.1: address-range fragmentation. Tracks the maximum address range
+/// spanned by a wave of allocations (and across repeated alloc/free cycles);
+/// the theoretical baseline is the dense packing num * size.
+struct FragmentationResult {
+  std::size_t first_round_range = 0;  ///< range after the first allocation
+  std::size_t max_range = 0;          ///< max over all cycles (Fig. 11a)
+  std::size_t theoretical = 0;        ///< num * rounded size
+  std::uint64_t failed = 0;
+};
+
+FragmentationResult run_fragmentation(gpu::Device& dev,
+                                      core::MemoryManager& mgr,
+                                      std::size_t num_allocs, std::size_t size,
+                                      unsigned cycles);
+
+/// §4.3.2: out-of-memory utilisation. Allocates waves of `threads` blocks
+/// until the manager reports out-of-memory (or the time budget expires) and
+/// reports the achieved fraction of the theoretically possible allocations.
+struct OomResult {
+  std::uint64_t achieved = 0;     ///< successful allocations
+  std::uint64_t theoretical = 0;  ///< heap_bytes / rounded size
+  bool timed_out = false;
+  [[nodiscard]] double percent_of_baseline() const {
+    return theoretical == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(achieved) /
+                     static_cast<double>(theoretical);
+  }
+};
+
+OomResult run_oom(gpu::Device& dev, core::MemoryManager& mgr,
+                  std::size_t threads, std::size_t size,
+                  std::size_t heap_bytes, double timeout_s);
+
+}  // namespace gms::work

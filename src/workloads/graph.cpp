@@ -1,0 +1,150 @@
+#include "workloads/graph.h"
+
+#include <algorithm>
+
+#include "core/utils.h"
+
+namespace gms::work {
+
+std::uint32_t HostGraph::max_degree() const {
+  std::uint32_t best = 0;
+  for (std::uint32_t v = 0; v < num_vertices; ++v) {
+    best = std::max(best, degree(v));
+  }
+  return best;
+}
+
+DynGraph::DynGraph(gpu::Device& dev, core::MemoryManager& mgr)
+    : dev_(dev), mgr_(mgr) {}
+
+double DynGraph::init(const HostGraph& graph) {
+  vertices_.assign(graph.num_vertices, VertexSlot{});
+  std::uint64_t failures = 0;
+  // Thread per vertex: allocate the power-of-two aligned adjacency and copy
+  // the CSR row into it (§4.4.3: "each adjacency is aligned to a power of
+  // two"; sparse graphs make this a storm of small allocations).
+  const auto stats = dev_.launch_n(graph.num_vertices, [&](gpu::ThreadCtx& t) {
+    const std::uint32_t v = t.thread_rank();
+    const std::uint32_t deg = graph.degree(v);
+    const auto cap =
+        static_cast<std::uint32_t>(core::ceil_pow2(std::max(deg, 2u)));
+    auto* adj = static_cast<std::uint32_t*>(
+        mgr_.malloc(t, std::size_t{cap} * sizeof(std::uint32_t)));
+    if (adj == nullptr) {
+      t.atomic_add(&failures, std::uint64_t{1});
+      return;
+    }
+    for (std::uint32_t e = 0; e < deg; ++e) {
+      adj[e] = graph.col_indices[graph.row_offsets[v] + e];
+    }
+    vertices_[v] = VertexSlot{adj, deg, cap, 0};
+  });
+  failed_ += failures;
+  return stats.elapsed_ms;
+}
+
+double DynGraph::insert_edges(std::span<const Edge> batch) {
+  std::uint64_t failures = 0;
+  const auto stats = dev_.launch_n(batch.size(), [&](gpu::ThreadCtx& t) {
+    const Edge e = batch[t.thread_rank()];
+    VertexSlot& slot = vertices_[e.src];
+    // Per-vertex lock: updates to one adjacency serialize, different
+    // vertices proceed in parallel.
+    while (slot.lock != 0 || t.atomic_exch(&slot.lock, 1u) != 0) t.backoff();
+    bool duplicate = false;
+    for (std::uint32_t i = 0; i < slot.degree; ++i) {
+      if (slot.adj[i] == e.dst) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      if (slot.degree == slot.capacity) {
+        // Crossing the power-of-two boundary: allocate the next size up,
+        // move, free the old adjacency (concurrent malloc + free, §4.4.4).
+        const std::uint32_t new_cap = std::max(slot.capacity * 2, 2u);
+        auto* fresh = static_cast<std::uint32_t*>(
+            mgr_.malloc(t, std::size_t{new_cap} * sizeof(std::uint32_t)));
+        if (fresh == nullptr) {
+          t.atomic_add(&failures, std::uint64_t{1});
+          t.atomic_store(&slot.lock, 0u);
+          return;
+        }
+        for (std::uint32_t i = 0; i < slot.degree; ++i) fresh[i] = slot.adj[i];
+        mgr_.free(t, slot.adj);
+        slot.adj = fresh;
+        slot.capacity = new_cap;
+      }
+      slot.adj[slot.degree] = e.dst;
+      ++slot.degree;
+    }
+    t.atomic_store(&slot.lock, 0u);
+  });
+  failed_ += failures;
+  return stats.elapsed_ms;
+}
+
+double DynGraph::erase_edges(std::span<const Edge> batch) {
+  std::uint64_t failures = 0;
+  const auto stats = dev_.launch_n(batch.size(), [&](gpu::ThreadCtx& t) {
+    const Edge e = batch[t.thread_rank()];
+    VertexSlot& slot = vertices_[e.src];
+    while (slot.lock != 0 || t.atomic_exch(&slot.lock, 1u) != 0) t.backoff();
+    for (std::uint32_t i = 0; i < slot.degree; ++i) {
+      if (slot.adj[i] != e.dst) continue;
+      slot.adj[i] = slot.adj[slot.degree - 1];
+      --slot.degree;
+      // Shrink across the power-of-two boundary at quarter occupancy.
+      if (slot.capacity > 2 && slot.degree <= slot.capacity / 4) {
+        const std::uint32_t new_cap =
+            std::max(2u, static_cast<std::uint32_t>(
+                             core::ceil_pow2(std::max(slot.degree, 1u))));
+        if (new_cap < slot.capacity) {
+          auto* fresh = static_cast<std::uint32_t*>(
+              mgr_.malloc(t, std::size_t{new_cap} * sizeof(std::uint32_t)));
+          if (fresh != nullptr) {
+            for (std::uint32_t k = 0; k < slot.degree; ++k) {
+              fresh[k] = slot.adj[k];
+            }
+            mgr_.free(t, slot.adj);
+            slot.adj = fresh;
+            slot.capacity = new_cap;
+          } else {
+            t.atomic_add(&failures, std::uint64_t{1});
+          }
+        }
+      }
+      break;
+    }
+    t.atomic_store(&slot.lock, 0u);
+  });
+  failed_ += failures;
+  return stats.elapsed_ms;
+}
+
+bool DynGraph::matches(const HostGraph& reference) const {
+  if (vertices_.size() != reference.num_vertices) return false;
+  for (std::uint32_t v = 0; v < reference.num_vertices; ++v) {
+    const auto& slot = vertices_[v];
+    if (slot.degree != reference.degree(v)) return false;
+    std::vector<std::uint32_t> got(slot.adj, slot.adj + slot.degree);
+    std::vector<std::uint32_t> want(
+        reference.col_indices.begin() + reference.row_offsets[v],
+        reference.col_indices.begin() + reference.row_offsets[v + 1]);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    if (got != want) return false;
+  }
+  return true;
+}
+
+void DynGraph::destroy() {
+  if (!mgr_.traits().supports_free || !mgr_.traits().individual_free) return;
+  dev_.launch_n(vertices_.size(), [&](gpu::ThreadCtx& t) {
+    auto& slot = vertices_[t.thread_rank()];
+    if (slot.adj != nullptr) mgr_.free(t, slot.adj);
+  });
+  vertices_.clear();
+}
+
+}  // namespace gms::work

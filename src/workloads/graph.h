@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/memory_manager.h"
+#include "gpu/device.h"
+
+namespace gms::work {
+
+/// Immutable host-side graph in CSR form — the reference input for the
+/// dynamic-graph test cases (§4.4.3/§4.4.4) and for verification.
+struct HostGraph {
+  std::uint32_t num_vertices = 0;
+  std::vector<std::uint32_t> row_offsets;  // size num_vertices + 1
+  std::vector<std::uint32_t> col_indices;
+
+  [[nodiscard]] std::uint32_t num_edges() const {
+    return static_cast<std::uint32_t>(col_indices.size());
+  }
+  [[nodiscard]] std::uint32_t degree(std::uint32_t v) const {
+    return row_offsets[v + 1] - row_offsets[v];
+  }
+  [[nodiscard]] std::uint32_t max_degree() const;
+};
+
+struct Edge {
+  std::uint32_t src;
+  std::uint32_t dst;
+};
+
+/// Dynamic adjacency-array graph over a survey MemoryManager — the
+/// faimGraph-style structure the paper updates: every vertex owns an
+/// adjacency buffer whose capacity is a power of two; when an insertion
+/// crosses the power-of-two boundary a new adjacency is allocated and the
+/// old one freed, exercising concurrent malloc *and* free (§4.4.4).
+class DynGraph {
+ public:
+  DynGraph(gpu::Device& dev, core::MemoryManager& mgr);
+
+  /// Builds the device graph from CSR; returns the kernel time (Fig. 11f).
+  double init(const HostGraph& graph);
+
+  /// Inserts an edge batch (duplicates are ignored); returns the kernel time
+  /// (Fig. 11g). Thread-per-edge with per-vertex locking.
+  double insert_edges(std::span<const Edge> batch);
+
+  /// Removes an edge batch; adjacency shrinks (realloc) when the degree
+  /// falls under a quarter of the capacity.
+  double erase_edges(std::span<const Edge> batch);
+
+  /// Host-side structural check against a reference adjacency.
+  [[nodiscard]] bool matches(const HostGraph& reference) const;
+
+  [[nodiscard]] std::uint32_t degree(std::uint32_t v) const {
+    return vertices_[v].degree;
+  }
+  [[nodiscard]] std::uint64_t failed_allocs() const { return failed_; }
+
+  /// Releases all adjacencies (only for managers with individual free).
+  void destroy();
+
+ private:
+  struct VertexSlot {
+    std::uint32_t* adj = nullptr;
+    std::uint32_t degree = 0;
+    std::uint32_t capacity = 0;  // entries, always a power of two (or 0)
+    std::uint32_t lock = 0;
+  };
+
+  gpu::Device& dev_;
+  core::MemoryManager& mgr_;
+  std::vector<VertexSlot> vertices_;
+  std::uint64_t failed_ = 0;
+};
+
+// ---- graph generators (DIMACS10 stand-ins, see DESIGN.md) ------------------
+
+/// R-MAT / Kronecker generator (social-network-like skewed degrees).
+HostGraph make_rmat(std::uint32_t num_vertices, std::uint32_t num_edges,
+                    double a, double b, double c, std::uint64_t seed);
+
+/// Random geometric graph on a unit square with grid bucketing
+/// (`rgg_n_2_*`-like: local neighbourhoods, bounded degrees).
+HostGraph make_rgg(std::uint32_t num_vertices, double radius,
+                   std::uint64_t seed);
+
+/// Regular 2D mesh with diagonal links (finite-element style, `fe_body`).
+HostGraph make_mesh(std::uint32_t width, std::uint32_t height);
+
+/// Preferential-attachment graph (`coAuthorsCiteseer`-like power law).
+HostGraph make_preferential(std::uint32_t num_vertices,
+                            std::uint32_t edges_per_vertex,
+                            std::uint64_t seed);
+
+/// Named, size-scaled stand-ins for the five DIMACS10 graphs of Fig. 11f/11g.
+/// `scale` divides the vertex counts (1 = full stand-in size).
+HostGraph make_dimacs_like(std::string_view name, std::uint32_t scale);
+
+/// The five names used in the paper's plots.
+std::vector<std::string> dimacs_like_names();
+
+/// Update batch: `focus_fraction` < 1 concentrates sources on the leading
+/// fraction of vertex ids (the paper's "range of source vertices" case).
+std::vector<Edge> make_update_batch(const HostGraph& graph, std::size_t count,
+                                    double focus_fraction, std::uint64_t seed);
+
+}  // namespace gms::work

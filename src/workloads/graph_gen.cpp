@@ -1,0 +1,210 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "core/utils.h"
+#include "workloads/graph.h"
+
+namespace gms::work {
+
+namespace {
+
+/// Builds CSR from an edge set, symmetrising and deduplicating.
+HostGraph csr_from_edges(std::uint32_t n,
+                         std::vector<std::pair<std::uint32_t, std::uint32_t>> edges) {
+  // Symmetrise (the DIMACS10 graphs are undirected).
+  const std::size_t directed = edges.size();
+  edges.reserve(directed * 2);
+  for (std::size_t i = 0; i < directed; ++i) {
+    edges.emplace_back(edges[i].second, edges[i].first);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const auto& e) { return e.first == e.second; }),
+              edges.end());
+
+  HostGraph g;
+  g.num_vertices = n;
+  g.row_offsets.assign(n + 1, 0);
+  for (const auto& [u, v] : edges) ++g.row_offsets[u + 1];
+  for (std::uint32_t v = 0; v < n; ++v) {
+    g.row_offsets[v + 1] += g.row_offsets[v];
+  }
+  g.col_indices.resize(edges.size());
+  std::vector<std::uint32_t> cursor(g.row_offsets.begin(),
+                                    g.row_offsets.end() - 1);
+  for (const auto& [u, v] : edges) g.col_indices[cursor[u]++] = v;
+  return g;
+}
+
+}  // namespace
+
+HostGraph make_rmat(std::uint32_t num_vertices, std::uint32_t num_edges,
+                    double a, double b, double c, std::uint64_t seed) {
+  const auto n = static_cast<std::uint32_t>(core::ceil_pow2(num_vertices));
+  const unsigned levels = static_cast<unsigned>(std::bit_width(n) - 1);
+  core::SplitMix64 rng(seed);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(num_edges);
+  for (std::uint32_t e = 0; e < num_edges; ++e) {
+    std::uint32_t u = 0, v = 0;
+    for (unsigned l = 0; l < levels; ++l) {
+      const double r = static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+      if (r < a) {
+        // upper-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1u << l;
+      } else if (r < a + b + c) {
+        u |= 1u << l;
+      } else {
+        u |= 1u << l;
+        v |= 1u << l;
+      }
+    }
+    edges.emplace_back(u % num_vertices, v % num_vertices);
+  }
+  return csr_from_edges(num_vertices, std::move(edges));
+}
+
+HostGraph make_rgg(std::uint32_t num_vertices, double radius,
+                   std::uint64_t seed) {
+  core::SplitMix64 rng(seed);
+  std::vector<double> xs(num_vertices), ys(num_vertices);
+  for (std::uint32_t v = 0; v < num_vertices; ++v) {
+    xs[v] = static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+    ys[v] = static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+  }
+  // Grid bucketing with cell size = radius keeps this O(n * local density).
+  const auto grid = static_cast<std::uint32_t>(
+      std::max(1.0, std::floor(1.0 / radius)));
+  std::vector<std::vector<std::uint32_t>> cells(std::size_t{grid} * grid);
+  auto cell_of = [&](std::uint32_t v) {
+    const auto cx = std::min<std::uint32_t>(
+        grid - 1, static_cast<std::uint32_t>(xs[v] * grid));
+    const auto cy = std::min<std::uint32_t>(
+        grid - 1, static_cast<std::uint32_t>(ys[v] * grid));
+    return cy * grid + cx;
+  };
+  for (std::uint32_t v = 0; v < num_vertices; ++v) {
+    cells[cell_of(v)].push_back(v);
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  const double r2 = radius * radius;
+  for (std::uint32_t v = 0; v < num_vertices; ++v) {
+    const auto cx = static_cast<int>(std::min<std::uint32_t>(
+        grid - 1, static_cast<std::uint32_t>(xs[v] * grid)));
+    const auto cy = static_cast<int>(std::min<std::uint32_t>(
+        grid - 1, static_cast<std::uint32_t>(ys[v] * grid)));
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = cx + dx, ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= static_cast<int>(grid) ||
+            ny >= static_cast<int>(grid)) {
+          continue;
+        }
+        for (std::uint32_t u : cells[std::size_t{static_cast<unsigned>(ny)} * grid +
+                                     static_cast<unsigned>(nx)]) {
+          if (u <= v) continue;
+          const double ddx = xs[u] - xs[v], ddy = ys[u] - ys[v];
+          if (ddx * ddx + ddy * ddy <= r2) edges.emplace_back(v, u);
+        }
+      }
+    }
+  }
+  return csr_from_edges(num_vertices, std::move(edges));
+}
+
+HostGraph make_mesh(std::uint32_t width, std::uint32_t height) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  auto id = [width](std::uint32_t x, std::uint32_t y) {
+    return y * width + x;
+  };
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      if (x + 1 < width) edges.emplace_back(id(x, y), id(x + 1, y));
+      if (y + 1 < height) edges.emplace_back(id(x, y), id(x, y + 1));
+      if (x + 1 < width && y + 1 < height) {
+        edges.emplace_back(id(x, y), id(x + 1, y + 1));  // FE-style diagonal
+      }
+    }
+  }
+  return csr_from_edges(width * height, std::move(edges));
+}
+
+HostGraph make_preferential(std::uint32_t num_vertices,
+                            std::uint32_t edges_per_vertex,
+                            std::uint64_t seed) {
+  core::SplitMix64 rng(seed);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  std::vector<std::uint32_t> targets;  // vertex repeated per degree
+  targets.push_back(0);
+  for (std::uint32_t v = 1; v < num_vertices; ++v) {
+    for (std::uint32_t e = 0; e < edges_per_vertex; ++e) {
+      const std::uint32_t u =
+          targets[rng.next() % targets.size()];
+      edges.emplace_back(v, u);
+      targets.push_back(u);
+    }
+    targets.push_back(v);
+  }
+  return csr_from_edges(num_vertices, std::move(edges));
+}
+
+std::vector<std::string> dimacs_like_names() {
+  return {"rgg_n_2_20_s0", "sc2010", "fe_body", "adaptive",
+          "coAuthorsCiteseer"};
+}
+
+HostGraph make_dimacs_like(std::string_view name, std::uint32_t scale) {
+  if (scale == 0) scale = 1;
+  // Vertex counts follow the DIMACS10 originals divided by `scale`
+  // (rgg_n_2_20: 2^20, fe_body: 45k, adaptive: 6.8M, coAuthors: 227k,
+  // sc2010 census tracts: ~710k). Degree structure per generator family.
+  if (name == "rgg_n_2_20_s0") {
+    const std::uint32_t n = (1u << 20) / scale;
+    // Original average degree ~13: radius chosen so pi r^2 n ~ 13.
+    const double radius = std::sqrt(13.0 / (3.14159 * n));
+    return make_rgg(n, radius, 0xA11CE);
+  }
+  if (name == "sc2010") {
+    const std::uint32_t n = 710'000 / scale;
+    return make_rmat(n, n * 2, 0.45, 0.2, 0.2, 0x5C2010);
+  }
+  if (name == "fe_body") {
+    const auto side = static_cast<std::uint32_t>(
+        std::sqrt(45'000.0 / static_cast<double>(scale)));
+    return make_mesh(side, side);
+  }
+  if (name == "adaptive") {
+    const auto side = static_cast<std::uint32_t>(
+        std::sqrt(6'815'744.0 / static_cast<double>(scale)));
+    return make_mesh(side, side);
+  }
+  if (name == "coAuthorsCiteseer") {
+    const std::uint32_t n = 227'320 / scale;
+    return make_preferential(n, 4, 0xC0A07);
+  }
+  throw std::invalid_argument{"unknown graph name: " + std::string(name)};
+}
+
+std::vector<Edge> make_update_batch(const HostGraph& graph, std::size_t count,
+                                    double focus_fraction,
+                                    std::uint64_t seed) {
+  core::SplitMix64 rng(seed);
+  const auto src_limit = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(static_cast<double>(graph.num_vertices) *
+                                    focus_fraction));
+  std::vector<Edge> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.push_back(Edge{
+        static_cast<std::uint32_t>(rng.next() % src_limit),
+        static_cast<std::uint32_t>(rng.next() % graph.num_vertices),
+    });
+  }
+  return batch;
+}
+
+}  // namespace gms::work

@@ -1,0 +1,32 @@
+#include "workloads/graph_workload.h"
+
+namespace gms::work {
+
+GraphInitResult run_graph_init(gpu::Device& dev, core::MemoryManager& mgr,
+                               const HostGraph& graph, bool verify) {
+  GraphInitResult result;
+  DynGraph dyn(dev, mgr);
+  result.init_ms = dyn.init(graph);
+  result.failed = dyn.failed_allocs();
+  result.verified = verify ? dyn.matches(graph) : true;
+  dyn.destroy();
+  return result;
+}
+
+GraphUpdateResult run_graph_update(gpu::Device& dev, core::MemoryManager& mgr,
+                                   const HostGraph& graph,
+                                   std::size_t num_updates,
+                                   double focus_fraction, std::uint64_t seed) {
+  GraphUpdateResult result;
+  DynGraph dyn(dev, mgr);
+  result.init_ms = dyn.init(graph);
+  const auto batch = make_update_batch(graph, num_updates, focus_fraction,
+                                       seed);
+  result.batch_size = batch.size();
+  result.update_ms = dyn.insert_edges(batch);
+  result.failed = dyn.failed_allocs();
+  dyn.destroy();
+  return result;
+}
+
+}  // namespace gms::work

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "workloads/graph.h"
+
+namespace gms::work {
+
+/// §4.4.3 graph initialisation (Fig. 11f).
+struct GraphInitResult {
+  double init_ms = 0;
+  std::uint64_t failed = 0;
+  bool verified = false;
+};
+
+GraphInitResult run_graph_init(gpu::Device& dev, core::MemoryManager& mgr,
+                               const HostGraph& graph, bool verify = true);
+
+/// §4.4.4 graph updates (Fig. 11g): inserts `num_updates` edges, optionally
+/// focused on a leading range of source vertices to raise update pressure.
+struct GraphUpdateResult {
+  double init_ms = 0;
+  double update_ms = 0;
+  std::uint64_t failed = 0;
+  std::size_t batch_size = 0;
+};
+
+GraphUpdateResult run_graph_update(gpu::Device& dev, core::MemoryManager& mgr,
+                                   const HostGraph& graph,
+                                   std::size_t num_updates,
+                                   double focus_fraction, std::uint64_t seed);
+
+}  // namespace gms::work

@@ -1,0 +1,171 @@
+#include "workloads/spgemm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/utils.h"
+
+namespace gms::work {
+
+SparseMatrix make_random_sparse(std::uint32_t rows, std::uint32_t cols,
+                                std::uint32_t nnz_per_row,
+                                std::uint64_t seed) {
+  core::SplitMix64 rng(seed);
+  SparseMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_offsets.reserve(rows + 1);
+  m.row_offsets.push_back(0);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    // Distinct, sorted column picks per row.
+    std::vector<std::uint32_t> picks;
+    const std::uint32_t want =
+        1 + static_cast<std::uint32_t>(rng.next() % (2 * nnz_per_row));
+    for (std::uint32_t i = 0; i < want; ++i) {
+      picks.push_back(static_cast<std::uint32_t>(rng.next() % cols));
+    }
+    std::sort(picks.begin(), picks.end());
+    picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+    for (std::uint32_t c : picks) {
+      m.col_indices.push_back(c);
+      m.values.push_back(
+          0.25f + static_cast<float>(rng.next() % 1000) / 500.0f);
+    }
+    m.row_offsets.push_back(static_cast<std::uint32_t>(m.col_indices.size()));
+  }
+  return m;
+}
+
+SpgemmResult run_spgemm(gpu::Device& dev, core::MemoryManager& mgr,
+                        const SparseMatrix& a, const SparseMatrix& b) {
+  SpgemmResult result;
+  result.c_rows.assign(a.rows, DeviceRow{});
+  std::uint64_t failed = 0;
+  std::uint64_t total_nnz = 0;
+
+  const auto stats = dev.launch_n(a.rows, [&](gpu::ThreadCtx& t) {
+    const std::uint32_t row = t.thread_rank();
+    // Upper bound on the accumulator: sum of B-row lengths over A's row.
+    std::uint32_t bound = 0;
+    for (std::uint32_t e = a.row_offsets[row]; e < a.row_offsets[row + 1];
+         ++e) {
+      bound += b.row_nnz(a.col_indices[e]);
+    }
+    if (bound == 0) return;  // empty result row
+
+    // Scratch accumulator {col, val} pairs — data-dependent size.
+    auto* acc_cols = static_cast<std::uint32_t*>(
+        mgr.malloc(t, bound * (sizeof(std::uint32_t) + sizeof(float))));
+    if (acc_cols == nullptr) {
+      t.atomic_add(&failed, std::uint64_t{1});
+      return;
+    }
+    auto* acc_vals = reinterpret_cast<float*>(acc_cols + bound);
+    std::uint32_t used = 0;
+
+    for (std::uint32_t e = a.row_offsets[row]; e < a.row_offsets[row + 1];
+         ++e) {
+      const std::uint32_t k = a.col_indices[e];
+      const float a_val = a.values[e];
+      for (std::uint32_t f = b.row_offsets[k]; f < b.row_offsets[k + 1];
+           ++f) {
+        const std::uint32_t col = b.col_indices[f];
+        const float contrib = a_val * b.values[f];
+        // Sorted insert-or-accumulate (rows are short; linear is fine and
+        // keeps the output ordered like CSR demands).
+        std::uint32_t pos = 0;
+        while (pos < used && acc_cols[pos] < col) ++pos;
+        if (pos < used && acc_cols[pos] == col) {
+          acc_vals[pos] += contrib;
+        } else {
+          for (std::uint32_t m2 = used; m2 > pos; --m2) {
+            acc_cols[m2] = acc_cols[m2 - 1];
+            acc_vals[m2] = acc_vals[m2 - 1];
+          }
+          acc_cols[pos] = col;
+          acc_vals[pos] = contrib;
+          ++used;
+        }
+      }
+    }
+
+    // Emit the exactly-sized output row, release the scratch.
+    DeviceRow out;
+    out.nnz = used;
+    out.cols = static_cast<std::uint32_t*>(
+        mgr.malloc(t, used * (sizeof(std::uint32_t) + sizeof(float))));
+    if (out.cols == nullptr) {
+      mgr.free(t, acc_cols);
+      t.atomic_add(&failed, std::uint64_t{1});
+      return;
+    }
+    out.vals = reinterpret_cast<float*>(out.cols + used);
+    for (std::uint32_t i = 0; i < used; ++i) {
+      out.cols[i] = acc_cols[i];
+      out.vals[i] = acc_vals[i];
+    }
+    mgr.free(t, acc_cols);
+    result.c_rows[row] = out;
+    t.aggregated_atomic_add(&total_nnz, std::uint64_t{used});
+  });
+
+  result.kernel_ms = stats.elapsed_ms;
+  result.failed_rows = failed;
+  result.c_nnz = total_nnz;
+  return result;
+}
+
+void free_result(gpu::Device& dev, core::MemoryManager& mgr,
+                 SpgemmResult& result) {
+  if (!mgr.traits().supports_free || !mgr.traits().individual_free) return;
+  dev.launch_n(result.c_rows.size(), [&](gpu::ThreadCtx& t) {
+    DeviceRow& row = result.c_rows[t.thread_rank()];
+    if (row.cols != nullptr) mgr.free(t, row.cols);
+    row = DeviceRow{};
+  });
+}
+
+SparseMatrix spgemm_reference(const SparseMatrix& a, const SparseMatrix& b) {
+  SparseMatrix c;
+  c.rows = a.rows;
+  c.cols = b.cols;
+  c.row_offsets.push_back(0);
+  for (std::uint32_t row = 0; row < a.rows; ++row) {
+    std::map<std::uint32_t, float> acc;
+    for (std::uint32_t e = a.row_offsets[row]; e < a.row_offsets[row + 1];
+         ++e) {
+      const std::uint32_t k = a.col_indices[e];
+      for (std::uint32_t f = b.row_offsets[k]; f < b.row_offsets[k + 1];
+           ++f) {
+        acc[b.col_indices[f]] += a.values[e] * b.values[f];
+      }
+    }
+    for (const auto& [col, val] : acc) {
+      c.col_indices.push_back(col);
+      c.values.push_back(val);
+    }
+    c.row_offsets.push_back(static_cast<std::uint32_t>(c.col_indices.size()));
+  }
+  return c;
+}
+
+bool spgemm_matches(const SpgemmResult& result, const SparseMatrix& reference,
+                    float tolerance) {
+  if (result.c_rows.size() != reference.rows) return false;
+  for (std::uint32_t row = 0; row < reference.rows; ++row) {
+    const DeviceRow& got = result.c_rows[row];
+    const std::uint32_t want_nnz = reference.row_nnz(row);
+    if (got.nnz != want_nnz) return false;
+    for (std::uint32_t i = 0; i < want_nnz; ++i) {
+      const std::uint32_t e = reference.row_offsets[row] + i;
+      if (got.cols[i] != reference.col_indices[e]) return false;
+      if (std::fabs(got.vals[i] - reference.values[e]) > tolerance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace gms::work

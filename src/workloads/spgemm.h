@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/memory_manager.h"
+#include "gpu/device.h"
+
+namespace gms::work {
+
+/// CSR sparse matrix with float values — the substrate for the sparse
+/// linear-algebra application domain the paper's introduction motivates
+/// (AC-SpGEMM [23] builds exactly this kind of per-row dynamic output).
+struct SparseMatrix {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::vector<std::uint32_t> row_offsets;  // rows + 1
+  std::vector<std::uint32_t> col_indices;
+  std::vector<float> values;
+
+  [[nodiscard]] std::uint32_t nnz() const {
+    return static_cast<std::uint32_t>(col_indices.size());
+  }
+  [[nodiscard]] std::uint32_t row_nnz(std::uint32_t r) const {
+    return row_offsets[r + 1] - row_offsets[r];
+  }
+};
+
+/// Uniform-random sparse matrix with ~`nnz_per_row` entries per row.
+SparseMatrix make_random_sparse(std::uint32_t rows, std::uint32_t cols,
+                                std::uint32_t nnz_per_row, std::uint64_t seed);
+
+/// Result row of the device SpGEMM: dynamically allocated column/value
+/// arrays, exactly sized — the pattern that needs a real device allocator.
+struct DeviceRow {
+  std::uint32_t* cols = nullptr;
+  float* vals = nullptr;
+  std::uint32_t nnz = 0;
+};
+
+struct SpgemmResult {
+  double kernel_ms = 0;
+  std::uint64_t failed_rows = 0;  ///< rows that hit out-of-memory
+  std::uint64_t c_nnz = 0;
+  std::vector<DeviceRow> c_rows;  ///< live device allocations (see free_result)
+};
+
+/// C = A * B with one thread per row of A. Each thread
+///   1. allocates an upper-bound scratch accumulator from `mgr`,
+///   2. merges partial products into it,
+///   3. allocates the exactly-sized output row and frees the scratch.
+/// The alloc/free churn with data-dependent sizes is the workload.
+SpgemmResult run_spgemm(gpu::Device& dev, core::MemoryManager& mgr,
+                        const SparseMatrix& a, const SparseMatrix& b);
+
+/// Releases the output rows (managers with individual free only).
+void free_result(gpu::Device& dev, core::MemoryManager& mgr,
+                 SpgemmResult& result);
+
+/// Host reference implementation for verification.
+SparseMatrix spgemm_reference(const SparseMatrix& a, const SparseMatrix& b);
+
+/// Compares a device result against the reference (exact structure, values
+/// within tolerance). Returns true on match.
+bool spgemm_matches(const SpgemmResult& result, const SparseMatrix& reference,
+                    float tolerance = 1e-4f);
+
+}  // namespace gms::work

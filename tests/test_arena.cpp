@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "gpu/device_arena.h"
+
+namespace gms::gpu {
+namespace {
+
+TEST(Arena, ZeroInitialisedAndSized) {
+  DeviceArena arena(1 << 16);
+  EXPECT_EQ(arena.size(), 1u << 16);
+  for (std::size_t i = 0; i < arena.size(); i += 509) {
+    EXPECT_EQ(arena.data()[i], std::byte{0});
+  }
+}
+
+TEST(Arena, ContainsAndOffset) {
+  DeviceArena arena(4096);
+  EXPECT_TRUE(arena.contains(arena.data()));
+  EXPECT_TRUE(arena.contains(arena.data() + 4095));
+  EXPECT_FALSE(arena.contains(arena.data() + 4096));
+  int x = 0;
+  EXPECT_FALSE(arena.contains(&x));
+  EXPECT_EQ(arena.offset_of(arena.data() + 123), 123u);
+}
+
+TEST(Arena, PageAlignment) {
+  DeviceArena arena(1 << 14);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arena.data()) % 4096, 0u);
+}
+
+TEST(Arena, ClearResets) {
+  DeviceArena arena(4096);
+  arena.data()[100] = std::byte{0xAB};
+  arena.clear();
+  EXPECT_EQ(arena.data()[100], std::byte{0});
+}
+
+TEST(Arena, RejectsZeroSize) {
+  EXPECT_THROW(DeviceArena arena(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gms::gpu

@@ -1,0 +1,219 @@
+// White-box tests for the BulkAllocator extension (§2.9 rebuild): the bulk
+// semaphore primitive and the tree buddy allocator, plus BulkAlloc routing.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "allocators/bulk_alloc.h"
+#include "allocators/bulk_semaphore.h"
+
+namespace gms::alloc {
+namespace {
+
+using gpu::Device;
+using gpu::GpuConfig;
+using gpu::ThreadCtx;
+
+Device& dev() {
+  static Device device(128u << 20, GpuConfig{.num_sms = 4});
+  return device;
+}
+
+// ---- BulkSemaphore -----------------------------------------------------------
+
+TEST(BulkSemaphore, AcquireReleaseRoundTrip) {
+  std::uint64_t word = 0;
+  BulkSemaphore sem(&word);
+  dev().launch(1, 1, [&](ThreadCtx& t) {
+    EXPECT_FALSE(sem.try_acquire(t, 1));
+    sem.release(t, 5);
+    EXPECT_TRUE(sem.try_acquire(t, 3));
+    EXPECT_EQ(sem.count(t), 2u);
+    EXPECT_FALSE(sem.try_acquire(t, 3));
+    EXPECT_TRUE(sem.try_acquire(t, 2));
+  });
+}
+
+TEST(BulkSemaphore, RefillAddsBatchAndKeepsOne) {
+  std::uint64_t word = 0;
+  BulkSemaphore sem(&word);
+  std::uint32_t refills = 0;
+  dev().launch(1, 1, [&](ThreadCtx& t) {
+    const bool got = sem.acquire_or_refill(t, 1, [&] {
+      ++refills;
+      return std::uint64_t{32};  // batch of 32, our 1 included
+    });
+    EXPECT_TRUE(got);
+    EXPECT_EQ(sem.count(t), 31u);
+  });
+  EXPECT_EQ(refills, 1u);
+}
+
+TEST(BulkSemaphore, OnlyOneRefillerUnderContention) {
+  // 256 threads all short at once: the refill batch must be fetched by a
+  // handful of refillers (one per shortage window), not by everyone —
+  // that is the primitive's entire purpose.
+  std::uint64_t word = 0;
+  BulkSemaphore sem(&word);
+  std::uint32_t refills = 0;
+  std::uint32_t acquired = 0;
+  dev().launch_n(256, [&](ThreadCtx& t) {
+    const bool got = sem.acquire_or_refill(t, 1, [&] {
+      t.atomic_add(&refills, 1u);
+      return std::uint64_t{512};
+    });
+    if (got) t.atomic_add(&acquired, 1u);
+  });
+  EXPECT_EQ(acquired, 256u);
+  EXPECT_LE(refills, 4u) << "batching defeated: every waiter refilled";
+}
+
+TEST(BulkSemaphore, ExhaustedRefillReportsFailure) {
+  std::uint64_t word = 0;
+  BulkSemaphore sem(&word);
+  bool got = true;
+  dev().launch(1, 1, [&](ThreadCtx& t) {
+    got = sem.acquire_or_refill(t, 1, [] { return std::uint64_t{0}; });
+  });
+  EXPECT_FALSE(got);
+}
+
+// ---- TreeBuddy -----------------------------------------------------------------
+
+class TreeBuddyTest : public ::testing::Test {
+ protected:
+  static constexpr unsigned kLevels = 6;  // 64 leaves x 4 KiB = 256 KiB
+  static constexpr std::size_t kLeaf = 4096;
+
+  void SetUp() override {
+    region_.assign(kLeaf << kLevels, std::byte{0});
+    nodes_.assign(TreeBuddy::meta_words(kLevels), 0);
+    tags_.assign(std::size_t{1} << kLevels, 0);
+    buddy_.init_host(region_.data(), kLevels, kLeaf, nodes_.data(),
+                     tags_.data());
+  }
+
+  std::vector<std::byte> region_;
+  std::vector<std::uint32_t> nodes_;
+  std::vector<std::uint8_t> tags_;
+  TreeBuddy buddy_;
+};
+
+TEST_F(TreeBuddyTest, OrderForRoundsToPowerOfTwoLeaves) {
+  dev().launch(1, 1, [&](ThreadCtx&) {});
+  EXPECT_EQ(buddy_.order_for(1), 0u);
+  EXPECT_EQ(buddy_.order_for(4096), 0u);
+  EXPECT_EQ(buddy_.order_for(4097), 1u);
+  EXPECT_EQ(buddy_.order_for(16384), 2u);
+  EXPECT_EQ(buddy_.order_for(20000), 3u);
+}
+
+TEST_F(TreeBuddyTest, SplitsDownAndAllocatesDisjoint) {
+  std::vector<void*> blocks(8, nullptr);
+  dev().launch(1, 8, [&](ThreadCtx& t) {
+    blocks[t.lane_id()] = buddy_.malloc_order(t, 1);  // 8 x 2 leaves
+  });
+  std::set<std::size_t> offsets;
+  for (void* p : blocks) {
+    ASSERT_NE(p, nullptr);
+    const auto off = static_cast<std::size_t>(
+        static_cast<std::byte*>(p) - region_.data());
+    EXPECT_EQ(off % (2 * kLeaf), 0u) << "order-1 blocks are 8 KiB aligned";
+    EXPECT_TRUE(offsets.insert(off).second);
+  }
+}
+
+TEST_F(TreeBuddyTest, FreeMergesBackToWholeTree) {
+  std::vector<void*> blocks(16, nullptr);
+  unsigned root_before = 0, root_after = 0;
+  dev().launch(1, 16, [&](ThreadCtx& t) {
+    blocks[t.lane_id()] = buddy_.malloc_order(t, 0);
+    t.sync_block();
+    if (t.lane_id() == 0) root_before = buddy_.root_max_free(t);
+    t.sync_block();
+    buddy_.free_block(t, blocks[t.lane_id()], 0);
+    t.sync_block();
+    if (t.lane_id() == 0) root_after = buddy_.root_max_free(t);
+  });
+  EXPECT_LT(root_before, kLevels);
+  EXPECT_EQ(root_after, kLevels) << "all buddies must have re-merged";
+}
+
+TEST_F(TreeBuddyTest, ExhaustionReturnsNull) {
+  void* a = nullptr;
+  void* b = nullptr;
+  dev().launch(1, 1, [&](ThreadCtx& t) {
+    a = buddy_.malloc_order(t, kLevels);  // the whole tree
+    b = buddy_.malloc_order(t, 0);
+  });
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(b, nullptr);
+}
+
+TEST_F(TreeBuddyTest, LeafTagsRouteFrees) {
+  void* p = nullptr;
+  dev().launch(1, 1, [&](ThreadCtx& t) {
+    p = buddy_.malloc_order(t, 2);
+    EXPECT_EQ(buddy_.leaf_tag(t, p), 3u);  // order + 1
+    buddy_.free_ptr(t, p);                 // derives the order itself
+    EXPECT_EQ(buddy_.leaf_tag(t, p), 0u);
+    EXPECT_EQ(buddy_.root_max_free(t), kLevels);
+  });
+}
+
+TEST_F(TreeBuddyTest, ConcurrentChurnRemergesCompletely) {
+  dev().launch_n(128, [&](ThreadCtx& t) {
+    for (int round = 0; round < 4; ++round) {
+      const unsigned order = t.thread_rank() % 3;
+      void* p = buddy_.malloc_order(t, order);
+      if (p != nullptr) buddy_.free_block(t, p, order);
+    }
+  });
+  unsigned root = 0;
+  dev().launch(1, 1, [&](ThreadCtx& t) { root = buddy_.root_max_free(t); });
+  EXPECT_EQ(root, kLevels);
+}
+
+// ---- BulkAlloc routing -----------------------------------------------------------
+
+TEST(BulkAllocRouting, SmallAndLargeLiveInDifferentStructures) {
+  Device d(96u << 20, GpuConfig{.num_sms = 2});
+  BulkAlloc mgr(d, 64u << 20);
+  void* small = nullptr;
+  void* large = nullptr;
+  dev();  // keep the shared device alive for other suites
+  d.launch(1, 1, [&](ThreadCtx& t) {
+    small = mgr.malloc(t, 100);   // UAlloc bin slot
+    large = mgr.malloc(t, 8192);  // direct buddy block
+    mgr.free(t, small);
+    mgr.free(t, large);
+    // Both must be reusable after the round trip.
+    EXPECT_NE(mgr.malloc(t, 100), nullptr);
+    EXPECT_NE(mgr.malloc(t, 8192), nullptr);
+  });
+  ASSERT_NE(small, nullptr);
+  ASSERT_NE(large, nullptr);
+  // Buddy blocks are 4 KiB-aligned within their tree; bin slots are not
+  // required to be — but both must be disjoint.
+  EXPECT_NE(small, large);
+}
+
+TEST(BulkAllocRouting, SmallSlotsPackWithinBins) {
+  Device d(96u << 20, GpuConfig{.num_sms = 2});
+  BulkAlloc mgr(d, 64u << 20);
+  std::vector<void*> ptrs(64, nullptr);
+  d.launch(1, 64, [&](ThreadCtx& t) {
+    ptrs[t.thread_rank()] = mgr.malloc(t, 64);
+  });
+  std::set<std::size_t> bins;
+  for (void* p : ptrs) {
+    ASSERT_NE(p, nullptr);
+    bins.insert(reinterpret_cast<std::uintptr_t>(p) / 4096);
+  }
+  // 64 slots of 64 B fit one 4 KiB bin per requesting SM arena.
+  EXPECT_LE(bins.size(), 4u);
+}
+
+}  // namespace
+}  // namespace gms::alloc

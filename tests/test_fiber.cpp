@@ -1,0 +1,131 @@
+#include "gpu/fiber.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gms::gpu {
+namespace {
+
+TEST(Fiber, RunsToCompletionWithoutYield) {
+  Fiber f(16 * 1024);
+  int hits = 0;
+  auto body = +[](void* p) { ++*static_cast<int*>(p); };
+  f.reset(body, &hits);
+  EXPECT_FALSE(f.finished());
+  EXPECT_TRUE(f.resume());
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  Fiber f(16 * 1024);
+  std::vector<int> trace;
+  struct Ctx {
+    std::vector<int>* trace;
+  } ctx{&trace};
+  f.reset(
+      +[](void* p) {
+        auto* t = static_cast<Ctx*>(p)->trace;
+        t->push_back(1);
+        Fiber::yield();
+        t->push_back(3);
+        Fiber::yield();
+        t->push_back(5);
+      },
+      &ctx);
+  EXPECT_FALSE(f.resume());
+  trace.push_back(2);
+  EXPECT_FALSE(f.resume());
+  trace.push_back(4);
+  EXPECT_TRUE(f.resume());
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, LocalStateSurvivesSuspension) {
+  Fiber f(32 * 1024);
+  long out = 0;
+  struct Ctx {
+    long* out;
+  } ctx{&out};
+  f.reset(
+      +[](void* p) {
+        long acc = 0;
+        for (int i = 1; i <= 100; ++i) {
+          acc += i;
+          if (i % 10 == 0) Fiber::yield();
+        }
+        *static_cast<Ctx*>(p)->out = acc;
+      },
+      &ctx);
+  int resumes = 0;
+  while (!f.resume()) ++resumes;
+  EXPECT_EQ(out, 5050);
+  EXPECT_EQ(resumes, 10);
+}
+
+TEST(Fiber, ReusableAfterCompletion) {
+  Fiber f(16 * 1024);
+  int counter = 0;
+  auto body = +[](void* p) { *static_cast<int*>(p) += 7; };
+  for (int round = 0; round < 5; ++round) {
+    f.reset(body, &counter);
+    EXPECT_TRUE(f.resume());
+  }
+  EXPECT_EQ(counter, 35);
+}
+
+TEST(Fiber, OnFiberDetection) {
+  EXPECT_FALSE(Fiber::on_fiber());
+  Fiber f(16 * 1024);
+  bool inside = false;
+  struct Ctx {
+    bool* inside;
+  } ctx{&inside};
+  f.reset(+[](void* p) { *static_cast<Ctx*>(p)->inside = Fiber::on_fiber(); },
+          &ctx);
+  f.resume();
+  EXPECT_TRUE(inside);
+  EXPECT_FALSE(Fiber::on_fiber());
+}
+
+TEST(Fiber, DeepCallChainAcrossYields) {
+  // Yields from nested frames must preserve the whole call chain.
+  Fiber f(64 * 1024);
+  struct Rec {
+    static int go(int depth) {
+      if (depth == 0) {
+        Fiber::yield();
+        return 1;
+      }
+      const int below = go(depth - 1);
+      Fiber::yield();
+      return below + 1;
+    }
+  };
+  int result = 0;
+  struct Ctx {
+    int* result;
+  } ctx{&result};
+  f.reset(+[](void* p) { *static_cast<Ctx*>(p)->result = Rec::go(20); }, &ctx);
+  int resumes = 0;
+  while (!f.resume()) ++resumes;
+  EXPECT_EQ(result, 21);
+  EXPECT_EQ(resumes, 21);
+}
+
+TEST(Fiber, StackHighWaterGrowsWithUse) {
+  Fiber f(64 * 1024);
+  f.reset(
+      +[](void*) {
+        volatile char burn[8000];
+        for (auto& c : burn) c = 1;
+      },
+      nullptr);
+  f.resume();
+  EXPECT_GE(f.stack_high_water(), 8000u);
+  EXPECT_LE(f.stack_high_water(), 64u * 1024);
+}
+
+}  // namespace
+}  // namespace gms::gpu

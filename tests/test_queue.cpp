@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "allocators/lockfree_queue.h"
+#include "allocators/ouroboros.h"
+#include "gpu/device.h"
+
+namespace gms::alloc {
+namespace {
+
+using gpu::Device;
+using gpu::GpuConfig;
+using gpu::ThreadCtx;
+
+Device& dev() {
+  static Device device(64u << 20, GpuConfig{.num_sms = 4});
+  return device;
+}
+
+// ---- BoundedTicketQueue ----------------------------------------------------
+
+TEST(BoundedQueue, FifoSingleThread) {
+  std::vector<std::uint64_t> words(BoundedTicketQueue::layout_words(8));
+  BoundedTicketQueue q(words.data(), 8);
+  q.init_host();
+  dev().launch(1, 1, [&](ThreadCtx& t) {
+    for (std::uint64_t i = 1; i <= 5; ++i) ASSERT_TRUE(q.try_enqueue(t, i));
+    std::uint64_t v = 0;
+    for (std::uint64_t i = 1; i <= 5; ++i) {
+      ASSERT_TRUE(q.try_dequeue(t, v));
+      EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(q.try_dequeue(t, v));
+  });
+}
+
+TEST(BoundedQueue, FullReportsFalse) {
+  std::vector<std::uint64_t> words(BoundedTicketQueue::layout_words(4));
+  BoundedTicketQueue q(words.data(), 4);
+  q.init_host();
+  dev().launch(1, 1, [&](ThreadCtx& t) {
+    for (std::uint64_t i = 0; i < 4; ++i) ASSERT_TRUE(q.try_enqueue(t, i));
+    EXPECT_FALSE(q.try_enqueue(t, 99));
+    std::uint64_t v;
+    ASSERT_TRUE(q.try_dequeue(t, v));
+    EXPECT_TRUE(q.try_enqueue(t, 99));
+  });
+}
+
+TEST(BoundedQueue, HostPrefillVisibleOnDevice) {
+  std::vector<std::uint64_t> words(BoundedTicketQueue::layout_words(16));
+  BoundedTicketQueue q(words.data(), 16);
+  q.init_host();
+  for (std::uint64_t i = 0; i < 10; ++i) q.push_host(i * 3);
+  std::vector<std::uint64_t> got(10, ~0ull);
+  dev().launch(1, 1, [&](ThreadCtx& t) {
+    std::uint64_t v;
+    for (int i = 0; i < 10 && q.try_dequeue(t, v); ++i) got[i] = v;
+  });
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(got[i], i * 3);
+}
+
+TEST(BoundedQueue, ConcurrentProducersConsumersLoseNothing) {
+  constexpr std::size_t kCap = 1024;
+  constexpr std::uint32_t kN = 8'000;
+  std::vector<std::uint64_t> words(BoundedTicketQueue::layout_words(kCap));
+  BoundedTicketQueue q(words.data(), kCap);
+  q.init_host();
+  std::vector<std::uint32_t> seen(kN, 0);
+  std::uint64_t produced = 0, consumed = 0;
+  // Each thread enqueues its rank, then dequeues one element.
+  dev().launch_n(kN, [&](ThreadCtx& t) {
+    while (!q.try_enqueue(t, t.thread_rank())) t.backoff();
+    t.atomic_add(&produced, std::uint64_t{1});
+    std::uint64_t v = 0;
+    while (!q.try_dequeue(t, v)) t.backoff();
+    t.atomic_add(&seen[v], 1u);
+    t.atomic_add(&consumed, std::uint64_t{1});
+  });
+  EXPECT_EQ(produced, kN);
+  EXPECT_EQ(consumed, kN);
+  // Every value consumed exactly once.
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](std::uint32_t c) { return c == 1; }));
+}
+
+// ---- Virtualized Ouroboros queues -------------------------------------------
+
+class VirtQueueTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static constexpr std::size_t kChunkBytes = 4096;
+
+  void SetUp() override {
+    device_ = std::make_unique<Device>(32u << 20, GpuConfig{.num_sms = 4});
+    auto* base = device_->arena().data();
+    const std::uint32_t num_chunks = 2048;
+    reuse_words_.resize(1 + BoundedTicketQueue::layout_words(num_chunks));
+    pool_.init_host(base, num_chunks, kChunkBytes, reuse_words_.data());
+    if (std::string_view(GetParam()) == "va") {
+      va_words_.resize(VirtArrayOuroQueue::layout_words(64));
+      va_readers_.assign(64, 0);
+      queue_ = std::make_unique<VirtArrayOuroQueue>(va_words_.data(),
+                                                    va_readers_.data(), 64,
+                                                    pool_);
+    } else {
+      vl_words_.resize(VirtLinkedOuroQueue::layout_words(64));
+      auto q = std::make_unique<VirtLinkedOuroQueue>(vl_words_.data(), 64,
+                                                     pool_);
+      q->init_host_first_segment();
+      queue_ = std::move(q);
+    }
+  }
+
+  std::unique_ptr<Device> device_;
+  ChunkPool pool_;
+  std::vector<std::uint64_t> reuse_words_;
+  std::vector<std::uint64_t> va_words_;
+  std::vector<std::uint32_t> va_readers_;
+  std::vector<std::uint64_t> vl_words_;
+  std::unique_ptr<OuroQueue> queue_;
+};
+
+TEST_P(VirtQueueTest, FifoOrderSingleThread) {
+  device_->launch(1, 1, [&](ThreadCtx& t) {
+    for (std::uint32_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(queue_->try_enqueue(t, i));
+    }
+    std::uint32_t v = 0;
+    for (std::uint32_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(queue_->try_dequeue(t, v));
+      EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(queue_->try_dequeue(t, v));
+  });
+}
+
+TEST_P(VirtQueueTest, GrowsAndRetiresSegments) {
+  // Push far beyond one segment (4096/16 = 256 entries) and drain; storage
+  // must have grown and must shrink back to the cached minimum.
+  std::uint32_t peak = 0, final_count = 0;
+  device_->launch(1, 1, [&](ThreadCtx& t) {
+    for (std::uint32_t i = 0; i < 2'000; ++i) {
+      ASSERT_TRUE(queue_->try_enqueue(t, i));
+    }
+    peak = queue_->storage_chunks(t);
+    std::uint32_t v;
+    for (std::uint32_t i = 0; i < 2'000; ++i) {
+      ASSERT_TRUE(queue_->try_dequeue(t, v));
+      EXPECT_EQ(v, i);
+    }
+    final_count = queue_->storage_chunks(t);
+  });
+  EXPECT_GE(peak, 7u);  // ~2000/256 segments
+  EXPECT_LE(final_count, 2u);
+}
+
+TEST_P(VirtQueueTest, ConcurrentChurnLosesNothing) {
+  constexpr std::uint32_t kN = 20'000;
+  std::vector<std::uint32_t> seen(kN, 0);
+  std::uint64_t consumed = 0;
+  device_->launch_n(kN, [&](ThreadCtx& t) {
+    while (!queue_->try_enqueue(t, t.thread_rank())) t.backoff();
+    std::uint32_t v = 0;
+    while (!queue_->try_dequeue(t, v)) t.backoff();
+    t.atomic_add(&seen[v], 1u);
+    t.atomic_add(&consumed, std::uint64_t{1});
+  });
+  EXPECT_EQ(consumed, kN);
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](std::uint32_t c) { return c == 1; }));
+}
+
+TEST_P(VirtQueueTest, InterleavedEnqueueDequeueAcrossSegments) {
+  // Alternating push/pop marches the window over many segment boundaries.
+  device_->launch(1, 1, [&](ThreadCtx& t) {
+    std::uint32_t next_in = 0, next_out = 0;
+    for (int round = 0; round < 3'000; ++round) {
+      ASSERT_TRUE(queue_->try_enqueue(t, next_in++));
+      ASSERT_TRUE(queue_->try_enqueue(t, next_in++));
+      std::uint32_t v;
+      ASSERT_TRUE(queue_->try_dequeue(t, v));
+      EXPECT_EQ(v, next_out++);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(OuroQueues, VirtQueueTest,
+                         ::testing::Values("va", "vl"));
+
+}  // namespace
+}  // namespace gms::alloc

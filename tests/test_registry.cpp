@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/registry.h"
+
+namespace gms::core {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { register_all_allocators(); }
+  Registry& reg() { return Registry::instance(); }
+};
+
+TEST_F(RegistryTest, AllSixteenVariantsRegistered) {
+  // 1 Atomic + 1 CUDA + 1 XMalloc + 1 ScatterAlloc + 1 FDG + 1 Halloc
+  // + 4 Reg-Eff + 6 Ouroboros = 16 (Table 1's testable population),
+  // plus extensions beyond the paper (the BulkAllocator rebuild).
+  std::size_t paper_population = 0;
+  for (const auto& e : reg().entries()) {
+    if (!e.traits.extension) ++paper_population;
+  }
+  EXPECT_EQ(paper_population, 16u);
+  EXPECT_NE(reg().find("BulkAlloc"), nullptr);
+  EXPECT_TRUE(reg().find("BulkAlloc")->traits.extension);
+}
+
+TEST_F(RegistryTest, FindByName) {
+  EXPECT_NE(reg().find("ScatterAlloc"), nullptr);
+  EXPECT_NE(reg().find("Ouro-P-VA"), nullptr);
+  EXPECT_NE(reg().find("RegEff-CFM"), nullptr);
+  EXPECT_EQ(reg().find("NotAnAllocator"), nullptr);
+}
+
+TEST_F(RegistryTest, PaperSelectorLettersExpand) {
+  const auto all = reg().select("o+s+h+c+r+x");
+  EXPECT_EQ(all.size(), 14u);  // 6 ouro + scatter + halloc + cuda + 4 regeff + xmalloc
+  const auto ouro = reg().select("o");
+  EXPECT_EQ(ouro.size(), 6u);
+  EXPECT_THROW(reg().select("z"), std::invalid_argument);
+}
+
+TEST_F(RegistryTest, CommaListSelection) {
+  const auto sel = reg().select("Halloc,ScatterAlloc,Halloc");
+  EXPECT_EQ(sel.size(), 2u);  // deduplicated
+  EXPECT_THROW(reg().select("Halloc,Nope"), std::invalid_argument);
+}
+
+TEST_F(RegistryTest, GeneralPurposeFilterExcludesAtomicAndFdg) {
+  const auto names = reg().names(/*general_purpose_only=*/true);
+  EXPECT_EQ(names.size(), 15u);  // 14 paper variants + the BulkAlloc extension
+  EXPECT_EQ(std::find(names.begin(), names.end(), "Atomic"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "FDGMalloc"), names.end());
+}
+
+TEST_F(RegistryTest, TraitsMatchPaperTable1) {
+  // Spot checks against Table 1 and §5.
+  const auto* cuda = reg().find("CUDA");
+  ASSERT_NE(cuda, nullptr);
+  EXPECT_TRUE(cuda->traits.its_safe);
+  EXPECT_TRUE(cuda->traits.stable);
+  EXPECT_FALSE(cuda->traits.resizable);
+
+  const auto* scatter = reg().find("ScatterAlloc");
+  EXPECT_TRUE(scatter->traits.resizable);
+  EXPECT_FALSE(scatter->traits.its_safe);
+
+  const auto* xm = reg().find("XMalloc");
+  EXPECT_FALSE(xm->traits.stable);
+  EXPECT_EQ(xm->traits.malloc_state_bytes, 168u);  // the register outlier
+
+  const auto* fdg = reg().find("FDGMalloc");
+  EXPECT_TRUE(fdg->traits.warp_level_only);
+  EXPECT_FALSE(fdg->traits.individual_free);
+
+  const auto* halloc = reg().find("Halloc");
+  EXPECT_EQ(halloc->traits.max_direct_size, 3072u);
+  EXPECT_TRUE(halloc->traits.relays_large_to_system);
+
+  for (const char* n : {"Ouro-P-S", "Ouro-P-VA", "Ouro-P-VL", "Ouro-C-S",
+                        "Ouro-C-VA", "Ouro-C-VL"}) {
+    const auto* o = reg().find(n);
+    ASSERT_NE(o, nullptr) << n;
+    EXPECT_TRUE(o->traits.its_safe) << n;
+    EXPECT_TRUE(o->traits.resizable) << n;
+  }
+
+  // Reg-Eff: lowest footprint of the whole population (paper title claim).
+  for (const auto& e : reg().entries()) {
+    if (e.traits.family == "Reg-Eff" || e.traits.family == "Baseline") continue;
+    if (e.traits.extension) continue;  // outside the paper's comparison
+    EXPECT_GT(e.traits.malloc_state_bytes,
+              reg().find("RegEff-CF")->traits.malloc_state_bytes)
+        << e.traits.name;
+  }
+}
+
+TEST_F(RegistryTest, MakeRejectsOversizedHeap) {
+  gpu::Device dev(8u << 20, gpu::GpuConfig{.num_sms = 1});
+  EXPECT_THROW(reg().make("ScatterAlloc", dev, 1u << 30),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gms::core

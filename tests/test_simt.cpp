@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "gpu/device.h"
+
+namespace gms::gpu {
+namespace {
+
+Device& dev() {
+  static Device device(8u << 20, GpuConfig{.num_sms = 4});
+  return device;
+}
+
+TEST(Simt, EveryThreadRunsExactlyOnce) {
+  std::vector<std::uint32_t> hits(10'000, 0);
+  dev().launch_n(hits.size(), [&](ThreadCtx& t) {
+    t.atomic_add(&hits[t.thread_rank()], 1u);
+  });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](std::uint32_t h) { return h == 1; }));
+}
+
+TEST(Simt, GeometryFieldsAreConsistent) {
+  std::vector<std::uint32_t> fails(1, 0);
+  dev().launch(7, 96, [&](ThreadCtx& t) {
+    const bool ok = t.block_dim() == 96 && t.grid_dim() == 7 &&
+                    t.lane_id() == (t.thread_rank() % 96) % 32 &&
+                    t.lane_id() < kWarpSize &&
+                    t.warp_in_block() == (t.thread_rank() % 96) / 32 &&
+                    t.thread_rank() ==
+                        t.block_idx() * 96 + t.warp_in_block() * 32 +
+                            t.lane_id() &&
+                    t.smid() < t.num_sms();
+    if (!ok) t.atomic_add(&fails[0], 1u);
+  });
+  EXPECT_EQ(fails[0], 0u);
+}
+
+TEST(Simt, FullWarpBallot) {
+  std::uint32_t out = 0;
+  dev().launch(1, 32, [&](ThreadCtx& t) {
+    const auto b = t.ballot(t.lane_id() < 7);
+    if (t.lane_id() == 0) out = b;
+  });
+  EXPECT_EQ(out, 0x7Fu);
+}
+
+TEST(Simt, DivergentCoalescedGroups) {
+  // Three-way divergence: each branch sees exactly its own members.
+  std::uint32_t masks[3] = {0, 0, 0};
+  dev().launch(1, 32, [&](ThreadCtx& t) {
+    const unsigned which = t.lane_id() % 3;
+    if (which == 0) {
+      auto g = t.coalesce();
+      if (g.is_leader()) masks[0] = g.mask;
+    } else if (which == 1) {
+      auto g = t.coalesce();
+      if (g.is_leader()) masks[1] = g.mask;
+    } else {
+      auto g = t.coalesce();
+      if (g.is_leader()) masks[2] = g.mask;
+    }
+  });
+  std::uint32_t expect[3] = {0, 0, 0};
+  for (unsigned lane = 0; lane < 32; ++lane) expect[lane % 3] |= 1u << lane;
+  EXPECT_EQ(masks[0], expect[0]);
+  EXPECT_EQ(masks[1], expect[1]);
+  EXPECT_EQ(masks[2], expect[2]);
+}
+
+TEST(Simt, ShflBroadcastsLaneValue) {
+  std::vector<std::uint32_t> out(32, 0);
+  dev().launch(1, 32, [&](ThreadCtx& t) {
+    out[t.lane_id()] = t.shfl(t.lane_id() * 10u, 5);
+  });
+  EXPECT_TRUE(std::all_of(out.begin(), out.end(),
+                          [](std::uint32_t v) { return v == 50; }));
+}
+
+TEST(Simt, ReduceAndScan) {
+  std::uint32_t sum = 0, mn = 0, mx = 0;
+  std::vector<std::uint32_t> prefix(32);
+  dev().launch(1, 32, [&](ThreadCtx& t) {
+    const std::uint32_t v = t.lane_id() + 1;
+    const auto s = t.reduce_add(v);
+    const auto lo = t.reduce_min(v);
+    const auto hi = t.reduce_max(v);
+    prefix[t.lane_id()] = t.scan_exclusive_add(v);
+    if (t.lane_id() == 0) {
+      sum = s;
+      mn = lo;
+      mx = hi;
+    }
+  });
+  EXPECT_EQ(sum, 528u);  // 1+..+32
+  EXPECT_EQ(mn, 1u);
+  EXPECT_EQ(mx, 32u);
+  for (unsigned i = 0; i < 32; ++i) {
+    EXPECT_EQ(prefix[i], i * (i + 1) / 2);
+  }
+}
+
+TEST(Simt, ReduceAndOr) {
+  std::uint32_t all_and = 0, all_or = 0;
+  dev().launch(1, 32, [&](ThreadCtx& t) {
+    const std::uint32_t v = 0xF0u | t.lane_id();
+    const auto a = t.reduce_and(v);
+    const auto o = t.reduce_or(v);
+    if (t.lane_id() == 0) {
+      all_and = a;
+      all_or = o;
+    }
+  });
+  EXPECT_EQ(all_and, 0xF0u);        // lane bits cancel out
+  EXPECT_EQ(all_or, 0xF0u | 31u);   // all lane bits present
+}
+
+TEST(Simt, AggregatedAddSubGroupsByAddress) {
+  // Lanes targeting different words must not be folded into one RMW —
+  // hardware sub-groups with __match_any; so does the engine.
+  std::uint32_t counters[4] = {0, 0, 0, 0};
+  const auto stats = dev().launch(1, 32, [&](ThreadCtx& t) {
+    t.aggregated_atomic_add(&counters[t.lane_id() % 4], 1u);
+  });
+  for (auto c : counters) EXPECT_EQ(c, 8u);
+  EXPECT_EQ(stats.counters.atomic_rmw, 4u) << "one RMW per distinct address";
+}
+
+TEST(Simt, AggregatedAtomicAddIssuesOneRmwPerGroup) {
+  std::uint32_t counter = 0;
+  std::vector<std::uint32_t> tickets(64);
+  const auto stats = dev().launch(1, 64, [&](ThreadCtx& t) {
+    tickets[t.thread_rank()] = t.aggregated_atomic_add(&counter, 1u);
+  });
+  EXPECT_EQ(counter, 64u);
+  // Two warps -> exactly two RMWs.
+  EXPECT_EQ(stats.counters.atomic_rmw, 2u);
+  // Tickets must be a permutation of 0..63.
+  std::sort(tickets.begin(), tickets.end());
+  for (unsigned i = 0; i < 64; ++i) EXPECT_EQ(tickets[i], i);
+}
+
+TEST(Simt, AggregatedAddWithDivergentGroup) {
+  std::uint32_t counter = 100;
+  std::vector<std::uint32_t> got(32, ~0u);
+  dev().launch(1, 32, [&](ThreadCtx& t) {
+    if (t.lane_id() % 4 == 0) {
+      got[t.lane_id()] = t.aggregated_atomic_add(&counter, 3u);
+    }
+  });
+  EXPECT_EQ(counter, 100 + 8 * 3);
+  std::vector<std::uint32_t> participating;
+  for (unsigned i = 0; i < 32; i += 4) participating.push_back(got[i]);
+  std::sort(participating.begin(), participating.end());
+  for (unsigned i = 0; i < participating.size(); ++i) {
+    EXPECT_EQ(participating[i], 100 + 3 * i);
+  }
+}
+
+TEST(Simt, BlockBarrierOrdersPhases) {
+  constexpr unsigned kDim = 256;
+  std::vector<std::uint32_t> stage1(kDim, 0);
+  std::uint32_t violations = 0;
+  dev().launch(1, kDim, [&](ThreadCtx& t) {
+    stage1[t.thread_rank()] = t.thread_rank() + 1;
+    t.sync_block();
+    // After the barrier every sibling's stage-1 write must be visible.
+    const unsigned peer = (t.thread_rank() + kDim / 2) % kDim;
+    if (stage1[peer] != peer + 1) t.atomic_add(&violations, 1u);
+  });
+  EXPECT_EQ(violations, 0u);
+}
+
+TEST(Simt, BarrierWithEarlyExitLanes) {
+  std::uint32_t after = 0;
+  dev().launch(1, 64, [&](ThreadCtx& t) {
+    if (t.thread_rank() % 2 == 0) return;  // half the block exits early
+    t.sync_block();
+    t.atomic_add(&after, 1u);
+  });
+  EXPECT_EQ(after, 32u);
+}
+
+TEST(Simt, SharedMemoryIsPerBlock) {
+  std::vector<std::uint32_t> block_sums(8, 0);
+  dev().launch(8, 64, [&](ThreadCtx& t) {
+    auto* sh = reinterpret_cast<std::uint32_t*>(t.shared().data());
+    t.atomic_add(&sh[0], 1u);
+    t.sync_block();
+    if (t.thread_rank() % 64 == 0) block_sums[t.block_idx()] = sh[0];
+  }, 16);
+  for (auto s : block_sums) EXPECT_EQ(s, 64u);
+}
+
+TEST(Simt, ContendedCasLoopCompletes) {
+  std::uint64_t total = 0;
+  dev().launch_n(20'000, [&](ThreadCtx& t) {
+    for (;;) {
+      const auto cur = t.atomic_load(&total);
+      if (t.atomic_cas(&total, cur, cur + 1) == cur) break;
+      t.backoff();
+    }
+  });
+  EXPECT_EQ(total, 20'000u);
+}
+
+TEST(Simt, CasFailureCountersTrackContention) {
+  std::uint64_t word = 0;
+  const auto stats = dev().launch_n(4'096, [&](ThreadCtx& t) {
+    for (;;) {
+      const auto cur = t.atomic_load(&word);
+      if (t.atomic_cas(&word, cur, cur + 1) == cur) break;
+      t.backoff();
+    }
+  });
+  EXPECT_GE(stats.counters.atomic_cas, 4'096u);
+  EXPECT_EQ(stats.counters.atomic_cas - stats.counters.atomic_cas_failed,
+            4'096u);
+}
+
+TEST(Simt, KernelExceptionPropagatesToHost) {
+  EXPECT_THROW(
+      dev().launch(1, 32, [&](ThreadCtx& t) {
+        if (t.lane_id() == 13) throw std::runtime_error{"lane 13"};
+      }),
+      std::runtime_error);
+}
+
+TEST(Simt, MaskedBroadcastAfterCoalesce) {
+  std::vector<std::uint64_t> got(32, 0);
+  dev().launch(1, 32, [&](ThreadCtx& t) {
+    if (t.lane_id() >= 8 && t.lane_id() < 24) {
+      auto g = t.coalesce();
+      const std::uint64_t mine = t.lane_id() * 100;
+      got[t.lane_id()] = t.broadcast(g, mine, g.leader);
+    }
+  });
+  for (unsigned i = 8; i < 24; ++i) EXPECT_EQ(got[i], 800u);
+  EXPECT_EQ(got[0], 0u);
+}
+
+TEST(Simt, LargeGridManyBlocks) {
+  std::uint64_t sum = 0;
+  dev().launch_n(
+      100'000, [&](ThreadCtx& t) { t.aggregated_atomic_add(&sum, std::uint64_t{1}); },
+      128);
+  EXPECT_EQ(sum, 100'000u);
+}
+
+TEST(Simt, GridWithNonWarpMultipleBlockDim) {
+  std::uint32_t count = 0;
+  dev().launch(3, 50, [&](ThreadCtx& t) { t.atomic_add(&count, 1u); });
+  EXPECT_EQ(count, 150u);
+}
+
+TEST(Simt, StatsCountAtomics) {
+  std::uint64_t x = 0;
+  const auto stats = dev().launch(1, 32, [&](ThreadCtx& t) {
+    t.atomic_add(&x, std::uint64_t{1});
+    t.atomic_load(&x);
+    t.atomic_store(&x, std::uint64_t{1});
+  });
+  EXPECT_EQ(stats.counters.atomic_rmw, 32u);
+  EXPECT_EQ(stats.counters.atomic_load, 32u);
+  EXPECT_EQ(stats.counters.atomic_store, 32u);
+}
+
+}  // namespace
+}  // namespace gms::gpu
