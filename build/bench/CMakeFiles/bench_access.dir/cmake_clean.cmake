@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_access.dir/bench_access.cpp.o"
+  "CMakeFiles/bench_access.dir/bench_access.cpp.o.d"
+  "bench_access"
+  "bench_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alloc_mixed.dir/bench_alloc_mixed.cpp.o"
+  "CMakeFiles/bench_alloc_mixed.dir/bench_alloc_mixed.cpp.o.d"
+  "bench_alloc_mixed"
+  "bench_alloc_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alloc_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alloc_size.dir/bench_alloc_size.cpp.o"
+  "CMakeFiles/bench_alloc_size.dir/bench_alloc_size.cpp.o.d"
+  "bench_alloc_size"
+  "bench_alloc_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alloc_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

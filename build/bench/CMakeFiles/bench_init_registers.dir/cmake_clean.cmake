@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_init_registers.dir/bench_init_registers.cpp.o"
+  "CMakeFiles/bench_init_registers.dir/bench_init_registers.cpp.o.d"
+  "bench_init_registers"
+  "bench_init_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_init_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

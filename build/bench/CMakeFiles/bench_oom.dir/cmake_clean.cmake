@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oom.dir/bench_oom.cpp.o"
+  "CMakeFiles/bench_oom.dir/bench_oom.cpp.o.d"
+  "bench_oom"
+  "bench_oom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

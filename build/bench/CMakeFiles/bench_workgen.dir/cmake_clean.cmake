@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workgen.dir/bench_workgen.cpp.o"
+  "CMakeFiles/bench_workgen.dir/bench_workgen.cpp.o.d"
+  "bench_workgen"
+  "bench_workgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

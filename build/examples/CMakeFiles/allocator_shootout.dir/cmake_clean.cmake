@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_shootout.dir/allocator_shootout.cpp.o"
+  "CMakeFiles/allocator_shootout.dir/allocator_shootout.cpp.o.d"
+  "allocator_shootout"
+  "allocator_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

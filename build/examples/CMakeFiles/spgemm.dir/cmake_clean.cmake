@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spgemm.dir/spgemm.cpp.o"
+  "CMakeFiles/spgemm.dir/spgemm.cpp.o.d"
+  "spgemm"
+  "spgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/allocators/atomic_alloc.cpp" "src/CMakeFiles/gms_allocators.dir/allocators/atomic_alloc.cpp.o" "gcc" "src/CMakeFiles/gms_allocators.dir/allocators/atomic_alloc.cpp.o.d"
+  "/root/repo/src/allocators/bulk_alloc.cpp" "src/CMakeFiles/gms_allocators.dir/allocators/bulk_alloc.cpp.o" "gcc" "src/CMakeFiles/gms_allocators.dir/allocators/bulk_alloc.cpp.o.d"
+  "/root/repo/src/allocators/cuda_standin.cpp" "src/CMakeFiles/gms_allocators.dir/allocators/cuda_standin.cpp.o" "gcc" "src/CMakeFiles/gms_allocators.dir/allocators/cuda_standin.cpp.o.d"
+  "/root/repo/src/allocators/fdg_malloc.cpp" "src/CMakeFiles/gms_allocators.dir/allocators/fdg_malloc.cpp.o" "gcc" "src/CMakeFiles/gms_allocators.dir/allocators/fdg_malloc.cpp.o.d"
+  "/root/repo/src/allocators/halloc.cpp" "src/CMakeFiles/gms_allocators.dir/allocators/halloc.cpp.o" "gcc" "src/CMakeFiles/gms_allocators.dir/allocators/halloc.cpp.o.d"
+  "/root/repo/src/allocators/ouroboros.cpp" "src/CMakeFiles/gms_allocators.dir/allocators/ouroboros.cpp.o" "gcc" "src/CMakeFiles/gms_allocators.dir/allocators/ouroboros.cpp.o.d"
+  "/root/repo/src/allocators/reg_eff.cpp" "src/CMakeFiles/gms_allocators.dir/allocators/reg_eff.cpp.o" "gcc" "src/CMakeFiles/gms_allocators.dir/allocators/reg_eff.cpp.o.d"
+  "/root/repo/src/allocators/register_all.cpp" "src/CMakeFiles/gms_allocators.dir/allocators/register_all.cpp.o" "gcc" "src/CMakeFiles/gms_allocators.dir/allocators/register_all.cpp.o.d"
+  "/root/repo/src/allocators/scatter_alloc.cpp" "src/CMakeFiles/gms_allocators.dir/allocators/scatter_alloc.cpp.o" "gcc" "src/CMakeFiles/gms_allocators.dir/allocators/scatter_alloc.cpp.o.d"
+  "/root/repo/src/allocators/xmalloc.cpp" "src/CMakeFiles/gms_allocators.dir/allocators/xmalloc.cpp.o" "gcc" "src/CMakeFiles/gms_allocators.dir/allocators/xmalloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

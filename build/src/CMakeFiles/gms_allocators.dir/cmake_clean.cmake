@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_allocators.dir/allocators/atomic_alloc.cpp.o"
+  "CMakeFiles/gms_allocators.dir/allocators/atomic_alloc.cpp.o.d"
+  "CMakeFiles/gms_allocators.dir/allocators/bulk_alloc.cpp.o"
+  "CMakeFiles/gms_allocators.dir/allocators/bulk_alloc.cpp.o.d"
+  "CMakeFiles/gms_allocators.dir/allocators/cuda_standin.cpp.o"
+  "CMakeFiles/gms_allocators.dir/allocators/cuda_standin.cpp.o.d"
+  "CMakeFiles/gms_allocators.dir/allocators/fdg_malloc.cpp.o"
+  "CMakeFiles/gms_allocators.dir/allocators/fdg_malloc.cpp.o.d"
+  "CMakeFiles/gms_allocators.dir/allocators/halloc.cpp.o"
+  "CMakeFiles/gms_allocators.dir/allocators/halloc.cpp.o.d"
+  "CMakeFiles/gms_allocators.dir/allocators/ouroboros.cpp.o"
+  "CMakeFiles/gms_allocators.dir/allocators/ouroboros.cpp.o.d"
+  "CMakeFiles/gms_allocators.dir/allocators/reg_eff.cpp.o"
+  "CMakeFiles/gms_allocators.dir/allocators/reg_eff.cpp.o.d"
+  "CMakeFiles/gms_allocators.dir/allocators/register_all.cpp.o"
+  "CMakeFiles/gms_allocators.dir/allocators/register_all.cpp.o.d"
+  "CMakeFiles/gms_allocators.dir/allocators/scatter_alloc.cpp.o"
+  "CMakeFiles/gms_allocators.dir/allocators/scatter_alloc.cpp.o.d"
+  "CMakeFiles/gms_allocators.dir/allocators/xmalloc.cpp.o"
+  "CMakeFiles/gms_allocators.dir/allocators/xmalloc.cpp.o.d"
+  "libgms_allocators.a"
+  "libgms_allocators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_allocators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

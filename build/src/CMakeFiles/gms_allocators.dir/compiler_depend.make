@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gms_allocators.
+# This may be replaced when dependencies are built.

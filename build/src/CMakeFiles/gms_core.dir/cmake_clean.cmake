@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_core.dir/core/registry.cpp.o"
+  "CMakeFiles/gms_core.dir/core/registry.cpp.o.d"
+  "CMakeFiles/gms_core.dir/core/result_table.cpp.o"
+  "CMakeFiles/gms_core.dir/core/result_table.cpp.o.d"
+  "libgms_core.a"
+  "libgms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

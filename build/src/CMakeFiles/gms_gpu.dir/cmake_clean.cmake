@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_gpu.dir/gpu/block_exec.cpp.o"
+  "CMakeFiles/gms_gpu.dir/gpu/block_exec.cpp.o.d"
+  "CMakeFiles/gms_gpu.dir/gpu/device.cpp.o"
+  "CMakeFiles/gms_gpu.dir/gpu/device.cpp.o.d"
+  "CMakeFiles/gms_gpu.dir/gpu/device_arena.cpp.o"
+  "CMakeFiles/gms_gpu.dir/gpu/device_arena.cpp.o.d"
+  "CMakeFiles/gms_gpu.dir/gpu/fiber.cpp.o"
+  "CMakeFiles/gms_gpu.dir/gpu/fiber.cpp.o.d"
+  "CMakeFiles/gms_gpu.dir/gpu/fiber_x86_64.S.o"
+  "libgms_gpu.a"
+  "libgms_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/gms_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

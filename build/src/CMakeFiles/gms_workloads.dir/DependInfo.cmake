@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/alloc_perf.cpp" "src/CMakeFiles/gms_workloads.dir/workloads/alloc_perf.cpp.o" "gcc" "src/CMakeFiles/gms_workloads.dir/workloads/alloc_perf.cpp.o.d"
+  "/root/repo/src/workloads/fragmentation.cpp" "src/CMakeFiles/gms_workloads.dir/workloads/fragmentation.cpp.o" "gcc" "src/CMakeFiles/gms_workloads.dir/workloads/fragmentation.cpp.o.d"
+  "/root/repo/src/workloads/graph.cpp" "src/CMakeFiles/gms_workloads.dir/workloads/graph.cpp.o" "gcc" "src/CMakeFiles/gms_workloads.dir/workloads/graph.cpp.o.d"
+  "/root/repo/src/workloads/graph_gen.cpp" "src/CMakeFiles/gms_workloads.dir/workloads/graph_gen.cpp.o" "gcc" "src/CMakeFiles/gms_workloads.dir/workloads/graph_gen.cpp.o.d"
+  "/root/repo/src/workloads/graph_workload.cpp" "src/CMakeFiles/gms_workloads.dir/workloads/graph_workload.cpp.o" "gcc" "src/CMakeFiles/gms_workloads.dir/workloads/graph_workload.cpp.o.d"
+  "/root/repo/src/workloads/spgemm.cpp" "src/CMakeFiles/gms_workloads.dir/workloads/spgemm.cpp.o" "gcc" "src/CMakeFiles/gms_workloads.dir/workloads/spgemm.cpp.o.d"
+  "/root/repo/src/workloads/workgen.cpp" "src/CMakeFiles/gms_workloads.dir/workloads/workgen.cpp.o" "gcc" "src/CMakeFiles/gms_workloads.dir/workloads/workgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gms_allocators.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gms_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

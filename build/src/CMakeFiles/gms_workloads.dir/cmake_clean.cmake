@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_workloads.dir/workloads/alloc_perf.cpp.o"
+  "CMakeFiles/gms_workloads.dir/workloads/alloc_perf.cpp.o.d"
+  "CMakeFiles/gms_workloads.dir/workloads/fragmentation.cpp.o"
+  "CMakeFiles/gms_workloads.dir/workloads/fragmentation.cpp.o.d"
+  "CMakeFiles/gms_workloads.dir/workloads/graph.cpp.o"
+  "CMakeFiles/gms_workloads.dir/workloads/graph.cpp.o.d"
+  "CMakeFiles/gms_workloads.dir/workloads/graph_gen.cpp.o"
+  "CMakeFiles/gms_workloads.dir/workloads/graph_gen.cpp.o.d"
+  "CMakeFiles/gms_workloads.dir/workloads/graph_workload.cpp.o"
+  "CMakeFiles/gms_workloads.dir/workloads/graph_workload.cpp.o.d"
+  "CMakeFiles/gms_workloads.dir/workloads/spgemm.cpp.o"
+  "CMakeFiles/gms_workloads.dir/workloads/spgemm.cpp.o.d"
+  "CMakeFiles/gms_workloads.dir/workloads/workgen.cpp.o"
+  "CMakeFiles/gms_workloads.dir/workloads/workgen.cpp.o.d"
+  "libgms_workloads.a"
+  "libgms_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

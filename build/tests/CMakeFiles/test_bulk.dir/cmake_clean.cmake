@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bulk.dir/test_bulk.cpp.o"
+  "CMakeFiles/test_bulk.dir/test_bulk.cpp.o.d"
+  "test_bulk"
+  "test_bulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
