@@ -46,5 +46,6 @@ int main(int argc, char** argv) {
   bench::emit(table, args,
               "Fig. 9h — mixed allocation performance, " +
                   std::to_string(args.threads) + " threads");
+  for (auto& md : devices) md->print_report(std::cout);
   return 0;
 }

@@ -6,9 +6,11 @@
 #include <string>
 #include <vector>
 
+#include "core/fault_inject.h"
 #include "core/registry.h"
 #include "core/result_table.h"
 #include "core/utils.h"
+#include "core/validating_manager.h"
 #include "gpu/device.h"
 
 namespace gms::bench {
@@ -33,6 +35,19 @@ struct BenchArgs {
   /// Wall clock on a single-core host compresses contention differences;
   /// the counters expose them directly (see DESIGN.md §1).
   std::string metric = "ms";
+  /// --validate: run each manager's "+V" validated twin and print the
+  /// LaunchReport (redzones, double frees, leaks) after the bench.
+  bool validate = false;
+  /// --fault=SPEC: wrap every manager in the deterministic FaultInjector
+  /// ("nth:7", "prob:0.05:42", "budget:1048576", suffix ",delay=K").
+  core::FaultSpec fault;
+  /// --watchdog-ms=N: cancel a launch after N ms without scheduler progress
+  /// (0 = off). Surfaces as the paper's "timed out / unstable" outcome.
+  double watchdog_ms = 0;
+  /// bench_table1 --measure-stability: churn each manager under its
+  /// validated twin + watchdog and compare the measured outcome against the
+  /// paper-reported `stable` trait.
+  bool measure_stability = false;
 
   [[nodiscard]] std::size_t heap_bytes() const { return mem_mb << 20; }
 };
@@ -42,7 +57,14 @@ inline BenchArgs parse_args(int argc, char** argv,
   core::register_all_allocators();
   BenchArgs args;
   std::string selector = default_selector;
+  // Both "--flag value" and "--flag=value" spellings are accepted.
+  std::string inline_val;
+  bool has_inline = false;
   auto need = [&](int& i) -> std::string {
+    if (has_inline) {
+      has_inline = false;
+      return inline_val;
+    }
     if (i + 1 >= argc) {
       std::cerr << "missing value for " << argv[i] << "\n";
       std::exit(2);
@@ -50,7 +72,15 @@ inline BenchArgs parse_args(int argc, char** argv,
     return argv[++i];
   };
   for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
+    std::string flag = argv[i];
+    has_inline = false;
+    if (flag.rfind("--", 0) == 0) {
+      if (const auto eq = flag.find('='); eq != std::string::npos) {
+        inline_val = flag.substr(eq + 1);
+        flag = flag.substr(0, eq);
+        has_inline = true;
+      }
+    }
     if (flag == "-t" || flag == "--allocators") {
       selector = need(i);
     } else if (flag == "--mem-mb") {
@@ -80,43 +110,101 @@ inline BenchArgs parse_args(int argc, char** argv,
       args.max_exp = static_cast<unsigned>(std::stoul(need(i)));
     } else if (flag == "--metric") {
       args.metric = need(i);
+    } else if (flag == "--validate") {
+      args.validate = true;
+    } else if (flag == "--fault") {
+      try {
+        args.fault = core::FaultSpec::parse(need(i));
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        std::exit(2);
+      }
+    } else if (flag == "--watchdog-ms") {
+      args.watchdog_ms = std::stod(need(i));
+    } else if (flag == "--measure-stability") {
+      args.measure_stability = true;
     } else if (flag == "-h" || flag == "--help") {
       std::cout
           << "common flags: -t o+s+h+c+r+x | name,name  --mem-mb N  "
              "--threads N  --iters N  --sms N  --csv file  --warp  "
              "--range LO-HI  --timeout-s S  --phase init|update|all  "
-             "--scale N  --max-exp N\n";
+             "--scale N  --max-exp N  --validate  --fault=SPEC  "
+             "--watchdog-ms N\n"
+             "fault SPECs: nth:N  prob:P[:SEED]  budget:BYTES  "
+             "(optional suffix ,delay=K)\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << flag << " (try --help)\n";
       std::exit(2);
     }
+    if (has_inline) {
+      std::cerr << flag << " does not take a value\n";
+      std::exit(2);
+    }
   }
-  args.allocators = core::Registry::instance().select(selector);
+  try {
+    args.allocators = core::Registry::instance().select(selector);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    std::exit(2);
+  }
   return args;
 }
 
 /// Builds a fresh device + manager for one measurement (cold start parity
-/// across managers, as the paper's per-test processes provide).
+/// across managers, as the paper's per-test processes provide). Applies the
+/// robustness decorator stack requested on the CLI, outermost first:
+/// FaultInjector( ValidatingManager( inner ) ) — faults are injected above
+/// the validator so an injected nullptr never reaches redzone bookkeeping.
 class ManagedDevice {
  public:
   ManagedDevice(const BenchArgs& args, const std::string& name)
       : device_(std::make_unique<gpu::Device>(
             args.heap_bytes() + (8u << 20),
             gpu::GpuConfig{.num_sms = args.num_sms,
-                           .lane_stack_bytes = 32 * 1024})),
-        mgr_(core::Registry::instance().make(name, *device_,
-                                             args.heap_bytes())) {
+                           .lane_stack_bytes = 32 * 1024,
+                           .watchdog_ms = args.watchdog_ms})) {
+    // --validate swaps in the manager's registered "+V" twin.
+    std::string effective = name;
+    if (args.validate && effective.find("+V") == std::string::npos) {
+      effective += "+V";
+    }
+    mgr_ = core::Registry::instance().make(effective, *device_,
+                                           args.heap_bytes());
+    validator_ = dynamic_cast<core::ValidatingManager*>(mgr_.get());
+    if (args.fault.mode != core::FaultSpec::Mode::kNone) {
+      auto injector =
+          std::make_unique<core::FaultInjector>(std::move(mgr_), args.fault);
+      injector_ = injector.get();
+      mgr_ = std::move(injector);
+    }
     // Warm-up: materialise every SM's lane stacks outside the measurements.
     device_->launch(args.num_sms * 2, 256, [](gpu::ThreadCtx&) {});
   }
 
   gpu::Device& dev() { return *device_; }
   core::MemoryManager& mgr() { return *mgr_; }
+  [[nodiscard]] core::ValidatingManager* validator() { return validator_; }
+  [[nodiscard]] core::FaultInjector* injector() { return injector_; }
+
+  /// End-of-case summary of the active decorators (no-op when neither
+  /// --validate nor --fault is in effect).
+  void print_report(std::ostream& os, bool leaks_are_errors = false) {
+    if (injector_ != nullptr) {
+      os << "[fault " << injector_->spec().to_string() << "] injected "
+         << injector_->injected_failures() << " of " << injector_->calls()
+         << " mallocs\n";
+    }
+    if (validator_ != nullptr) {
+      os << validator_->drain_report(leaks_are_errors).to_string() << "\n";
+    }
+  }
 
  private:
   std::unique_ptr<gpu::Device> device_;
   std::unique_ptr<core::MemoryManager> mgr_;
+  core::ValidatingManager* validator_ = nullptr;  ///< owned via mgr_ chain
+  core::FaultInjector* injector_ = nullptr;       ///< owned via mgr_
 };
 
 /// The paper's size ladder: powers of two from lo to hi.

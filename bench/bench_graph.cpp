@@ -36,6 +36,10 @@ int main(int argc, char** argv) {
           row.push_back(r.failed == 0 ? core::ResultTable::fmt_ms(r.update_ms)
                                       : "oom");
         }
+        if (md.validator() != nullptr || md.injector() != nullptr) {
+          std::cout << (phase == 0 ? "init " : "update ") << gname << ": ";
+          md.print_report(std::cout);
+        }
       }
       table.add_row(std::move(row));
     }

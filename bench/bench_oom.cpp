@@ -9,6 +9,9 @@ int main(int argc, char** argv) {
   auto args = bench::parse_args(argc, argv);
   if (args.threads == 0) args.threads = 1'024;
   if (args.mem_mb == 256) args.mem_mb = 64;  // paper: OOM case uses less
+  // A manager that livelocks instead of reporting OOM used to eat the whole
+  // wave budget; the launch watchdog now reaps the stalled launch itself.
+  if (args.watchdog_ms <= 0) args.watchdog_ms = args.timeout_s * 1000.0;
 
   std::vector<std::string> columns{"Bytes"};
   for (const auto& name : args.allocators) columns.push_back(name + " %");

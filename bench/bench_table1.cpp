@@ -1,10 +1,61 @@
 // Reproduces Table 1: the survey's capability matrix over every memory
 // manager, generated from the registry traits instead of hand-maintained.
+//
+// --measure-stability re-derives the "Stable" column experimentally: each
+// manager is churned under its validated "+V" twin with the launch watchdog
+// armed, and the observed outcome (ok / corrupt / timeout / crash) is put
+// next to the paper's reported value. The two need not agree — the paper
+// tested real CUDA builds, we test the reimplementations — which is exactly
+// why both columns are shown.
 #include "bench_common.h"
+#include "gpu/watchdog.h"
+#include "workloads/alloc_perf.h"
+
+namespace {
+
+int measure_stability(const gms::bench::BenchArgs& args) {
+  using namespace gms;
+  core::ResultTable table(
+      {"Short Name", "Paper Stable", "Measured", "Agrees"});
+  for (const auto& name : args.allocators) {
+    const auto* entry = core::Registry::instance().find(name);
+    bench::BenchArgs sub = args;
+    sub.validate = true;
+    if (sub.watchdog_ms <= 0) sub.watchdog_ms = sub.timeout_s * 1000.0;
+    std::string measured;
+    try {
+      bench::ManagedDevice md(sub, name);
+      work::AllocPerfParams p;
+      p.num_allocs = args.threads != 0 ? args.threads : 4096;
+      p.size_min = 4;
+      p.size_max = 256;
+      p.iterations = args.iters != 0 ? args.iters : 4;
+      (void)work::run_alloc_perf(md.dev(), md.mgr(), p);
+      const auto report = md.validator()->drain_report(false);
+      measured = report.clean()
+                     ? "ok"
+                     : "corrupt(" + std::to_string(report.total()) + ")";
+    } catch (const gpu::LaunchTimeout&) {
+      measured = "timeout";
+    } catch (const std::exception&) {
+      measured = "crash";
+    }
+    const bool paper_stable = entry->traits.stable;
+    const bool measured_ok = measured == "ok";
+    table.add_row({name, paper_stable ? "yes" : "no", measured,
+                   paper_stable == measured_ok ? "yes" : "NO"});
+  }
+  bench::emit(table, args,
+              "Table 1 cross-check — measured vs. paper-reported stability");
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gms;
   const auto args = bench::parse_args(argc, argv);
+  if (args.measure_stability) return measure_stability(args);
 
   core::ResultTable table({"Short Name", "Year", "Family", "Ref.",
                            "General Purpose", "Individual Free",

@@ -1,20 +1,46 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Regenerates every paper table/figure with laptop-scale defaults.
 # Results land in results/*.txt (+ .csv); see EXPERIMENTS.md.
-set -x
+#
+# Fails fast: a missing binary or a crashing bench aborts the sweep with a
+# non-zero exit instead of silently leaving stale result files behind.
+set -euo pipefail
+
 B=build/bench
 R=results
-$B/bench_table1                                      > $R/table1.txt
-$B/bench_init_registers --iters 3                    > $R/init_registers.txt
-$B/bench_alloc_size   --threads 10000 --iters 3      > $R/fig9_thread_10k.txt
-$B/bench_alloc_size   --threads 10000 --iters 3 --metric atomics > $R/fig9_thread_10k_atomics.txt
-$B/bench_alloc_size   --threads 10000 --iters 2 --warp --mem-mb 384 > $R/fig9g_warp_10k.txt
-$B/bench_alloc_mixed  --threads 10000 --iters 3      > $R/fig9h_mixed.txt
-$B/bench_scaling      --max-exp 14 --iters 2         > $R/fig10_scaling.txt
-$B/bench_fragmentation --threads 20000 --iters 4     > $R/fig11a_fragmentation.txt
-$B/bench_oom          --timeout-s 8 --mem-mb 48      > $R/fig11b_oom.txt
-$B/bench_workgen      --range 4-64   --max-exp 14 --iters 2 > $R/fig11c_workgen_small.txt
-$B/bench_workgen      --range 4-4096 --max-exp 13 --iters 2 --mem-mb 384 > $R/fig11d_workgen_large.txt
-$B/bench_access       --threads 16384                > $R/fig11e_access.txt
-$B/bench_graph        --scale 32 --threads 100000 --mem-mb 384 > $R/fig11fg_graph.txt
-$B/bench_ablation                                    > $R/ablation.txt
+
+if [[ ! -d "$B" ]]; then
+  echo "error: $B not found — build first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+BENCHES=(bench_table1 bench_init_registers bench_alloc_size bench_alloc_mixed
+         bench_scaling bench_fragmentation bench_oom bench_workgen
+         bench_access bench_graph bench_ablation)
+missing=0
+for b in "${BENCHES[@]}"; do
+  if [[ ! -x "$B/$b" ]]; then
+    echo "error: missing bench binary $B/$b" >&2
+    missing=1
+  fi
+done
+if [[ $missing -ne 0 ]]; then
+  exit 1
+fi
+
+mkdir -p "$R"
+set -x
+"$B"/bench_table1                                      > "$R"/table1.txt
+"$B"/bench_init_registers --iters 3                    > "$R"/init_registers.txt
+"$B"/bench_alloc_size   --threads 10000 --iters 3      > "$R"/fig9_thread_10k.txt
+"$B"/bench_alloc_size   --threads 10000 --iters 3 --metric atomics > "$R"/fig9_thread_10k_atomics.txt
+"$B"/bench_alloc_size   --threads 10000 --iters 2 --warp --mem-mb 384 > "$R"/fig9g_warp_10k.txt
+"$B"/bench_alloc_mixed  --threads 10000 --iters 3      > "$R"/fig9h_mixed.txt
+"$B"/bench_scaling      --max-exp 14 --iters 2         > "$R"/fig10_scaling.txt
+"$B"/bench_fragmentation --threads 20000 --iters 4     > "$R"/fig11a_fragmentation.txt
+"$B"/bench_oom          --timeout-s 8 --mem-mb 48      > "$R"/fig11b_oom.txt
+"$B"/bench_workgen      --range 4-64   --max-exp 14 --iters 2 > "$R"/fig11c_workgen_small.txt
+"$B"/bench_workgen      --range 4-4096 --max-exp 13 --iters 2 --mem-mb 384 > "$R"/fig11d_workgen_large.txt
+"$B"/bench_access       --threads 16384                > "$R"/fig11e_access.txt
+"$B"/bench_graph        --scale 32 --threads 100000 --mem-mb 384 > "$R"/fig11fg_graph.txt
+"$B"/bench_ablation                                    > "$R"/ablation.txt

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Builds the whole tree with AddressSanitizer + UBSan (GMS_ASAN=ON) into
+# build-asan/ and runs the test suite under it. The fiber layer annotates
+# every lane-stack switch for ASan, so the simulated kernels are scanned too.
+#
+# Usage: ./run_sanitized.sh [ctest args...]   e.g. ./run_sanitized.sh -R validation
+set -euo pipefail
+
+cmake -B build-asan -S . -DGMS_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$(nproc)"
+# LeakSanitizer is off: it cannot walk the hand-switched fiber stacks and
+# reports their (still reachable) allocations as leaks.
+ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure "$@"

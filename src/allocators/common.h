@@ -20,12 +20,17 @@ class DeviceSpinLock {
   void lock(gpu::ThreadCtx& ctx) {
     for (;;) {
       if (ctx.atomic_load(word_) == 0 && ctx.atomic_exch(word_, 1u) == 0) {
+        // Ownership note feeds the launch watchdog's timeout report.
+        ctx.note_lock_acquired(word_);
         return;
       }
       ctx.backoff();
     }
   }
-  void unlock(gpu::ThreadCtx& ctx) { ctx.atomic_store(word_, 0u); }
+  void unlock(gpu::ThreadCtx& ctx) {
+    ctx.note_lock_released(word_);
+    ctx.atomic_store(word_, 0u);
+  }
 
  private:
   std::uint32_t* word_;

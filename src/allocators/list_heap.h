@@ -41,6 +41,10 @@ class ListHeap {
 
   /// Allocates `bytes`; returns nullptr when no block fits.
   void* malloc(gpu::ThreadCtx& ctx, std::size_t bytes) {
+    // Reject before the 32-bit unit math: a request beyond the whole pool can
+    // never fit, and casting its unit count would otherwise wrap (a
+    // SIZE_MAX/2 request must not truncate into a tiny "successful" one).
+    if (bytes > std::size_t{units_} * kUnit) return nullptr;
     const auto need = static_cast<std::uint32_t>((bytes + kUnit - 1) / kUnit);
     std::uint32_t off = 0;
     for (std::size_t step = 0; step < 2 * std::size_t{units_} + 64; ++step) {

@@ -121,6 +121,9 @@ unsigned RegEffAlloc::arena_of(const gpu::ThreadCtx& ctx) const {
 
 void* RegEffAlloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
   if (size == 0) size = 1;
+  // A request beyond the whole heap can never be served; reject it before
+  // the 32-bit unit math truncates it into a small "successful" one.
+  if (size > std::size_t{heap_units_} * kUnit) return nullptr;
   const auto need_units =
       static_cast<std::uint32_t>((size + kUnit - 1) / kUnit);
   const unsigned arena = arena_of(ctx);

@@ -8,6 +8,7 @@
 #include "allocators/scatter_alloc.h"
 #include "allocators/xmalloc.h"
 #include "core/registry.h"
+#include "core/validating_manager.h"
 
 namespace gms::core {
 
@@ -33,6 +34,32 @@ void add(char selector, ManagerFactory factory) {
       .selector = selector,
       .factory = std::move(factory),
   });
+}
+
+/// Traits hold a string_view, but decorator names are built at runtime;
+/// intern them so registry copies of the probed traits stay valid.
+std::string_view intern(std::string s) {
+  static std::vector<std::unique_ptr<std::string>> pool;
+  pool.push_back(std::make_unique<std::string>(std::move(s)));
+  return *pool.back();
+}
+
+/// Gives every registered variant a "<name>+V" twin wrapped in the
+/// ValidatingManager (selector 'v'). Twins are traits-flagged `decorated`,
+/// so default populations skip them; --validate and tests pick them by name.
+void register_validated_twins() {
+  auto& reg = Registry::instance();
+  const std::vector<RegistryEntry> base = reg.entries();  // snapshot
+  for (const auto& e : base) {
+    const ManagerFactory inner = e.factory;
+    ManagerFactory twin = [inner](gpu::Device& dev, std::size_t heap) {
+      return std::make_unique<ValidatingManager>(dev, heap, inner);
+    };
+    AllocatorTraits traits = probe_traits(twin);
+    traits.name = intern(std::string(e.traits.name) + "+V");
+    reg.add(RegistryEntry{
+        .traits = traits, .selector = 'v', .factory = std::move(twin)});
+  }
 }
 
 }  // namespace
@@ -72,6 +99,8 @@ void register_all_allocators() {
   // Extension beyond the paper's evaluated population (§2.9 had no public
   // version): our BulkAllocator rebuild, selector 'b'.
   add('b', make_factory<alloc::BulkAlloc>(alloc::BulkAlloc::Config{}));
+
+  register_validated_twins();
 }
 
 }  // namespace gms::core

@@ -278,6 +278,10 @@ void* ScatterAlloc::malloc_multi_page(gpu::ThreadCtx& ctx, std::size_t size) {
 
 void* ScatterAlloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
   if (size == 0) size = 1;
+  // Multi-page runs are confined to one 64-bit bitmap word, so anything
+  // beyond 64 pages is unserviceable; reject before the 32-bit rounding
+  // below can truncate a huge request into a small (or zero) chunk size.
+  if (size > std::size_t{64} * cfg_.page_size) return nullptr;
   const auto rounded = static_cast<std::uint32_t>(core::round_up(size, 16));
   if (rounded <= cfg_.page_size / 2) {
     return malloc_chunk(ctx, rounded);

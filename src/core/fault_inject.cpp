@@ -1,0 +1,182 @@
+#include "core/fault_inject.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "gpu/thread_ctx.h"
+
+namespace gms::core {
+
+namespace {
+
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t parse_u64(std::string_view s, const char* what) {
+  std::uint64_t v = 0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size()) {
+    throw std::invalid_argument(std::string("fault spec: bad ") + what +
+                                " '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+double parse_prob(std::string_view s) {
+  // std::from_chars<double> is not universally available; strtod via a copy.
+  const std::string buf(s);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || v < 0.0 || v > 1.0) {
+    throw std::invalid_argument("fault spec: bad probability '" + buf + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(std::string_view spec) {
+  FaultSpec out;
+  // Split off an optional ",delay=K" suffix first.
+  if (const auto comma = spec.find(','); comma != std::string_view::npos) {
+    std::string_view tail = spec.substr(comma + 1);
+    constexpr std::string_view kDelay = "delay=";
+    if (tail.substr(0, kDelay.size()) != kDelay) {
+      throw std::invalid_argument("fault spec: unknown option '" +
+                                  std::string(tail) + "'");
+    }
+    out.delay = static_cast<std::uint32_t>(
+        parse_u64(tail.substr(kDelay.size()), "delay"));
+    spec = spec.substr(0, comma);
+  }
+  const auto colon = spec.find(':');
+  const std::string_view mode = spec.substr(0, colon);
+  const std::string_view arg =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : spec.substr(colon + 1);
+  if (mode == "none" || mode.empty()) {
+    out.mode = Mode::kNone;
+  } else if (mode == "nth") {
+    out.mode = Mode::kNth;
+    out.n = parse_u64(arg, "period");
+    if (out.n == 0) throw std::invalid_argument("fault spec: nth:0");
+  } else if (mode == "prob") {
+    out.mode = Mode::kProb;
+    if (const auto c2 = arg.find(':'); c2 != std::string_view::npos) {
+      out.p = parse_prob(arg.substr(0, c2));
+      out.seed = parse_u64(arg.substr(c2 + 1), "seed");
+    } else {
+      out.p = parse_prob(arg);
+    }
+  } else if (mode == "budget") {
+    out.mode = Mode::kBudget;
+    out.budget_bytes = parse_u64(arg, "budget");
+  } else {
+    throw std::invalid_argument("fault spec: unknown mode '" +
+                                std::string(mode) + "'");
+  }
+  return out;
+}
+
+std::string FaultSpec::to_string() const {
+  std::string s;
+  switch (mode) {
+    case Mode::kNone: s = "none"; break;
+    case Mode::kNth: s = "nth:" + std::to_string(n); break;
+    case Mode::kProb:
+      s = "prob:" + std::to_string(p) + ":" + std::to_string(seed);
+      break;
+    case Mode::kBudget:
+      s = "budget:" + std::to_string(budget_bytes);
+      break;
+  }
+  if (delay > 0) s += ",delay=" + std::to_string(delay);
+  return s;
+}
+
+FaultInjector::FaultInjector(std::unique_ptr<MemoryManager> inner,
+                             FaultSpec spec)
+    : inner_(std::move(inner)), spec_(spec) {
+  name_ = std::string(inner_->traits().name) + "+F";
+  traits_ = inner_->traits();
+  traits_.name = name_;
+  traits_.decorated = true;
+  init_ms_ = inner_->init_ms();
+}
+
+bool FaultInjector::should_fail(std::uint64_t call_idx, std::size_t size) {
+  switch (spec_.mode) {
+    case FaultSpec::Mode::kNone:
+      return false;
+    case FaultSpec::Mode::kNth:
+      return (call_idx + 1) % spec_.n == 0;
+    case FaultSpec::Mode::kProb:
+      // Hash of (seed, call index): the schedule depends only on the call
+      // order, so a seeded run replays the same failure set.
+      return static_cast<double>(mix64(spec_.seed ^ call_idx) >> 11) *
+                 0x1.0p-53 <
+             spec_.p;
+    case FaultSpec::Mode::kBudget:
+      return bytes_granted_.load(std::memory_order_relaxed) +
+                 static_cast<std::uint64_t>(size) >
+             spec_.budget_bytes;
+  }
+  return false;
+}
+
+void FaultInjector::delay(gpu::ThreadCtx& ctx) {
+  for (std::uint32_t i = 0; i < spec_.delay; ++i) ctx.backoff();
+}
+
+void* FaultInjector::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
+  delay(ctx);
+  const std::uint64_t idx = calls_.fetch_add(1, std::memory_order_relaxed);
+  if (should_fail(idx, size)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  void* p = inner_->malloc(ctx, size);
+  if (p != nullptr) {
+    bytes_granted_.fetch_add(size, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+void* FaultInjector::warp_malloc(gpu::ThreadCtx& ctx, std::size_t size) {
+  delay(ctx);
+  // The decision must be warp-uniform: if one lane bailed with nullptr while
+  // its siblings entered a cooperative inner warp_malloc, the inner leader
+  // vote would wait forever. One counter tick per group, leader decides,
+  // everyone honours it.
+  const gpu::Coalesced g = ctx.coalesce();
+  std::uint64_t fail = 0;
+  if (g.is_leader()) {
+    const std::uint64_t idx = calls_.fetch_add(1, std::memory_order_relaxed);
+    fail = should_fail(idx, size) ? 1 : 0;
+    if (fail != 0) injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  fail = ctx.broadcast(g, fail, g.leader);
+  if (fail != 0) return nullptr;
+  void* p = inner_->warp_malloc(ctx, size);
+  if (p != nullptr && g.is_leader()) {
+    bytes_granted_.fetch_add(static_cast<std::uint64_t>(size) * g.size,
+                             std::memory_order_relaxed);
+  }
+  return p;
+}
+
+void FaultInjector::free(gpu::ThreadCtx& ctx, void* ptr) {
+  delay(ctx);
+  inner_->free(ctx, ptr);
+}
+
+void FaultInjector::warp_free_all(gpu::ThreadCtx& ctx) {
+  inner_->warp_free_all(ctx);
+}
+
+}  // namespace gms::core

@@ -37,6 +37,11 @@ struct AllocatorTraits {
   /// BulkAllocator rebuild — §2.9 had no public version to test). Extensions
   /// join tests and benches but are excluded from paper-population checks.
   bool extension = false;
+  /// True for harness decorators over a registered manager (the "+V"
+  /// validated twins). Excluded from default enumeration so bench/test
+  /// populations don't silently double; selected explicitly by name, by the
+  /// 'v' selector letter, or via --validate.
+  bool decorated = false;
 
   /// §4.1 resource-footprint proxy: the paper reports register counts, which
   /// have no host equivalent; we document the per-call live-state footprint

@@ -25,10 +25,12 @@ const RegistryEntry* Registry::find(std::string_view name) const {
   return it == entries_.end() ? nullptr : &*it;
 }
 
-std::vector<std::string> Registry::names(bool general_purpose_only) const {
+std::vector<std::string> Registry::names(bool general_purpose_only,
+                                         bool include_decorated) const {
   std::vector<std::string> out;
   for (const auto& e : entries_) {
     if (general_purpose_only && !e.traits.general_purpose) continue;
+    if (!include_decorated && e.traits.decorated) continue;
     out.emplace_back(e.traits.name);
   }
   return out;

@@ -39,11 +39,14 @@ class Registry {
   }
 
   /// All variant names, optionally restricted to general-purpose managers.
+  /// Decorated entries (the "+V" validated twins) are excluded unless
+  /// `include_decorated` — default populations must not silently double.
   [[nodiscard]] std::vector<std::string> names(
-      bool general_purpose_only = false) const;
+      bool general_purpose_only = false, bool include_decorated = false) const;
 
-  /// Expands a paper-style selector ("o+s+h") or a comma list of names
-  /// ("Halloc,Ouro-P-S") into registry names. Throws on unknown selectors.
+  /// Expands a paper-style selector ("o+s+h", 'v' = validated twins) or a
+  /// comma list of names ("Halloc,Ouro-P-S") into registry names. Throws on
+  /// unknown selectors. "all" excludes decorated twins, like names().
   [[nodiscard]] std::vector<std::string> select(std::string_view spec) const;
 
   /// Builds a manager over a freshly cleared arena.

@@ -11,8 +11,17 @@ namespace gms::gpu {
 using detail::CollOp;
 using detail::ParkSlot;
 
-BlockExec::BlockExec(const GpuConfig& cfg, unsigned smid, StatsCounters& stats)
-    : cfg_(cfg), smid_(smid), stats_(stats) {}
+namespace {
+/// Thrown inside a lane fiber to unwind its stack when the launch is
+/// cancelled; swallowed by lane_entry so it never masks a real kernel error.
+struct CancelLane {};
+}  // namespace
+
+BlockExec::BlockExec(const GpuConfig& cfg, unsigned smid, StatsCounters& stats,
+                     const std::atomic<bool>* cancel,
+                     std::atomic<std::uint64_t>* heartbeat)
+    : cfg_(cfg), smid_(smid), stats_(stats), cancel_(cancel),
+      heartbeat_(heartbeat) {}
 
 BlockExec::~BlockExec() = default;
 
@@ -37,6 +46,8 @@ void BlockExec::lane_entry(void* lane_erased) {
   BlockExec* self = lane->ctx.block_;
   try {
     self->kernel_.invoke(self->kernel_.object, lane->ctx);
+  } catch (const CancelLane&) {
+    // Expected during watchdog cancellation: the lane unwound cleanly.
   } catch (...) {
     // First failure wins; lanes all run on this SM's OS thread, so no lock.
     if (!self->kernel_error_) self->kernel_error_ = std::current_exception();
@@ -65,16 +76,23 @@ void BlockExec::run_block(unsigned block_idx) {
     ctx.warp_in_block_ = i / kWarpSize;
     ctx.smid_ = smid_;
     ctx.num_sms_ = cfg_.num_sms;
+    ctx.held_locks_ = 0;
     lane.fiber->reset(&lane_entry, &lane);
   }
 
   unsigned long long stall_passes = 0;
   while (done_lanes_ < block_dim_) {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      cancel_block(block_idx);
+    }
     bool progress = false;
     for (unsigned w = 0; w < warps_; ++w) progress |= run_warp(w);
     progress |= try_release_barrier();
     if (progress) {
       stall_passes = 0;
+      if (heartbeat_ != nullptr) {
+        heartbeat_->fetch_add(1, std::memory_order_relaxed);
+      }
       continue;
     }
     ++stall_passes;
@@ -359,29 +377,109 @@ bool BlockExec::try_release_barrier() {
   return true;
 }
 
-void BlockExec::report_deadlock(unsigned block_idx) const {
+void BlockExec::report_deadlock(unsigned block_idx) {
   if (kernel_error_) std::rethrow_exception(kernel_error_);
+  auto diag = diagnose(block_idx);
+  unwind_lanes();  // leave the executor reusable even after the throw
   throw std::runtime_error{"SIMT deadlock detected in block " +
                            std::to_string(block_idx) +
-                           ": no lane made progress within the pass limit"};
+                           ": no lane made progress within the pass limit (" +
+                           diag.to_string() + ")"};
+}
+
+TimeoutDiagnosis BlockExec::diagnose(unsigned block_idx) const {
+  TimeoutDiagnosis diag;
+  diag.smid = smid_;
+  diag.block_idx = block_idx;
+  for (unsigned i = 0; i < block_dim_; ++i) {
+    const Lane& lane = lanes_[i];
+    switch (lane.status) {
+      case LaneStatus::kDone:
+        ++diag.lanes_done;
+        break;
+      case LaneStatus::kParked:
+        ++diag.lanes_parked;
+        break;
+      case LaneStatus::kReady:
+        if (lane.spin_streak > 0) {
+          ++diag.lanes_spinning;
+          if (diag.first_stuck_rank == ~0u) {
+            diag.first_stuck_rank = lane.ctx.thread_rank();
+          }
+        } else {
+          ++diag.lanes_ready;
+        }
+        break;
+    }
+    if (lane.status != LaneStatus::kDone) {
+      for (unsigned l = 0; l < lane.ctx.held_locks(); ++l) {
+        diag.lock_holders.push_back(
+            {lane.ctx.thread_rank(), lane.ctx.held_lock_addr(l)});
+      }
+    }
+  }
+  return diag;
+}
+
+void BlockExec::unwind_lanes() {
+  cancelling_ = true;
+  // A lane that re-enters a wait loop after catching the cancel exception
+  // would spin here forever; bound the attempts and abandon such lanes.
+  constexpr unsigned kMaxResumes = 1024;
+  for (unsigned i = 0; i < block_dim_; ++i) {
+    Lane& lane = lanes_[i];
+    for (unsigned tries = 0;
+         lane.status != LaneStatus::kDone && tries < kMaxResumes; ++tries) {
+      if (lane.fiber->resume()) {
+        lane.status = LaneStatus::kDone;
+        ++done_lanes_;
+      }
+    }
+    if (lane.status != LaneStatus::kDone) {
+      lane.fiber->abandon();
+      lane.status = LaneStatus::kDone;
+      ++done_lanes_;
+    }
+  }
+  cancelling_ = false;
+}
+
+void BlockExec::cancel_block(unsigned block_idx) {
+  auto diag = diagnose(block_idx);
+  unwind_lanes();
+  // A genuine kernel failure that raced the cancellation outranks it.
+  if (kernel_error_) std::rethrow_exception(kernel_error_);
+  throw LaunchTimeout(std::move(diag));
+}
+
+void BlockExec::maybe_cancel_lane() const {
+  // Never throw while a lane is already unwinding: a destructor that parks
+  // or backs off during the cancel unwind must not escalate to terminate().
+  if (cancelling_ && std::uncaught_exceptions() == 0) throw CancelLane{};
 }
 
 void BlockExec::park_collective(Lane& lane) {
+  maybe_cancel_lane();
   lane.park.kind = ParkSlot::Kind::kCollective;
   lane.status = LaneStatus::kParked;
   Fiber::yield();
+  maybe_cancel_lane();  // resumed by the cancel unwind, not a group release
 }
 
 void BlockExec::park_barrier(Lane& lane) {
+  maybe_cancel_lane();
   lane.park.kind = ParkSlot::Kind::kBarrier;
   lane.status = LaneStatus::kParked;
   Fiber::yield();
+  maybe_cancel_lane();
 }
 
 void BlockExec::lane_backoff(Lane& lane) {
+  maybe_cancel_lane();
   ++lane.spin_streak;
   ++stats_.backoffs;
   Fiber::yield();
+  maybe_cancel_lane();
 }
 
 // ---- ThreadCtx forwarding (needs Lane's definition) -----------------------

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <vector>
@@ -8,6 +10,7 @@
 #include "gpu/fiber.h"
 #include "gpu/stats.h"
 #include "gpu/thread_ctx.h"
+#include "gpu/watchdog.h"
 
 namespace gms::gpu {
 
@@ -25,7 +28,12 @@ struct KernelRef {
 /// lane stacks are allocated once per launch configuration, not per block.
 class BlockExec {
  public:
-  BlockExec(const GpuConfig& cfg, unsigned smid, StatsCounters& stats);
+  /// `cancel` (optional) is the device-wide cancellation flag polled between
+  /// scheduling passes; `heartbeat` (optional) is bumped whenever this SM
+  /// makes progress, feeding the launch watchdog.
+  BlockExec(const GpuConfig& cfg, unsigned smid, StatsCounters& stats,
+            const std::atomic<bool>* cancel = nullptr,
+            std::atomic<std::uint64_t>* heartbeat = nullptr);
   ~BlockExec();
 
   BlockExec(const BlockExec&) = delete;
@@ -70,7 +78,17 @@ class BlockExec {
   /// Releases the block barrier once every lane is parked at it or done.
   bool try_release_barrier();
 
-  [[noreturn]] void report_deadlock(unsigned block_idx) const;
+  [[noreturn]] void report_deadlock(unsigned block_idx);
+
+  // ---- cooperative cancellation (launch watchdog) ----------------------
+  /// Snapshot of the block's lane states for the timeout report.
+  [[nodiscard]] TimeoutDiagnosis diagnose(unsigned block_idx) const;
+  /// Resumes every live lane until it unwinds (each throws at its next
+  /// backoff/collective/barrier) so destructors run and the fibers finish.
+  void unwind_lanes();
+  [[noreturn]] void cancel_block(unsigned block_idx);
+  /// Throws the lane-local cancel exception when a cancellation is underway.
+  void maybe_cancel_lane() const;
 
   // Called from lanes (via ThreadCtx) while their fiber runs.
   void park_collective(Lane& lane);
@@ -80,6 +98,9 @@ class BlockExec {
   const GpuConfig& cfg_;
   unsigned smid_;
   StatsCounters& stats_;
+  const std::atomic<bool>* cancel_ = nullptr;
+  std::atomic<std::uint64_t>* heartbeat_ = nullptr;
+  bool cancelling_ = false;
 
   KernelRef kernel_{};
   unsigned grid_dim_ = 0;

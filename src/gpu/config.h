@@ -30,6 +30,15 @@ struct GpuConfig {
   /// kernel genuinely deadlocked (e.g. a masked collective waiting on an
   /// exited lane) and launch() throws instead of hanging the host.
   unsigned long long deadlock_pass_limit = 1ull << 22;
+  /// Launch watchdog (§4.5's one-hour mark, scaled down): if no SM makes
+  /// scheduling progress for this many wall-clock milliseconds the launch is
+  /// cancelled, its lanes are unwound and Device::launch throws
+  /// LaunchTimeout. 0 disables the watchdog. Cancellation is cooperative:
+  /// a lane is reaped at its next backoff/collective/barrier, so a kernel
+  /// spinning without ever yielding can still wedge the host.
+  double watchdog_ms = 0;
+  /// How often the host polls the per-SM heartbeats while waiting.
+  double watchdog_poll_ms = 20;
 
   static unsigned default_num_sms() {
     unsigned hw = std::thread::hardware_concurrency();

@@ -1,11 +1,14 @@
 #include "gpu/device.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace gms::gpu {
 
 Device::Device(std::size_t arena_bytes, GpuConfig cfg)
     : cfg_(cfg), arena_(arena_bytes), sm_stats_(cfg_.num_sms) {
+  heartbeats_ = std::make_unique<std::atomic<std::uint64_t>[]>(cfg_.num_sms);
+  for (unsigned i = 0; i < cfg_.num_sms; ++i) heartbeats_[i].store(0);
   workers_.reserve(cfg_.num_sms);
   for (unsigned smid = 0; smid < cfg_.num_sms; ++smid) {
     workers_.emplace_back([this, smid](const std::stop_token& stop) {
@@ -25,7 +28,7 @@ Device::~Device() {
 }
 
 void Device::worker_main(unsigned smid, const std::stop_token& stop) {
-  BlockExec exec(cfg_, smid, sm_stats_[smid]);
+  BlockExec exec(cfg_, smid, sm_stats_[smid], &cancel_, &heartbeats_[smid]);
   std::uint64_t seen_epoch = 0;
   for (;;) {
     {
@@ -45,10 +48,15 @@ void Device::worker_main(unsigned smid, const std::stop_token& stop) {
         exec.run_block(static_cast<unsigned>(b));
       }
     } catch (...) {
-      std::scoped_lock lock(mu_);
-      if (!launch_error_) launch_error_ = std::current_exception();
-      // Stop siblings from picking up further blocks of the failed launch.
-      next_block_.store(grid_dim_, std::memory_order_relaxed);
+      {
+        std::scoped_lock lock(mu_);
+        if (!launch_error_) launch_error_ = std::current_exception();
+        // Stop siblings from picking up further blocks of the failed launch.
+        next_block_.store(grid_dim_, std::memory_order_relaxed);
+      }
+      // Cancel sibling SMs too: their blocks may wait forever on state the
+      // failed block will never advance (e.g. a lock its lanes still hold).
+      cancel_.store(true, std::memory_order_relaxed);
     }
     {
       std::scoped_lock lock(mu_);
@@ -56,6 +64,14 @@ void Device::worker_main(unsigned smid, const std::stop_token& stop) {
     }
     cv_done_.notify_all();
   }
+}
+
+std::uint64_t Device::heartbeat_sum() const {
+  std::uint64_t sum = 0;
+  for (unsigned i = 0; i < cfg_.num_sms; ++i) {
+    sum += heartbeats_[i].load(std::memory_order_relaxed);
+  }
+  return sum;
 }
 
 LaunchStats Device::launch_erased(unsigned grid_dim, unsigned block_dim,
@@ -72,6 +88,10 @@ LaunchStats Device::launch_erased(unsigned grid_dim, unsigned block_dim,
     workers_done_ = 0;
     launch_error_ = nullptr;
     next_block_.store(0, std::memory_order_relaxed);
+    cancel_.store(false, std::memory_order_relaxed);
+    for (unsigned i = 0; i < cfg_.num_sms; ++i) {
+      heartbeats_[i].store(0, std::memory_order_relaxed);
+    }
     for (auto& s : sm_stats_) s = StatsCounters{};
     ++epoch_;
   }
@@ -79,7 +99,29 @@ LaunchStats Device::launch_erased(unsigned grid_dim, unsigned block_dim,
   cv_work_.notify_all();
   {
     std::unique_lock lock(mu_);
-    cv_done_.wait(lock, [&] { return workers_done_ == workers_.size(); });
+    const auto all_done = [&] { return workers_done_ == workers_.size(); };
+    if (cfg_.watchdog_ms <= 0) {
+      cv_done_.wait(lock, all_done);
+    } else {
+      // Launch watchdog: poll the per-SM heartbeats while waiting; when no
+      // SM has made progress for watchdog_ms, raise the cancellation flag
+      // and keep waiting — the workers unwind their lanes and report.
+      const auto poll = std::chrono::duration<double, std::milli>(
+          std::max(1.0, cfg_.watchdog_poll_ms));
+      std::uint64_t last_beat = heartbeat_sum();
+      auto last_change = std::chrono::steady_clock::now();
+      while (!cv_done_.wait_for(lock, poll, all_done)) {
+        const std::uint64_t beat = heartbeat_sum();
+        const auto now = std::chrono::steady_clock::now();
+        if (beat != last_beat) {
+          last_beat = beat;
+          last_change = now;
+        } else if (std::chrono::duration<double, std::milli>(now - last_change)
+                       .count() >= cfg_.watchdog_ms) {
+          cancel_.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
   }
   const auto stop = std::chrono::steady_clock::now();
 

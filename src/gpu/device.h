@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -66,9 +68,18 @@ class Device {
   LaunchStats launch_erased(unsigned grid_dim, unsigned block_dim,
                             std::size_t shared_bytes, KernelRef kernel);
   void worker_main(unsigned smid, const std::stop_token& stop);
+  /// Sum of the per-SM progress heartbeats (watchdog poll).
+  [[nodiscard]] std::uint64_t heartbeat_sum() const;
 
   GpuConfig cfg_;
   DeviceArena arena_;
+
+  /// Launch cancellation flag polled by every BlockExec between scheduling
+  /// passes. Set by the watchdog on a wall-clock stall and by any worker
+  /// whose block failed, so sibling SMs stop instead of spinning on state
+  /// the dead block will never advance.
+  std::atomic<bool> cancel_{false};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> heartbeats_;
 
   std::mutex mu_;
   std::condition_variable cv_work_;

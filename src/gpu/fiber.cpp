@@ -9,6 +9,10 @@
 #include <ucontext.h>
 #endif
 
+#ifdef GMS_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace gms::gpu {
 namespace {
 
@@ -103,22 +107,44 @@ bool Fiber::resume() {
   assert(!finished_ && "resume() on a finished fiber");
   assert(tl_current_fiber == nullptr && "nested fiber resume unsupported");
   tl_current_fiber = this;
+#ifdef GMS_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&asan_fake_stack_, stack_.get(),
+                                 stack_bytes_);
+#endif
 #ifdef GMS_FIBER_UCONTEXT
   swapcontext(&uctx_->caller_ctx, &uctx_->fiber_ctx);
 #else
   gms_fiber_swap(&caller_sp_, fiber_sp_, this);
 #endif
+#ifdef GMS_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(asan_fake_stack_, nullptr, nullptr);
+#endif
   tl_current_fiber = nullptr;
   return finished_;
+}
+
+void Fiber::abandon() {
+  assert(tl_current_fiber == nullptr && "abandon() from inside a fiber");
+  finished_ = true;
 }
 
 void Fiber::yield() {
   Fiber* self = tl_current_fiber;
   assert(self != nullptr && "yield() outside any fiber");
+#ifdef GMS_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&self->asan_lane_fake_stack_,
+                                 self->asan_caller_bottom_,
+                                 self->asan_caller_size_);
+#endif
 #ifdef GMS_FIBER_UCONTEXT
   swapcontext(&self->uctx_->fiber_ctx, &self->uctx_->caller_ctx);
 #else
   gms_fiber_swap(&self->fiber_sp_, self->caller_sp_, nullptr);
+#endif
+#ifdef GMS_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(self->asan_lane_fake_stack_,
+                                  &self->asan_caller_bottom_,
+                                  &self->asan_caller_size_);
 #endif
 }
 
@@ -135,10 +161,21 @@ std::size_t Fiber::stack_high_water() const {
 }
 
 void Fiber::run_body(Fiber* self) {
+#ifdef GMS_ASAN_FIBERS
+  // First arrival on the lane stack: complete the switch resume() started
+  // and learn the scheduler's stack bounds for later yields.
+  __sanitizer_finish_switch_fiber(nullptr, &self->asan_caller_bottom_,
+                                  &self->asan_caller_size_);
+#endif
   self->fn_(self->arg_);
   self->finished_ = true;
   // Hand control back to the scheduler permanently. resume() asserts against
   // re-entry of finished fibers, so this swap never returns.
+#ifdef GMS_ASAN_FIBERS
+  // nullptr fake-stack handle: tells ASan this fiber is exiting for good.
+  __sanitizer_start_switch_fiber(nullptr, self->asan_caller_bottom_,
+                                 self->asan_caller_size_);
+#endif
 #ifdef GMS_FIBER_UCONTEXT
   swapcontext(&self->uctx_->fiber_ctx, &self->uctx_->caller_ctx);
 #else

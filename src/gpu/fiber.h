@@ -4,6 +4,16 @@
 #include <cstdint>
 #include <memory>
 
+// Detect AddressSanitizer on both GCC (__SANITIZE_ADDRESS__) and Clang
+// (__has_feature); the fiber switch must notify ASan about stack changes.
+#if defined(__SANITIZE_ADDRESS__)
+#define GMS_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GMS_ASAN_FIBERS 1
+#endif
+#endif
+
 namespace gms::gpu {
 
 /// Stackful coroutine used to execute one SIMT lane.
@@ -40,6 +50,13 @@ class Fiber {
   /// @return true when the body finished.
   bool resume();
 
+  /// Marks a suspended fiber as finished without resuming it — destructors of
+  /// frames still live on its stack never run. Last-resort path for the
+  /// launch watchdog when a lane ignores cooperative cancellation (e.g. a
+  /// kernel that swallows the cancel exception); the stack buffer itself is
+  /// safely reused by the next reset().
+  void abandon();
+
   /// Suspends the currently running fiber, returning control to resume().
   /// Must be called from inside a fiber body.
   static void yield();
@@ -64,6 +81,14 @@ class Fiber {
   EntryFn fn_ = nullptr;
   void* arg_ = nullptr;
   bool finished_ = true;
+#ifdef GMS_ASAN_FIBERS
+  // AddressSanitizer must be told about every stack switch or it reports
+  // false stack-buffer-overflow/-underflow on the foreign stack.
+  void* asan_fake_stack_ = nullptr;        // caller's fake stack while lane runs
+  void* asan_lane_fake_stack_ = nullptr;   // lane's fake stack while suspended
+  const void* asan_caller_bottom_ = nullptr;
+  std::size_t asan_caller_size_ = 0;
+#endif
 #ifdef GMS_FIBER_UCONTEXT
   struct UctxImpl;
   std::unique_ptr<UctxImpl> uctx_;

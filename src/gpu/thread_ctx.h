@@ -199,6 +199,22 @@ class ThreadCtx {
   /// OS thread. Call inside every retry loop that waits on external progress.
   void backoff();
 
+  // ---- watchdog diagnostics -------------------------------------------
+  /// Lock-ownership notes: DeviceSpinLock reports acquire/release so that a
+  /// launch cancelled by the watchdog can name the lanes still holding device
+  /// locks (the usual culprit behind a stalled block).
+  void note_lock_acquired(const void* addr) {
+    if (held_locks_ < kMaxHeldLocks) held_lock_addrs_[held_locks_] = addr;
+    ++held_locks_;
+  }
+  void note_lock_released(const void* /*addr*/) {
+    if (held_locks_ > 0) --held_locks_;
+  }
+  [[nodiscard]] unsigned held_locks() const { return held_locks_; }
+  [[nodiscard]] const void* held_lock_addr(unsigned i) const {
+    return i < kMaxHeldLocks ? held_lock_addrs_[i] : nullptr;
+  }
+
   // ---- instrumented device atomics -------------------------------------
   template <typename T>
   T atomic_load(const T* addr) {
@@ -279,9 +295,13 @@ class ThreadCtx {
   std::uint64_t collective_agg_add(void* addr, std::uint64_t value, bool wide,
                                    const std::source_location& loc);
 
+  static constexpr unsigned kMaxHeldLocks = 4;
+
   BlockExec* block_ = nullptr;
   StatsCounters* stats_ = nullptr;
   std::span<std::byte> shared_;
+  const void* held_lock_addrs_[kMaxHeldLocks] = {};
+  unsigned held_locks_ = 0;
   unsigned thread_rank_ = 0;
   unsigned block_idx_ = 0;
   unsigned block_dim_ = 0;

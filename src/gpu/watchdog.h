@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gms::gpu {
+
+/// Snapshot of one stuck block taken by the launch watchdog at the moment of
+/// cancellation, before the lanes are unwound — the paper's "hangs outside
+/// its comfort zone" outcome (§4.5) made observable: which block stalled,
+/// what its lanes were doing, and who owned a device lock when progress died.
+struct TimeoutDiagnosis {
+  unsigned smid = 0;
+  unsigned block_idx = 0;
+  unsigned lanes_done = 0;
+  unsigned lanes_spinning = 0;  ///< ready lanes burning backoff() retries
+  unsigned lanes_parked = 0;    ///< parked at a collective or barrier
+  unsigned lanes_ready = 0;     ///< runnable, not known to be spinning
+  /// thread_rank of the first lane caught inside a backoff() retry loop —
+  /// the most likely victim of a lost lock or livelocked CAS loop.
+  std::uint32_t first_stuck_rank = ~0u;
+
+  /// One entry per device lock still held when the launch was cancelled
+  /// (reported by DeviceSpinLock via ThreadCtx::note_lock_acquired).
+  struct LockHolder {
+    std::uint32_t thread_rank = 0;
+    const void* lock_addr = nullptr;
+  };
+  std::vector<LockHolder> lock_holders;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "launch watchdog: block " + std::to_string(block_idx) +
+                    " on SM " + std::to_string(smid) + " stalled (" +
+                    std::to_string(lanes_done) + " done, " +
+                    std::to_string(lanes_spinning) + " spinning, " +
+                    std::to_string(lanes_parked) + " parked, " +
+                    std::to_string(lanes_ready) + " ready)";
+    if (first_stuck_rank != ~0u) {
+      s += "; first stuck lane: thread " + std::to_string(first_stuck_rank);
+    }
+    for (const auto& h : lock_holders) {
+      s += "; thread " + std::to_string(h.thread_rank) + " holds lock @" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(h.lock_addr));
+    }
+    return s;
+  }
+};
+
+/// Thrown by Device::launch when the watchdog cancels a launch that made no
+/// progress for GpuConfig::watchdog_ms — the simulator's equivalent of the
+/// paper's one-hour mark reaping an unstable allocator. The device stays
+/// usable afterwards (the stuck lanes are unwound); the managed heap's
+/// contents are indeterminate, exactly as after a killed CUDA kernel.
+class LaunchTimeout : public std::runtime_error {
+ public:
+  explicit LaunchTimeout(TimeoutDiagnosis diag)
+      : std::runtime_error(diag.to_string()), diag_(std::move(diag)) {}
+
+  [[nodiscard]] const TimeoutDiagnosis& diagnosis() const { return diag_; }
+
+ private:
+  TimeoutDiagnosis diag_;
+};
+
+}  // namespace gms::gpu

@@ -227,17 +227,22 @@ TEST_P(ConformanceTest, WholeWarpCooperativeAllocation) {
 }
 
 TEST_P(ConformanceTest, OutOfMemoryReturnsNullNotCrash) {
-  if (GetParam() == "CUDA" || GetParam() == "RegEff-C" ||
-      GetParam() == "RegEff-CF" || GetParam() == "RegEff-CM" ||
-      GetParam() == "RegEff-CFM") {
-    GTEST_SKIP() << "paper: slows drastically near exhaustion (1 h timeout); "
-                    "covered by the small-heap variant in allocator tests";
+  // The "nullptr on OOM, never crash" contract holds for EVERY registry
+  // entry. The managers the paper reins in with its 1 h timeout (CUDA's
+  // free-list walk, Reg-Eff's circular scans) get a smaller heap and fewer
+  // threads so driving them into exhaustion stays cheap.
+  std::string base = GetParam();
+  if (const auto pos = base.find("+V"); pos != std::string::npos) {
+    base.resize(pos);
   }
+  const bool slow_near_oom = base == "CUDA" || base.rfind("RegEff-C", 0) == 0;
+  const std::size_t heap = slow_near_oom ? (6u << 20) : (20u << 20);
+  const std::size_t threads = slow_near_oom ? 1024 : 4096;
   // A dedicated small manager so exhaustion is cheap to reach.
-  Device small(24u << 20, GpuConfig{.num_sms = 2});
-  auto mgr = Registry::instance().make(GetParam(), small, 20u << 20);
+  Device small((heap + (4u << 20)), GpuConfig{.num_sms = 2});
+  auto mgr = Registry::instance().make(GetParam(), small, heap);
   std::uint64_t ok = 0, fail = 0;
-  small.launch_n(4096, [&](ThreadCtx& t) {
+  small.launch_n(threads, [&](ThreadCtx& t) {
     for (int i = 0; i < 4; ++i) {
       void* p = mgr->traits().warp_level_only ? mgr->warp_malloc(t, 4096)
                                               : mgr->malloc(t, 4096);
@@ -248,10 +253,61 @@ TEST_P(ConformanceTest, OutOfMemoryReturnsNullNotCrash) {
       }
     }
   });
-  // 16384 x 4 KiB = 64 MiB demanded from a <= 20 MiB heap: failures must
-  // occur, successes must have occurred, and nothing crashed.
+  // Demand is several times the heap: failures must occur, successes must
+  // have occurred, and nothing crashed.
   EXPECT_GT(ok, 0u);
   EXPECT_GT(fail, 0u);
+}
+
+TEST_P(ConformanceTest, LargeRequestRelayPathWorksAndFrees) {
+  const auto& tr = mgr_->traits();
+  if (!tr.relays_large_to_system) {
+    GTEST_SKIP() << "no large-request relay";
+  }
+  // Just past the direct-service ceiling: every request must take the relay.
+  const std::size_t size = tr.max_direct_size + 64;
+  constexpr std::size_t kN = 32;
+  std::vector<void*> ptrs(kN, nullptr);
+  std::uint32_t corrupt = 0;
+  dev().launch_n(kN, [&](ThreadCtx& t) {
+    void* p = warp_only() ? mgr_->warp_malloc(t, size) : mgr_->malloc(t, size);
+    ptrs[t.thread_rank()] = p;
+    if (p == nullptr) return;
+    auto* bytes = static_cast<std::uint8_t*>(p);
+    bytes[0] = static_cast<std::uint8_t>(t.thread_rank() + 1);
+    bytes[size - 1] = static_cast<std::uint8_t>(t.thread_rank() + 7);
+    if (bytes[0] != static_cast<std::uint8_t>(t.thread_rank() + 1) ||
+        bytes[size - 1] != static_cast<std::uint8_t>(t.thread_rank() + 7)) {
+      t.atomic_add(&corrupt, 1u);
+    }
+  });
+  EXPECT_EQ(corrupt, 0u);
+  std::vector<std::size_t> offs;
+  for (void* p : ptrs) {
+    ASSERT_NE(p, nullptr);
+    offs.push_back(dev().arena().offset_of(p));
+  }
+  expect_disjoint(offs, size);
+  if (can_free()) {
+    // Relayed blocks must round-trip through free like direct ones.
+    dev().launch_n(kN, [&](ThreadCtx& t) {
+      mgr_->free(t, ptrs[t.thread_rank()]);
+    });
+  }
+}
+
+TEST_P(ConformanceTest, ImpossiblyLargeRequestReturnsNullNotCrash) {
+  // Requests beyond the whole heap — and beyond any relay backing — must
+  // come back as nullptr from every entry, relayed or not.
+  std::vector<void*> ptrs(32, reinterpret_cast<void*>(1));
+  dev().launch(1, 32, [&](ThreadCtx& t) {
+    const std::size_t huge =
+        t.lane_id() % 2 == 0 ? kHeapBytes * 2
+                             : std::numeric_limits<std::size_t>::max() / 2;
+    ptrs[t.lane_id()] =
+        warp_only() ? mgr_->warp_malloc(t, huge) : mgr_->malloc(t, huge);
+  });
+  for (void* p : ptrs) EXPECT_EQ(p, nullptr);
 }
 
 TEST_P(ConformanceTest, ZeroSizeIsServed) {
@@ -295,11 +351,15 @@ INSTANTIATE_TEST_SUITE_P(
     AllAllocators, ConformanceTest,
     ::testing::ValuesIn([] {
       core::register_all_allocators();
-      return Registry::instance().names();
+      // Decorated "+V" twins included: the validating shim must itself honour
+      // the full malloc/free contract it polices.
+      return Registry::instance().names(/*general_purpose_only=*/false,
+                                        /*include_decorated=*/true);
     }()),
     [](const ::testing::TestParamInfo<std::string>& info) {
       std::string name = info.param;
       std::replace(name.begin(), name.end(), '-', '_');
+      std::replace(name.begin(), name.end(), '+', '_');
       return name;
     });
 

@@ -16,14 +16,30 @@ class RegistryTest : public ::testing::Test {
 TEST_F(RegistryTest, AllSixteenVariantsRegistered) {
   // 1 Atomic + 1 CUDA + 1 XMalloc + 1 ScatterAlloc + 1 FDG + 1 Halloc
   // + 4 Reg-Eff + 6 Ouroboros = 16 (Table 1's testable population),
-  // plus extensions beyond the paper (the BulkAllocator rebuild).
+  // plus extensions beyond the paper (the BulkAllocator rebuild) and the
+  // decorated "+V" validated twins of all of the above.
   std::size_t paper_population = 0;
   for (const auto& e : reg().entries()) {
-    if (!e.traits.extension) ++paper_population;
+    if (!e.traits.extension && !e.traits.decorated) ++paper_population;
   }
   EXPECT_EQ(paper_population, 16u);
   EXPECT_NE(reg().find("BulkAlloc"), nullptr);
   EXPECT_TRUE(reg().find("BulkAlloc")->traits.extension);
+
+  // Every variant has a validated twin, flagged decorated and selectable by
+  // name or by the 'v' selector letter, but absent from default populations.
+  for (const auto& name : reg().names()) {
+    const auto* twin = reg().find(name + "+V");
+    ASSERT_NE(twin, nullptr) << name;
+    EXPECT_TRUE(twin->traits.decorated) << name;
+    EXPECT_EQ(twin->selector, 'v') << name;
+  }
+  const auto twins = reg().select("v");
+  EXPECT_EQ(twins.size(), reg().names().size());
+  const auto defaults = reg().select("all");
+  for (const auto& n : defaults) {
+    EXPECT_EQ(n.find("+V"), std::string::npos) << n;
+  }
 }
 
 TEST_F(RegistryTest, FindByName) {

@@ -1,0 +1,113 @@
+// Launch-watchdog tests: a kernel that never terminates is reaped with a
+// LaunchTimeout carrying a usable diagnosis (the simulator's version of the
+// paper's one-hour mark, §4.5), a slow-but-progressing kernel is left alone,
+// and the device stays usable after a cancelled launch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "allocators/common.h"
+#include "gpu/device.h"
+#include "gpu/watchdog.h"
+
+namespace gms {
+namespace {
+
+using gpu::Device;
+using gpu::GpuConfig;
+using gpu::LaunchTimeout;
+using gpu::ThreadCtx;
+
+GpuConfig watched(unsigned num_sms, double watchdog_ms) {
+  GpuConfig cfg{.num_sms = num_sms};
+  cfg.watchdog_ms = watchdog_ms;
+  cfg.watchdog_poll_ms = 5;
+  return cfg;
+}
+
+TEST(Watchdog, ReapsNeverTerminatingKernel) {
+  Device dev(1u << 20, watched(2, 200));
+  EXPECT_THROW(dev.launch(1, 32,
+                          [](ThreadCtx& t) {
+                            for (;;) t.backoff();  // cooperative, yet stuck
+                          }),
+               LaunchTimeout);
+}
+
+TEST(Watchdog, DeviceStaysUsableAfterTimeout) {
+  Device dev(1u << 20, watched(2, 200));
+  EXPECT_THROW(dev.launch(1, 32, [](ThreadCtx& t) {
+    for (;;) t.backoff();
+  }),
+               LaunchTimeout);
+  // The stuck lanes were unwound; a fresh launch runs to completion.
+  std::uint64_t sum = 0;
+  dev.launch_n(64, [&](ThreadCtx& t) { t.atomic_add(&sum, std::uint64_t{1}); });
+  EXPECT_EQ(sum, 64u);
+}
+
+TEST(Watchdog, DiagnosisDescribesTheStall) {
+  Device dev(1u << 20, watched(1, 200));
+  try {
+    dev.launch(1, 32, [](ThreadCtx& t) {
+      if (t.lane_id() < 8) return;  // a few lanes finish normally
+      for (;;) t.backoff();
+    });
+    FAIL() << "expected LaunchTimeout";
+  } catch (const LaunchTimeout& e) {
+    const auto& d = e.diagnosis();
+    EXPECT_EQ(d.block_idx, 0u);
+    EXPECT_EQ(d.lanes_done, 8u);
+    EXPECT_GT(d.lanes_spinning, 0u);
+    EXPECT_NE(d.first_stuck_rank, ~0u);
+    EXPECT_GE(d.first_stuck_rank, 8u);
+    EXPECT_LT(d.first_stuck_rank, 32u);
+    EXPECT_NE(std::string(e.what()).find("stalled"), std::string::npos);
+  }
+}
+
+TEST(Watchdog, StuckLockHolderIsNamed) {
+  Device dev(1u << 20, watched(1, 200));
+  auto* word = reinterpret_cast<std::uint32_t*>(dev.arena().data());
+  *word = 0;
+  try {
+    dev.launch(1, 32, [&](ThreadCtx& t) {
+      alloc::DeviceSpinLock lock(word);
+      lock.lock(t);
+      for (;;) t.backoff();  // winner never releases; the rest spin in lock()
+    });
+    FAIL() << "expected LaunchTimeout";
+  } catch (const LaunchTimeout& e) {
+    const auto& d = e.diagnosis();
+    ASSERT_EQ(d.lock_holders.size(), 1u);
+    EXPECT_EQ(d.lock_holders[0].lock_addr, word);
+    EXPECT_LT(d.lock_holders[0].thread_rank, 32u);
+  }
+}
+
+TEST(Watchdog, SlowButProgressingKernelIsNotKilled) {
+  Device dev(1u << 20, watched(2, 200));
+  // Each lane alternates work and backoff for far longer than the watchdog
+  // window; steady heartbeat progress must keep the watchdog quiet.
+  std::uint64_t sum = 0;
+  dev.launch(2, 32, [&](ThreadCtx& t) {
+    for (int i = 0; i < 2000; ++i) {
+      t.atomic_add(&sum, std::uint64_t{1});
+      t.backoff();
+    }
+  });
+  EXPECT_EQ(sum, 2u * 32u * 2000u);
+}
+
+TEST(Watchdog, DisabledByDefault) {
+  // watchdog_ms = 0 means no reaping: a short kernel with long pauses
+  // between progress points still completes.
+  Device dev(1u << 20, GpuConfig{.num_sms = 1});
+  EXPECT_EQ(dev.config().watchdog_ms, 0);
+  std::uint64_t sum = 0;
+  dev.launch(1, 32, [&](ThreadCtx& t) { t.atomic_add(&sum, std::uint64_t{1}); });
+  EXPECT_EQ(sum, 32u);
+}
+
+}  // namespace
+}  // namespace gms
