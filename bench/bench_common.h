@@ -48,6 +48,13 @@ struct BenchArgs {
   /// validated twin + watchdog and compare the measured outcome against the
   /// paper-reported `stable` trait.
   bool measure_stability = false;
+  /// --legacy-scheduler: run the SIMT engine with scheduler_fast_paths off
+  /// (the original status-scan scheduler + eager lane stacks) — the A/B
+  /// baseline bench_simt measures against.
+  bool legacy_scheduler = false;
+  /// --json FILE: machine-readable output (bench_simt writes BENCH_simt.json
+  /// here — the repo's recorded perf trajectory).
+  std::string json;
 
   [[nodiscard]] std::size_t heap_bytes() const { return mem_mb << 20; }
 };
@@ -123,13 +130,17 @@ inline BenchArgs parse_args(int argc, char** argv,
       args.watchdog_ms = std::stod(need(i));
     } else if (flag == "--measure-stability") {
       args.measure_stability = true;
+    } else if (flag == "--legacy-scheduler") {
+      args.legacy_scheduler = true;
+    } else if (flag == "--json") {
+      args.json = need(i);
     } else if (flag == "-h" || flag == "--help") {
       std::cout
           << "common flags: -t o+s+h+c+r+x | name,name  --mem-mb N  "
              "--threads N  --iters N  --sms N  --csv file  --warp  "
              "--range LO-HI  --timeout-s S  --phase init|update|all  "
              "--scale N  --max-exp N  --validate  --fault=SPEC  "
-             "--watchdog-ms N\n"
+             "--watchdog-ms N  --legacy-scheduler  --json FILE\n"
              "fault SPECs: nth:N  prob:P[:SEED]  budget:BYTES  "
              "(optional suffix ,delay=K)\n";
       std::exit(0);
@@ -161,9 +172,11 @@ class ManagedDevice {
   ManagedDevice(const BenchArgs& args, const std::string& name)
       : device_(std::make_unique<gpu::Device>(
             args.heap_bytes() + (8u << 20),
-            gpu::GpuConfig{.num_sms = args.num_sms,
-                           .lane_stack_bytes = 32 * 1024,
-                           .watchdog_ms = args.watchdog_ms})) {
+            gpu::GpuConfig{
+                .num_sms = args.num_sms,
+                .lane_stack_bytes = 32 * 1024,
+                .watchdog_ms = args.watchdog_ms,
+                .scheduler_fast_paths = !args.legacy_scheduler})) {
     // --validate swaps in the manager's registered "+V" twin.
     std::string effective = name;
     if (args.validate && effective.find("+V") == std::string::npos) {

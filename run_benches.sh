@@ -2,12 +2,24 @@
 # Regenerates every paper table/figure with laptop-scale defaults.
 # Results land in results/*.txt (+ .csv); see EXPERIMENTS.md.
 #
+# --smoke: fast subset for per-PR perf tracking — runs the bench_simt
+# engine A/B (refreshing BENCH_simt.json, the recorded perf trajectory)
+# plus one allocator sweep as a sanity probe, and nothing else.
+#
 # Fails fast: a missing binary or a crashing bench aborts the sweep with a
 # non-zero exit instead of silently leaving stale result files behind.
 set -euo pipefail
 
 B=build/bench
 R=results
+
+SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *) echo "usage: $0 [--smoke]" >&2; exit 2 ;;
+  esac
+done
 
 if [[ ! -d "$B" ]]; then
   echo "error: $B not found — build first: cmake -B build -S . && cmake --build build -j" >&2
@@ -16,7 +28,10 @@ fi
 
 BENCHES=(bench_table1 bench_init_registers bench_alloc_size bench_alloc_mixed
          bench_scaling bench_fragmentation bench_oom bench_workgen
-         bench_access bench_graph bench_ablation)
+         bench_access bench_graph bench_ablation bench_simt)
+if [[ $SMOKE -eq 1 ]]; then
+  BENCHES=(bench_simt bench_alloc_size)
+fi
 missing=0
 for b in "${BENCHES[@]}"; do
   if [[ ! -x "$B/$b" ]]; then
@@ -29,6 +44,14 @@ if [[ $missing -ne 0 ]]; then
 fi
 
 mkdir -p "$R"
+
+if [[ $SMOKE -eq 1 ]]; then
+  set -x
+  "$B"/bench_simt       --json BENCH_simt.json          > "$R"/simt.txt
+  "$B"/bench_alloc_size --threads 10000 --iters 2       > "$R"/smoke_thread_10k.txt
+  exit 0
+fi
+
 set -x
 "$B"/bench_table1                                      > "$R"/table1.txt
 "$B"/bench_init_registers --iters 3                    > "$R"/init_registers.txt
@@ -44,3 +67,4 @@ set -x
 "$B"/bench_access       --threads 16384                > "$R"/fig11e_access.txt
 "$B"/bench_graph        --scale 32 --threads 100000 --mem-mb 384 > "$R"/fig11fg_graph.txt
 "$B"/bench_ablation                                    > "$R"/ablation.txt
+"$B"/bench_simt         --json BENCH_simt.json         > "$R"/simt.txt

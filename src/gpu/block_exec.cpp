@@ -21,7 +21,8 @@ BlockExec::BlockExec(const GpuConfig& cfg, unsigned smid, StatsCounters& stats,
                      const std::atomic<bool>* cancel,
                      std::atomic<std::uint64_t>* heartbeat)
     : cfg_(cfg), smid_(smid), stats_(stats), cancel_(cancel),
-      heartbeat_(heartbeat) {}
+      heartbeat_(heartbeat), fast_(cfg.scheduler_fast_paths),
+      pool_(cfg.lane_stack_bytes) {}
 
 BlockExec::~BlockExec() = default;
 
@@ -35,10 +36,20 @@ void BlockExec::prepare(unsigned grid_dim, unsigned block_dim,
   block_dim_ = block_dim;
   warps_ = (block_dim + kWarpSize - 1) / kWarpSize;
   if (lanes_.size() < block_dim) lanes_.resize(block_dim);
-  for (auto& lane : lanes_) {
-    if (!lane.fiber) lane.fiber = std::make_unique<Fiber>(cfg_.lane_stack_bytes);
+  if (warp_state_.size() < warps_) warp_state_.resize(warps_);
+  if (!fast_) {
+    // Legacy: every lane eagerly owns a full stack for the whole launch.
+    for (auto& lane : lanes_) {
+      if (!lane.fiber) {
+        lane.fiber = std::make_unique<Fiber>(cfg_.lane_stack_bytes);
+        ++stats_.fibers_created;
+      }
+    }
   }
-  shared_mem_.assign(shared_bytes, std::byte{0});
+  // Keep the largest buffer ever requested; each block only re-zeroes the
+  // bytes this launch actually asked for (shared_bytes_), not the capacity.
+  shared_bytes_ = shared_bytes;
+  if (shared_mem_.size() < shared_bytes) shared_mem_.resize(shared_bytes);
 }
 
 void BlockExec::lane_entry(void* lane_erased) {
@@ -54,11 +65,56 @@ void BlockExec::lane_entry(void* lane_erased) {
   }
 }
 
+void BlockExec::ensure_fiber(Lane& lane) {
+  if (lane.fiber) return;
+  bool created = false;
+  lane.fiber = pool_.acquire(created);
+  if (created) ++stats_.fibers_created;
+  lane.fiber->reset(&lane_entry, &lane);
+}
+
+void BlockExec::retire_lane(Lane& lane) {
+  lane.status = LaneStatus::kDone;
+  ++done_lanes_;
+  WarpState& ws = warp_of(lane);
+  const std::uint32_t bit = 1u << lane.ctx.lane_;
+  ws.ready &= ~bit;
+  ws.parked &= ~bit;
+  ws.barrier &= ~bit;
+  if (fast_ && lane.fiber) pool_.release(std::move(lane.fiber));
+}
+
+bool BlockExec::masks_consistent() const {
+  for (unsigned w = 0; w < warps_; ++w) {
+    const WarpState& ws = warp_state_[w];
+    if ((ws.ready & ~ws.valid) != 0 || (ws.parked & ~ws.valid) != 0 ||
+        (ws.barrier & ~ws.parked) != 0 || (ws.ready & ws.parked) != 0) {
+      return false;
+    }
+    const unsigned base = w * kWarpSize;
+    const unsigned n = std::min(kWarpSize, block_dim_ - base);
+    for (unsigned i = 0; i < n; ++i) {
+      const Lane& lane = lanes_[base + i];
+      const std::uint32_t bit = 1u << i;
+      const bool ok =
+          (lane.status == LaneStatus::kReady && (ws.ready & bit) != 0) ||
+          (lane.status == LaneStatus::kParked && (ws.parked & bit) != 0) ||
+          (lane.status == LaneStatus::kDone && (ws.done() & bit) != 0);
+      if (!ok) return false;
+    }
+  }
+  return true;
+}
+
 void BlockExec::run_block(unsigned block_idx) {
   done_lanes_ = 0;
   kernel_error_ = nullptr;
-  // Each block starts with pristine shared memory, as on hardware.
-  std::fill(shared_mem_.begin(), shared_mem_.end(), std::byte{0});
+  // Each block starts with pristine shared memory, as on hardware — but only
+  // the bytes this launch requested are touched, not the retained capacity.
+  if (shared_bytes_ != 0) {
+    std::fill_n(shared_mem_.begin(),
+                static_cast<std::ptrdiff_t>(shared_bytes_), std::byte{0});
+  }
   for (unsigned i = 0; i < block_dim_; ++i) {
     Lane& lane = lanes_[i];
     lane.status = LaneStatus::kReady;
@@ -67,7 +123,7 @@ void BlockExec::run_block(unsigned block_idx) {
     ThreadCtx& ctx = lane.ctx;
     ctx.block_ = this;
     ctx.stats_ = &stats_;
-    ctx.shared_ = {shared_mem_.data(), shared_mem_.size()};
+    ctx.shared_ = {shared_mem_.data(), shared_bytes_};
     ctx.thread_rank_ = block_idx * block_dim_ + i;
     ctx.block_idx_ = block_idx;
     ctx.block_dim_ = block_dim_;
@@ -77,30 +133,51 @@ void BlockExec::run_block(unsigned block_idx) {
     ctx.smid_ = smid_;
     ctx.num_sms_ = cfg_.num_sms;
     ctx.held_locks_ = 0;
-    lane.fiber->reset(&lane_entry, &lane);
+    // Fast path: the stack arrives lazily from the pool on first resume.
+    if (!fast_) lane.fiber->reset(&lane_entry, &lane);
+  }
+  for (unsigned w = 0; w < warps_; ++w) {
+    WarpState& ws = warp_state_[w];
+    const unsigned n = std::min(kWarpSize, block_dim_ - w * kWarpSize);
+    ws.valid = n == kWarpSize ? ~0u : (1u << n) - 1u;
+    ws.ready = ws.valid;
+    ws.parked = 0;
+    ws.barrier = 0;
   }
 
   unsigned long long stall_passes = 0;
-  while (done_lanes_ < block_dim_) {
-    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
-      cancel_block(block_idx);
-    }
-    bool progress = false;
-    for (unsigned w = 0; w < warps_; ++w) progress |= run_warp(w);
-    progress |= try_release_barrier();
-    if (progress) {
-      stall_passes = 0;
-      if (heartbeat_ != nullptr) {
-        heartbeat_->fetch_add(1, std::memory_order_relaxed);
+  try {
+    while (done_lanes_ < block_dim_) {
+      if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+        cancel_block(block_idx);
       }
-      continue;
+      bool progress = false;
+      if (fast_) {
+        for (unsigned w = 0; w < warps_; ++w) progress |= run_warp_fast(w);
+      } else {
+        for (unsigned w = 0; w < warps_; ++w) progress |= run_warp(w);
+      }
+      progress |= try_release_barrier();
+      if (progress) {
+        stall_passes = 0;
+        if (heartbeat_ != nullptr) {
+          heartbeat_->fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      ++stall_passes;
+      if (stall_passes % cfg_.stall_passes_before_os_yield == 0) {
+        ++stats_.os_yields;
+        std::this_thread::yield();
+      }
+      if (stall_passes > cfg_.deadlock_pass_limit) report_deadlock(block_idx);
     }
-    ++stall_passes;
-    if (stall_passes % cfg_.stall_passes_before_os_yield == 0) {
-      ++stats_.os_yields;
-      std::this_thread::yield();
-    }
-    if (stall_passes > cfg_.deadlock_pass_limit) report_deadlock(block_idx);
+  } catch (...) {
+    // A deadlock diagnosis (e.g. "masked collective waits on an exited
+    // lane") can surface mid-pass with lanes still suspended on their
+    // stacks; unwind them so the executor stays reusable after the throw.
+    if (done_lanes_ < block_dim_) unwind_lanes();
+    throw;
   }
   if (kernel_error_) std::rethrow_exception(kernel_error_);
 }
@@ -123,8 +200,7 @@ bool BlockExec::run_warp(unsigned w) {
       ++stats_.lane_switches;
       const bool finished = lane.fiber->resume();
       if (finished) {
-        lane.status = LaneStatus::kDone;
-        ++done_lanes_;
+        retire_lane(lane);
         progress = true;
       } else if (lane.status == LaneStatus::kParked) {
         progress = true;
@@ -140,6 +216,51 @@ bool BlockExec::run_warp(unsigned w) {
       continue;
     }
     return progress;
+  }
+}
+
+bool BlockExec::run_warp_fast(unsigned w) {
+  WarpState& ws = warp_state_[w];
+  // Fully done, or everyone already waits at the block barrier: O(1) skip.
+  if (!ws.runnable()) return false;
+  const unsigned base = w * kWarpSize;
+  bool progress = false;
+  std::uint32_t exhausted = 0;  ///< ready lanes that burned their quantum
+  for (std::uint32_t m = ws.ready; m != 0; m &= m - 1) {
+    lanes_[base + static_cast<unsigned>(std::countr_zero(m))].spin_streak = 0;
+  }
+
+  for (;;) {
+    const std::uint32_t pass = ws.ready & ~exhausted;
+    if (pass == 0) {
+      // Convergence shortcut: no lane can still join a group (spinners kept
+      // their chance through the quantum above), so whoever is parked at a
+      // collective resolves right now — no extra full-warp rescans.
+      if (ws.collective() != 0 && resolve_collectives_fast(w)) {
+        // Released lanes restart with spin_streak 0; lanes in `exhausted`
+        // were never resumed since, so their bits remain valid.
+        progress = true;
+        continue;
+      }
+      return progress;
+    }
+    // One scheduling pass over the snapshot: only set bits are visited, and
+    // other lanes' bits cannot change under us (a resume only moves the
+    // resumed lane itself).
+    for (std::uint32_t m = pass; m != 0; m &= m - 1) {
+      const unsigned i = static_cast<unsigned>(std::countr_zero(m));
+      Lane& lane = lanes_[base + i];
+      ++stats_.lane_switches;
+      ensure_fiber(lane);
+      if (lane.fiber->resume()) {
+        retire_lane(lane);
+        progress = true;
+      } else if (lane.status == LaneStatus::kParked) {
+        progress = true;
+      } else if (lane.spin_streak >= kSpinQuantum) {
+        exhausted |= 1u << i;
+      }
+    }
   }
 }
 
@@ -192,6 +313,66 @@ bool BlockExec::resolve_collectives(unsigned w) {
       }
       resolve_group(w, members);
       handled |= members;
+      any = true;
+    }
+  }
+  return any;
+}
+
+bool BlockExec::resolve_collectives_fast(unsigned w) {
+  WarpState& ws = warp_state_[w];
+  const unsigned base = w * kWarpSize;
+  bool any = false;
+
+  // Lanes still parked at a collective and not yet grouped this call. Every
+  // group is carved out of this mask by intersection — no per-lane rescans
+  // of the whole warp, no `handled` bookkeeping.
+  std::uint32_t pend = ws.collective();
+  while (pend != 0) {
+    const unsigned i = static_cast<unsigned>(std::countr_zero(pend));
+    Lane& lane = lanes_[base + i];
+    if (lane.park.mask != 0) {
+      // Explicit-mask op: complete only when every member sits parked at the
+      // same site with the same mask. Membership is checked member-by-member
+      // in lane order so the done-lane deadlock diagnosis fires exactly as
+      // in the legacy scheduler.
+      bool complete = true;
+      for (std::uint32_t m = lane.park.mask & ws.valid; m != 0; m &= m - 1) {
+        const unsigned j = static_cast<unsigned>(std::countr_zero(m));
+        const Lane& member = lanes_[base + j];
+        if (member.status == LaneStatus::kDone) {
+          throw std::runtime_error{
+              "SIMT deadlock: masked collective waits on an exited lane"};
+        }
+        if (member.status != LaneStatus::kParked ||
+            member.park.kind != ParkSlot::Kind::kCollective ||
+            member.park.site != lane.park.site ||
+            member.park.mask != lane.park.mask) {
+          complete = false;
+          break;
+        }
+      }
+      if (complete) {
+        resolve_group(w, lane.park.mask);
+        pend &= ~lane.park.mask;
+        any = true;
+      } else {
+        pend &= ~(1u << i);  // revisit once the missing members arrive
+      }
+    } else {
+      // Open group: every pending lane at the same (site, op). Intersecting
+      // against `pend` visits only parked-collective lanes.
+      std::uint32_t members = 0;
+      for (std::uint32_t m = pend; m != 0; m &= m - 1) {
+        const unsigned j = static_cast<unsigned>(std::countr_zero(m));
+        const Lane& cand = lanes_[base + j];
+        if (cand.park.mask == 0 && cand.park.site == lane.park.site &&
+            cand.park.op == lane.park.op) {
+          members |= 1u << j;
+        }
+      }
+      resolve_group(w, members);
+      pend &= ~members;
       any = true;
     }
   }
@@ -308,6 +489,10 @@ void BlockExec::resolve_group(unsigned w, std::uint32_t member_mask) {
     lane.status = LaneStatus::kReady;
     lane.spin_streak = 0;
   }
+  WarpState& ws = warp_state_[w];
+  const std::uint32_t released = member_mask & ws.valid;
+  ws.parked &= ~released;
+  ws.ready |= released;
 }
 
 void BlockExec::resolve_agg_add_subgroup(unsigned w, std::uint32_t sub_mask,
@@ -350,19 +535,33 @@ void BlockExec::resolve_agg_add_subgroup(unsigned w, std::uint32_t sub_mask,
     lane.status = LaneStatus::kReady;
     lane.spin_streak = 0;
   }
+  WarpState& ws = warp_state_[w];
+  const std::uint32_t released = sub_mask & ws.valid;
+  ws.parked &= ~released;
+  ws.ready |= released;
 }
 
 bool BlockExec::try_release_barrier() {
   bool saw_barrier = false;
-  for (unsigned i = 0; i < block_dim_; ++i) {
-    const Lane& lane = lanes_[i];
-    if (lane.status == LaneStatus::kDone) continue;
-    if (lane.status == LaneStatus::kParked &&
-        lane.park.kind == ParkSlot::Kind::kBarrier) {
-      saw_barrier = true;
-      continue;
+  if (fast_) {
+    // O(warps): a warp blocks the barrier iff it still has a ready lane or a
+    // lane parked at a collective.
+    for (unsigned w = 0; w < warps_; ++w) {
+      const WarpState& ws = warp_state_[w];
+      if ((ws.ready | ws.collective()) != 0) return false;
+      saw_barrier |= ws.barrier != 0;
     }
-    return false;  // somebody is still on the way to the barrier
+  } else {
+    for (unsigned i = 0; i < block_dim_; ++i) {
+      const Lane& lane = lanes_[i];
+      if (lane.status == LaneStatus::kDone) continue;
+      if (lane.status == LaneStatus::kParked &&
+          lane.park.kind == ParkSlot::Kind::kBarrier) {
+        saw_barrier = true;
+        continue;
+      }
+      return false;  // somebody is still on the way to the barrier
+    }
   }
   if (!saw_barrier) return false;
   ++stats_.block_barriers;
@@ -373,6 +572,12 @@ bool BlockExec::try_release_barrier() {
       lane.status = LaneStatus::kReady;
       lane.spin_streak = 0;
     }
+  }
+  for (unsigned w = 0; w < warps_; ++w) {
+    WarpState& ws = warp_state_[w];
+    ws.ready |= ws.parked;  // every parked lane sat at the barrier
+    ws.parked = 0;
+    ws.barrier = 0;
   }
   return true;
 }
@@ -423,25 +628,31 @@ TimeoutDiagnosis BlockExec::diagnose(unsigned block_idx) const {
 
 void BlockExec::unwind_lanes() {
   cancelling_ = true;
-  // A lane that re-enters a wait loop after catching the cancel exception
-  // would spin here forever; bound the attempts and abandon such lanes.
-  constexpr unsigned kMaxResumes = 1024;
+  // A cooperative lane unwinds in a single resume: it throws CancelLane at
+  // its next wait point and its fiber finishes. The budget is proportional
+  // to the remaining live work (with slack for destructors that hit one more
+  // wait point), shared across the block: a lane that keeps swallowing the
+  // cancel exception and re-entering a wait loop drains it and is abandoned,
+  // instead of costing a fixed 1024 wasted switches per lane.
+  const unsigned live = block_dim_ - done_lanes_;
+  unsigned long long budget = 16ull + 4ull * live;
   for (unsigned i = 0; i < block_dim_; ++i) {
     Lane& lane = lanes_[i];
-    for (unsigned tries = 0;
-         lane.status != LaneStatus::kDone && tries < kMaxResumes; ++tries) {
-      if (lane.fiber->resume()) {
-        lane.status = LaneStatus::kDone;
-        ++done_lanes_;
-      }
+    while (lane.status != LaneStatus::kDone && budget > 0) {
+      --budget;
+      // A lane that never got its first time slice still owns no stack;
+      // resuming it runs the kernel body, which cancels at its first yield.
+      ensure_fiber(lane);
+      if (lane.fiber->resume()) retire_lane(lane);
     }
     if (lane.status != LaneStatus::kDone) {
-      lane.fiber->abandon();
-      lane.status = LaneStatus::kDone;
-      ++done_lanes_;
+      if (lane.fiber) lane.fiber->abandon();
+      retire_lane(lane);
     }
   }
   cancelling_ = false;
+  assert(done_lanes_ == block_dim_);
+  assert(masks_consistent());
 }
 
 void BlockExec::cancel_block(unsigned block_idx) {
@@ -462,6 +673,10 @@ void BlockExec::park_collective(Lane& lane) {
   maybe_cancel_lane();
   lane.park.kind = ParkSlot::Kind::kCollective;
   lane.status = LaneStatus::kParked;
+  WarpState& ws = warp_of(lane);
+  const std::uint32_t bit = 1u << lane.ctx.lane_;
+  ws.ready &= ~bit;
+  ws.parked |= bit;
   Fiber::yield();
   maybe_cancel_lane();  // resumed by the cancel unwind, not a group release
 }
@@ -470,6 +685,11 @@ void BlockExec::park_barrier(Lane& lane) {
   maybe_cancel_lane();
   lane.park.kind = ParkSlot::Kind::kBarrier;
   lane.status = LaneStatus::kParked;
+  WarpState& ws = warp_of(lane);
+  const std::uint32_t bit = 1u << lane.ctx.lane_;
+  ws.ready &= ~bit;
+  ws.parked |= bit;
+  ws.barrier |= bit;
   Fiber::yield();
   maybe_cancel_lane();
 }

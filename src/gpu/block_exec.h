@@ -8,6 +8,7 @@
 
 #include "gpu/config.h"
 #include "gpu/fiber.h"
+#include "gpu/fiber_pool.h"
 #include "gpu/stats.h"
 #include "gpu/thread_ctx.h"
 #include "gpu/watchdog.h"
@@ -24,8 +25,14 @@ struct KernelRef {
 /// warps round-robin (all warps co-resident so the block barrier works) and
 /// resolves warp collectives over coalesced lane groups.
 ///
-/// One BlockExec lives per SM worker and is reused across blocks so that
-/// lane stacks are allocated once per launch configuration, not per block.
+/// One BlockExec lives per SM worker and is reused across blocks. Two
+/// scheduler implementations coexist behind GpuConfig::scheduler_fast_paths:
+/// the fast one drives per-warp ready/parked/barrier bitmasks (iterate only
+/// set bits, skip idle warps in O(1), resolve collectives by mask
+/// intersection, draw lane stacks lazily from a per-SM pool); the legacy one
+/// scans per-lane status bytes and eagerly owns one stack per lane. Both are
+/// step-equivalent — same lanes resumed in the same order — so A/B runs must
+/// produce identical observable results (asserted by test_simt).
 class BlockExec {
  public:
   /// `cancel` (optional) is the device-wide cancellation flag polled between
@@ -58,17 +65,40 @@ class BlockExec {
     unsigned spin_streak = 0;  ///< consecutive backoff yields this pass
   };
 
+  /// Bitmask mirror of one warp's lane states, the fast scheduler's index:
+  /// invariant valid == ready | parked | done(), barrier ⊆ parked.
+  struct WarpState {
+    std::uint32_t valid = 0;    ///< lanes that exist (tail warps are partial)
+    std::uint32_t ready = 0;    ///< LaneStatus::kReady
+    std::uint32_t parked = 0;   ///< LaneStatus::kParked (collective or barrier)
+    std::uint32_t barrier = 0;  ///< subset of parked: at the block barrier
+
+    /// Lanes parked at a warp collective (what resolve_collectives groups).
+    [[nodiscard]] std::uint32_t collective() const { return parked & ~barrier; }
+    [[nodiscard]] std::uint32_t done() const {
+      return valid & ~(ready | parked);
+    }
+    /// False only when every lane is done or parked at the block barrier —
+    /// then the warp cannot advance until the barrier releases, and the
+    /// scheduling pass skips it without touching any lane.
+    [[nodiscard]] bool runnable() const {
+      return (ready | collective()) != 0;
+    }
+  };
+
   friend class ThreadCtx;
   static void lane_entry(void* lane_erased);
 
   /// Gives every runnable lane of warp `w` time slices until only spinners or
   /// parked lanes remain; resolves warp collectives as groups assemble.
   /// @return true if any lane made scheduling progress.
-  bool run_warp(unsigned w);
+  bool run_warp(unsigned w);        ///< legacy per-lane status scans
+  bool run_warp_fast(unsigned w);   ///< bitmask iteration + O(1) idle skip
 
   /// Groups lanes of warp `w` parked at collectives and resolves every group
   /// whose membership is complete. @return true if any group was released.
-  bool resolve_collectives(unsigned w);
+  bool resolve_collectives(unsigned w);       ///< legacy O(warp²) rescans
+  bool resolve_collectives_fast(unsigned w);  ///< mask-intersection grouping
   void resolve_group(unsigned w, std::uint32_t member_mask);
   /// One address-homogeneous sub-group of a warp-aggregated atomic add
   /// (lanes targeting different words must issue separate RMWs).
@@ -85,10 +115,25 @@ class BlockExec {
   [[nodiscard]] TimeoutDiagnosis diagnose(unsigned block_idx) const;
   /// Resumes every live lane until it unwinds (each throws at its next
   /// backoff/collective/barrier) so destructors run and the fibers finish.
+  /// The resume budget is proportional to the remaining live work; lanes
+  /// that keep re-entering wait loops past it are abandoned.
   void unwind_lanes();
   [[noreturn]] void cancel_block(unsigned block_idx);
   /// Throws the lane-local cancel exception when a cancellation is underway.
   void maybe_cancel_lane() const;
+
+  // ---- lane state transitions (keep status bytes and masks in lock-step) --
+  [[nodiscard]] WarpState& warp_of(const Lane& lane) {
+    return warp_state_[lane.ctx.warp_in_block_];
+  }
+  /// Arms a pooled fiber for a lane about to be resumed for the first time
+  /// (fast path only; the legacy path arms every lane eagerly in run_block).
+  void ensure_fiber(Lane& lane);
+  /// Marks a lane done, updates the warp masks and (fast path) returns its
+  /// stack to the pool.
+  void retire_lane(Lane& lane);
+  /// Debug invariant: every warp's masks agree with its lanes' status bytes.
+  [[nodiscard]] bool masks_consistent() const;
 
   // Called from lanes (via ThreadCtx) while their fiber runs.
   void park_collective(Lane& lane);
@@ -101,13 +146,17 @@ class BlockExec {
   const std::atomic<bool>* cancel_ = nullptr;
   std::atomic<std::uint64_t>* heartbeat_ = nullptr;
   bool cancelling_ = false;
+  const bool fast_;  ///< cached cfg_.scheduler_fast_paths
 
   KernelRef kernel_{};
   unsigned grid_dim_ = 0;
   unsigned block_dim_ = 0;
   unsigned warps_ = 0;
   std::vector<Lane> lanes_;
-  std::vector<std::byte> shared_mem_;
+  std::vector<WarpState> warp_state_;
+  FiberPool pool_;
+  std::vector<std::byte> shared_mem_;   ///< grown, never shrunk, per launch
+  std::size_t shared_bytes_ = 0;        ///< bytes this launch requested
   unsigned done_lanes_ = 0;
   std::exception_ptr kernel_error_;
 

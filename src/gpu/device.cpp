@@ -7,8 +7,7 @@ namespace gms::gpu {
 
 Device::Device(std::size_t arena_bytes, GpuConfig cfg)
     : cfg_(cfg), arena_(arena_bytes), sm_stats_(cfg_.num_sms) {
-  heartbeats_ = std::make_unique<std::atomic<std::uint64_t>[]>(cfg_.num_sms);
-  for (unsigned i = 0; i < cfg_.num_sms; ++i) heartbeats_[i].store(0);
+  heartbeats_ = std::make_unique<HeartbeatSlot[]>(cfg_.num_sms);
   workers_.reserve(cfg_.num_sms);
   for (unsigned smid = 0; smid < cfg_.num_sms; ++smid) {
     workers_.emplace_back([this, smid](const std::stop_token& stop) {
@@ -28,7 +27,8 @@ Device::~Device() {
 }
 
 void Device::worker_main(unsigned smid, const std::stop_token& stop) {
-  BlockExec exec(cfg_, smid, sm_stats_[smid], &cancel_, &heartbeats_[smid]);
+  BlockExec exec(cfg_, smid, sm_stats_[smid].counters, &cancel_,
+                 &heartbeats_[smid].beats);
   std::uint64_t seen_epoch = 0;
   for (;;) {
     {
@@ -69,7 +69,7 @@ void Device::worker_main(unsigned smid, const std::stop_token& stop) {
 std::uint64_t Device::heartbeat_sum() const {
   std::uint64_t sum = 0;
   for (unsigned i = 0; i < cfg_.num_sms; ++i) {
-    sum += heartbeats_[i].load(std::memory_order_relaxed);
+    sum += heartbeats_[i].beats.load(std::memory_order_relaxed);
   }
   return sum;
 }
@@ -90,9 +90,9 @@ LaunchStats Device::launch_erased(unsigned grid_dim, unsigned block_dim,
     next_block_.store(0, std::memory_order_relaxed);
     cancel_.store(false, std::memory_order_relaxed);
     for (unsigned i = 0; i < cfg_.num_sms; ++i) {
-      heartbeats_[i].store(0, std::memory_order_relaxed);
+      heartbeats_[i].beats.store(0, std::memory_order_relaxed);
     }
-    for (auto& s : sm_stats_) s = StatsCounters{};
+    for (auto& s : sm_stats_) s.counters = StatsCounters{};
     ++epoch_;
   }
   const auto start = std::chrono::steady_clock::now();
@@ -127,7 +127,7 @@ LaunchStats Device::launch_erased(unsigned grid_dim, unsigned block_dim,
 
   if (launch_error_) std::rethrow_exception(launch_error_);
 
-  for (const auto& s : sm_stats_) result.counters += s;
+  for (const auto& s : sm_stats_) result.counters += s.counters;
   result.elapsed_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
   result.threads_launched =

@@ -74,12 +74,18 @@ class Device {
   GpuConfig cfg_;
   DeviceArena arena_;
 
+  /// One SM's watchdog heartbeat, padded to a cache line: every scheduling
+  /// pass with progress bumps it, so adjacent SMs must not share a line.
+  struct alignas(kDestructiveInterferenceSize) HeartbeatSlot {
+    std::atomic<std::uint64_t> beats{0};
+  };
+
   /// Launch cancellation flag polled by every BlockExec between scheduling
   /// passes. Set by the watchdog on a wall-clock stall and by any worker
   /// whose block failed, so sibling SMs stop instead of spinning on state
   /// the dead block will never advance.
   std::atomic<bool> cancel_{false};
-  std::unique_ptr<std::atomic<std::uint64_t>[]> heartbeats_;
+  std::unique_ptr<HeartbeatSlot[]> heartbeats_;
 
   std::mutex mu_;
   std::condition_variable cv_work_;
@@ -91,7 +97,7 @@ class Device {
   std::size_t shared_bytes_ = 0;
   KernelRef kernel_{};
   std::atomic<std::uint64_t> next_block_{0};
-  std::vector<StatsCounters> sm_stats_;
+  std::vector<SmStatsSlot> sm_stats_;  ///< cache-line padded per-SM counters
   std::exception_ptr launch_error_;
 
   std::vector<std::jthread> workers_;  // last member: joins before the rest dies

@@ -43,6 +43,8 @@ class DeviceArena {
 
  private:
   struct PageAlignedDelete {
+    std::size_t bytes;
+    bool mapped;  ///< mmap-backed (zero-fill-on-demand) vs heap-allocated
     void operator()(std::byte* p) const;
   };
   std::unique_ptr<std::byte[], PageAlignedDelete> data_;

@@ -1,8 +1,26 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <new>
 
 namespace gms::gpu {
+
+/// Cache-line quantum used to pad per-SM hot state (stats slots, heartbeat
+/// words) so adjacent SMs never bounce one line on their per-switch updates.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winterference-size"
+#endif
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr std::size_t kDestructiveInterferenceSize =
+    std::hardware_destructive_interference_size;
+#else
+inline constexpr std::size_t kDestructiveInterferenceSize = 64;
+#endif
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 /// Event counters gathered while a kernel runs.
 ///
@@ -22,6 +40,7 @@ struct StatsCounters {
   std::uint64_t backoffs = 0;         ///< ThreadCtx::backoff() calls
   std::uint64_t block_barriers = 0;   ///< block-wide barrier releases
   std::uint64_t os_yields = 0;        ///< SM gave up its OS thread slice
+  std::uint64_t fibers_created = 0;   ///< new lane stacks this SM had to wire
 
   StatsCounters& operator+=(const StatsCounters& o) {
     atomic_rmw += o.atomic_rmw;
@@ -34,12 +53,20 @@ struct StatsCounters {
     backoffs += o.backoffs;
     block_barriers += o.block_barriers;
     os_yields += o.os_yields;
+    fibers_created += o.fibers_created;
     return *this;
   }
 
   [[nodiscard]] std::uint64_t atomic_total() const {
     return atomic_rmw + atomic_cas + atomic_load + atomic_store;
   }
+};
+
+/// One SM's counters, padded to a cache line: the scheduler bumps
+/// lane_switches on every fiber resume, and without the padding two adjacent
+/// SMs write-share one line and pay a coherence miss per switch.
+struct alignas(kDestructiveInterferenceSize) SmStatsSlot {
+  StatsCounters counters;
 };
 
 /// Result of one kernel launch.

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
+#include <string>
 #include <vector>
 
+#include "core/registry.h"
 #include "gpu/device.h"
+#include "gpu/watchdog.h"
 
 namespace gms::gpu {
 namespace {
@@ -266,6 +270,255 @@ TEST(Simt, StatsCountAtomics) {
   EXPECT_EQ(stats.counters.atomic_rmw, 32u);
   EXPECT_EQ(stats.counters.atomic_load, 32u);
   EXPECT_EQ(stats.counters.atomic_store, 32u);
+}
+
+// ---- A/B determinism suite: fast-path vs. legacy scheduler ----------------
+//
+// GpuConfig::scheduler_fast_paths must be invisible to kernels: both
+// schedulers resume the same lanes in the same order, so collective results,
+// counters on deterministic kernels, and deadlock/timeout diagnoses are all
+// identical. Each expectation runs under both modes, and the cross-mode
+// tests compare the two devices' observations directly.
+
+GpuConfig ab_cfg(bool fast) {
+  GpuConfig cfg{.num_sms = 4};
+  cfg.scheduler_fast_paths = fast;
+  return cfg;
+}
+
+Device& ab_dev(bool fast) {
+  static Device fast_dev(96u << 20, ab_cfg(true));
+  static Device legacy_dev(96u << 20, ab_cfg(false));
+  return fast ? fast_dev : legacy_dev;
+}
+
+class SchedulerAB : public ::testing::TestWithParam<bool> {
+ protected:
+  Device& dev() { return ab_dev(GetParam()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Modes, SchedulerAB, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? std::string("fast")
+                                             : std::string("legacy");
+                         });
+
+TEST_P(SchedulerAB, DivergentMaskedCollectives) {
+  // Three-way divergence, then masked broadcast + group sync + ballot inside
+  // each branch: the group-formation paths the fast scheduler rewrote.
+  std::vector<std::uint32_t> got(32, ~0u);
+  std::uint32_t ballots[3] = {0, 0, 0};
+  dev().launch(1, 32, [&](ThreadCtx& t) {
+    const unsigned which = t.lane_id() % 3;
+    if (which == 0) {
+      auto g = t.coalesce();
+      got[t.lane_id()] = t.broadcast(g, t.lane_id() * 10u, g.leader);
+      t.sync_group(g);
+      const auto b = t.ballot(true);
+      if (g.is_leader()) ballots[0] = b;
+    } else if (which == 1) {
+      auto g = t.coalesce();
+      got[t.lane_id()] = t.broadcast(g, t.lane_id() * 10u, g.leader);
+      t.sync_group(g);
+      const auto b = t.ballot(true);
+      if (g.is_leader()) ballots[1] = b;
+    } else {
+      auto g = t.coalesce();
+      got[t.lane_id()] = t.broadcast(g, t.lane_id() * 10u, g.leader);
+      t.sync_group(g);
+      const auto b = t.ballot(true);
+      if (g.is_leader()) ballots[2] = b;
+    }
+  });
+  std::uint32_t expect_mask[3] = {0, 0, 0};
+  for (unsigned lane = 0; lane < 32; ++lane) {
+    expect_mask[lane % 3] |= 1u << lane;
+  }
+  for (unsigned lane = 0; lane < 32; ++lane) {
+    // Leaders are lanes 0, 1, 2; every member sees its leader's value.
+    EXPECT_EQ(got[lane], (lane % 3) * 10u) << "lane " << lane;
+  }
+  for (unsigned b = 0; b < 3; ++b) EXPECT_EQ(ballots[b], expect_mask[b]);
+}
+
+TEST_P(SchedulerAB, MixedBarrierCollectiveInterleaving) {
+  // Alternating block barriers and warp collectives over multiple phases —
+  // exercises barrier-release rescans racing collective parking.
+  constexpr unsigned kDim = 128, kPhases = 8;
+  std::vector<std::uint64_t> phase_sums(kPhases, 0);
+  std::vector<std::uint32_t> prefix(kDim, 0);
+  dev().launch(1, kDim, [&](ThreadCtx& t) {
+    for (unsigned ph = 0; ph < kPhases; ++ph) {
+      const auto s = t.reduce_add(std::uint64_t{t.lane_id() + ph});
+      if (t.lane_id() == 0) {
+        t.atomic_add(&phase_sums[ph], s);
+      }
+      t.sync_block();
+      if (ph + 1 == kPhases) {
+        prefix[t.thread_rank()] = t.scan_exclusive_add(1u);
+      }
+    }
+  });
+  for (unsigned ph = 0; ph < kPhases; ++ph) {
+    // 4 warps, each contributing sum(0..31) + 32*ph.
+    EXPECT_EQ(phase_sums[ph], 4u * (496u + 32u * ph));
+  }
+  for (unsigned r = 0; r < kDim; ++r) EXPECT_EQ(prefix[r], r % kWarpSize);
+}
+
+TEST_P(SchedulerAB, ConformanceChurn) {
+  // The allocator conformance churn (alloc / write / verify / free rounds)
+  // must hold regardless of scheduler mode.
+  core::register_all_allocators();
+  for (const char* name : {"ScatterAlloc", "Halloc"}) {
+    auto mgr = core::Registry::instance().make(name, dev(), 64u << 20);
+    ASSERT_NE(mgr, nullptr) << name;
+    constexpr std::size_t kN = 2048, kWords = 8;
+    for (unsigned round = 0; round < 3; ++round) {
+      std::uint32_t corrupt = 0;
+      dev().launch_n(kN, [&](ThreadCtx& t) {
+        auto* p =
+            static_cast<std::uint32_t*>(mgr->malloc(t, kWords * 4));
+        if (p == nullptr) {
+          t.atomic_add(&corrupt, 1u);
+          return;
+        }
+        for (unsigned w = 0; w < kWords; ++w) {
+          p[w] = t.thread_rank() * 31 + w + round;
+        }
+        t.sync_warp();
+        for (unsigned w = 0; w < kWords; ++w) {
+          if (p[w] != t.thread_rank() * 31 + w + round) {
+            t.atomic_add(&corrupt, 1u);
+          }
+        }
+        mgr->free(t, p);
+      });
+      EXPECT_EQ(corrupt, 0u) << name << " round " << round;
+    }
+  }
+}
+
+TEST_P(SchedulerAB, MaskedCollectiveOnExitedLaneDiagnosed) {
+  // A lane that exits while still a member of an explicit group is a
+  // guaranteed deadlock; both schedulers must diagnose it (not hang) and
+  // leave the device usable.
+  auto deadlock = [&] {
+    dev().launch(1, 32, [&](ThreadCtx& t) {
+      if (t.lane_id() >= 16) return;
+      auto g = t.coalesce();
+      if (t.lane_id() == 3) return;  // exits while g still names it
+      (void)t.broadcast(g, t.lane_id(), g.leader);
+    });
+  };
+  EXPECT_THROW(deadlock(), std::runtime_error);
+  // The stuck lanes were unwound; the device takes fresh launches.
+  std::uint32_t count = 0;
+  dev().launch(1, 64, [&](ThreadCtx& t) { t.atomic_add(&count, 1u); });
+  EXPECT_EQ(count, 64u);
+}
+
+TEST(SchedulerABCross, DeadlockMessageIdentical) {
+  std::string what[2];
+  for (bool fast : {false, true}) {
+    try {
+      ab_dev(fast).launch(1, 32, [&](ThreadCtx& t) {
+        if (t.lane_id() >= 16) return;
+        auto g = t.coalesce();
+        if (t.lane_id() == 3) return;
+        (void)t.broadcast(g, t.lane_id(), g.leader);
+      });
+      FAIL() << "expected deadlock diagnosis (fast=" << fast << ")";
+    } catch (const std::runtime_error& e) {
+      what[fast ? 1 : 0] = e.what();
+    }
+  }
+  EXPECT_EQ(what[0], what[1]);
+  EXPECT_NE(what[0].find("deadlock"), std::string::npos);
+}
+
+TEST(SchedulerABCross, DeterministicCountersIdentical) {
+  // Single block, no contention, no backoff: scheduling is fully
+  // deterministic, so both modes must resume the same lanes in the same
+  // order — observable as identical counters, including lane_switches.
+  StatsCounters counters[2];
+  for (bool fast : {false, true}) {
+    Device local(8u << 20, ab_cfg(fast));
+    std::uint64_t sink = 0;
+    const auto stats = local.launch(1, 256, [&](ThreadCtx& t) {
+      std::uint64_t acc = t.lane_id();
+      for (unsigned i = 0; i < 4; ++i) {
+        acc += t.reduce_add(std::uint64_t{1});
+        t.sync_block();
+      }
+      t.aggregated_atomic_add(&sink, acc);
+    });
+    counters[fast ? 1 : 0] = stats.counters;
+  }
+  EXPECT_EQ(counters[0].collectives, counters[1].collectives);
+  EXPECT_EQ(counters[0].block_barriers, counters[1].block_barriers);
+  EXPECT_EQ(counters[0].atomic_rmw, counters[1].atomic_rmw);
+  EXPECT_EQ(counters[0].lane_switches, counters[1].lane_switches);
+  EXPECT_EQ(counters[0].backoffs, counters[1].backoffs);
+  // fibers_created is the one counter that SHOULD differ. Legacy eagerly
+  // wires every lane on every SM worker (4 SMs x 256 lanes); the pool only
+  // pays for lanes actually suspended — here all 256 of the one real block,
+  // since every lane parks at the barrier.
+  EXPECT_EQ(counters[0].fibers_created, 4u * 256u);
+  EXPECT_EQ(counters[1].fibers_created, 256u);
+}
+
+TEST(SchedulerABCross, RunToCompletionPoolsStacks) {
+  // A kernel with no suspension points runs each lane to completion on its
+  // first resume, so one pooled stack serves the whole block; legacy still
+  // pays for every lane on every SM.
+  for (bool fast : {false, true}) {
+    Device local(1u << 20, ab_cfg(fast));
+    const auto stats = local.launch(1, 256, [](ThreadCtx&) {});
+    if (fast) {
+      EXPECT_EQ(stats.counters.fibers_created, 1u);
+    } else {
+      EXPECT_EQ(stats.counters.fibers_created, 4u * 256u);
+    }
+  }
+}
+
+TEST(SchedulerABCross, WatchdogDiagnosisIdentical) {
+  // thread 0 spins forever, the rest park at the block barrier: cancellation
+  // must produce the same TimeoutDiagnosis under both schedulers, and both
+  // devices must stay usable afterwards.
+  TimeoutDiagnosis diag[2];
+  for (bool fast : {false, true}) {
+    GpuConfig cfg = ab_cfg(fast);
+    cfg.num_sms = 1;
+    cfg.watchdog_ms = 100;
+    cfg.watchdog_poll_ms = 5;
+    Device local(1u << 20, cfg);
+    try {
+      local.launch(1, 64, [](ThreadCtx& t) {
+        if (t.thread_rank() == 0) {
+          for (;;) t.backoff();
+        }
+        t.sync_block();
+      });
+      FAIL() << "expected LaunchTimeout (fast=" << fast << ")";
+    } catch (const LaunchTimeout& e) {
+      diag[fast ? 1 : 0] = e.diagnosis();
+    }
+    std::uint32_t count = 0;
+    local.launch(1, 32, [&](ThreadCtx& t) { t.atomic_add(&count, 1u); });
+    EXPECT_EQ(count, 32u);
+  }
+  EXPECT_EQ(diag[0].block_idx, diag[1].block_idx);
+  EXPECT_EQ(diag[0].lanes_done, diag[1].lanes_done);
+  EXPECT_EQ(diag[0].lanes_spinning, diag[1].lanes_spinning);
+  EXPECT_EQ(diag[0].lanes_parked, diag[1].lanes_parked);
+  EXPECT_EQ(diag[0].lanes_ready, diag[1].lanes_ready);
+  EXPECT_EQ(diag[0].first_stuck_rank, diag[1].first_stuck_rank);
+  EXPECT_EQ(diag[0].lanes_done, 0u);
+  EXPECT_EQ(diag[0].lanes_spinning, 1u);
+  EXPECT_EQ(diag[0].lanes_parked, 63u);
+  EXPECT_EQ(diag[0].first_stuck_rank, 0u);
 }
 
 }  // namespace
