@@ -53,8 +53,25 @@ struct BenchArgs {
   /// baseline bench_simt measures against.
   bool legacy_scheduler = false;
   /// --json FILE: machine-readable output (bench_simt writes BENCH_simt.json
-  /// here — the repo's recorded perf trajectory).
+  /// here; bench_oom / bench_fragmentation / bench_survey reuse the same
+  /// `{"bench": ..., "cases": [...]}` shape).
   std::string json;
+  // ---- bench_survey (crash-contained sweep) flags ----------------------
+  /// --deadline-s S: parent-side wall clock per cell attempt before SIGKILL.
+  double deadline_s = 20;
+  /// --retries N: extra attempts for transient verdicts (crash / timeout).
+  unsigned retries = 1;
+  /// --rlimit-mb N: child RLIMIT_AS (0 = unlimited) — drives the oom verdict.
+  std::size_t rlimit_mb = 4096;
+  /// --quarantine FILE: where the skip-list lives between sweeps.
+  std::string quarantine = "results/quarantine.json";
+  /// --retry-quarantined: run quarantined cells anyway (heal or re-confirm).
+  bool retry_quarantined = false;
+  /// --hostile: add the deliberately crashing/hanging/corrupting stubs to
+  /// the population, to demonstrate containment.
+  bool hostile = false;
+  /// --workloads LIST: comma list from {churn, frag, oom}.
+  std::string workloads = "churn,frag,oom";
 
   [[nodiscard]] std::size_t heap_bytes() const { return mem_mb << 20; }
 };
@@ -134,6 +151,20 @@ inline BenchArgs parse_args(int argc, char** argv,
       args.legacy_scheduler = true;
     } else if (flag == "--json") {
       args.json = need(i);
+    } else if (flag == "--deadline-s") {
+      args.deadline_s = std::stod(need(i));
+    } else if (flag == "--retries") {
+      args.retries = static_cast<unsigned>(std::stoul(need(i)));
+    } else if (flag == "--rlimit-mb") {
+      args.rlimit_mb = std::stoull(need(i));
+    } else if (flag == "--quarantine") {
+      args.quarantine = need(i);
+    } else if (flag == "--retry-quarantined") {
+      args.retry_quarantined = true;
+    } else if (flag == "--hostile") {
+      args.hostile = true;
+    } else if (flag == "--workloads") {
+      args.workloads = need(i);
     } else if (flag == "-h" || flag == "--help") {
       std::cout
           << "common flags: -t o+s+h+c+r+x | name,name  --mem-mb N  "
@@ -142,7 +173,10 @@ inline BenchArgs parse_args(int argc, char** argv,
              "--scale N  --max-exp N  --validate  --fault=SPEC  "
              "--watchdog-ms N  --legacy-scheduler  --json FILE\n"
              "fault SPECs: nth:N  prob:P[:SEED]  budget:BYTES  "
-             "(optional suffix ,delay=K)\n";
+             "(optional suffix ,delay=K)\n"
+             "bench_survey: --deadline-s S  --retries N  --rlimit-mb N  "
+             "--quarantine FILE  --retry-quarantined  --hostile  "
+             "--workloads churn,frag,oom\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << flag << " (try --help)\n";

@@ -1,0 +1,237 @@
+// Crash-contained survey sweep: every (allocator × workload) cell runs in a
+// fork()ed child with an rlimit-bounded address space and a parent-side
+// deadline, so one crashing / hanging / heap-corrupting manager cannot take
+// down the matrix — its fate becomes the cell's verdict instead (the paper's
+// "unstable" outcomes as first-class survey data). After every kernel the
+// cell runs MemoryManager::audit(); a corrupt heap downgrades an apparently
+// successful cell to validation-error. Verdicts land in results/survey.json,
+// persistently-bad cells in results/quarantine.json (skipped next sweep
+// unless --retry-quarantined). --hostile adds the deliberately misbehaving
+// stub allocators to demonstrate the containment.
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/stub_allocators.h"
+#include "core/survey_runner.h"
+#include "workloads/fragmentation.h"
+
+namespace {
+
+using namespace gms;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Post-kernel audit bookkeeping for one cell. Returns empty on a sound
+/// heap, the failure description otherwise.
+struct AuditTally {
+  std::uint64_t audits = 0;
+  std::uint64_t structures = 0;
+
+  std::string check(core::MemoryManager& mgr) {
+    const auto a = mgr.audit();
+    ++audits;
+    structures += a.structures_walked;
+    if (a.supported && !a.ok) return a.to_string();
+    return {};
+  }
+
+  [[nodiscard]] std::string summary() const {
+    return std::to_string(audits) + " audits over " +
+           std::to_string(structures) + " structures";
+  }
+};
+
+/// Builds the per-cell device + manager inside the forked child. When
+/// `prefer_twin`, the cell runs the manager's registered "+V" validated twin
+/// (redzones, shadow bitmap) when one exists, so heap damage surfaces as
+/// validation errors rather than silent misbehaviour. The oom cell opts out:
+/// exhaustion-scale allocation counts overflow the validator's live-pointer
+/// table (a harness capacity limit, not corruption), and the twin's
+/// per-block redzone overhead would distort the utilisation data anyway.
+bench::ManagedDevice make_cell_device(const bench::BenchArgs& args,
+                                      const std::string& name,
+                                      bool prefer_twin) {
+  bench::BenchArgs local = args;
+  local.validate = prefer_twin && name.find("+V") == std::string::npos &&
+                   core::Registry::instance().find(name + "+V") != nullptr;
+  return bench::ManagedDevice(local, name);
+}
+
+/// Returns empty when the validation report is clean (or no validator is
+/// active), else the report text.
+std::string drain_validation(bench::ManagedDevice& md) {
+  if (md.validator() == nullptr) return {};
+  const auto report = md.validator()->drain_report(/*leaks_are_errors=*/false);
+  if (report.clean()) return {};
+  return report.to_string();
+}
+
+// ---- cell bodies (each runs inside the forked child) -----------------------
+
+/// Alloc/free churn with an audit after EVERY kernel: the core contract the
+/// survey runner exists to enforce.
+core::CellOutcome churn_cell(const bench::BenchArgs& args,
+                             const std::string& name) {
+  auto md = make_cell_device(args, name, /*prefer_twin=*/true);
+  auto& mgr = md.mgr();
+  const std::size_t threads = args.threads != 0 ? args.threads : 2048;
+  const unsigned iters = args.iters != 0 ? args.iters : 2;
+  const bool warp_only = mgr.traits().warp_level_only;
+  const bool can_free =
+      mgr.traits().supports_free && mgr.traits().individual_free;
+
+  std::vector<void*> ptrs(threads, nullptr);
+  AuditTally tally;
+  core::SplitMix64 size_rng(0xC411);
+  for (unsigned it = 0; it < iters; ++it) {
+    const std::size_t size = size_rng.range(args.range_lo,
+                                            std::min<std::size_t>(
+                                                args.range_hi, 1024));
+    md.dev().launch_n(threads, [&](gpu::ThreadCtx& t) {
+      void* p = warp_only ? mgr.warp_malloc(t, size) : mgr.malloc(t, size);
+      if (p != nullptr) {
+        // Touch the whole payload so redzone/canary damage is earned, not
+        // hypothetical.
+        auto* bytes = static_cast<std::byte*>(p);
+        for (std::size_t b = 0; b < size; ++b) {
+          bytes[b] = static_cast<std::byte>(t.thread_rank());
+        }
+      }
+      ptrs[t.thread_rank()] = p;
+    });
+    if (auto why = tally.check(mgr); !why.empty()) return {40, why};
+
+    if (can_free) {
+      md.dev().launch_n(threads, [&](gpu::ThreadCtx& t) {
+        mgr.free(t, ptrs[t.thread_rank()]);
+      });
+    } else if (warp_only) {
+      md.dev().launch_n(threads,
+                        [&](gpu::ThreadCtx& t) { mgr.warp_free_all(t); });
+    }
+    if (auto why = tally.check(mgr); !why.empty()) return {40, why};
+    std::fill(ptrs.begin(), ptrs.end(), nullptr);
+  }
+  if (auto report = drain_validation(md); !report.empty()) {
+    return {40, report};
+  }
+  return {0, tally.summary()};
+}
+
+core::CellOutcome frag_cell(const bench::BenchArgs& args,
+                            const std::string& name) {
+  auto md = make_cell_device(args, name, /*prefer_twin=*/true);
+  const std::size_t threads = args.threads != 0 ? args.threads : 2048;
+  const unsigned iters = args.iters != 0 ? args.iters : 2;
+  AuditTally tally;
+  const auto r = work::run_fragmentation(md.dev(), md.mgr(), threads,
+                                         args.range_lo, iters);
+  if (auto why = tally.check(md.mgr()); !why.empty()) return {40, why};
+  if (auto report = drain_validation(md); !report.empty()) {
+    return {40, report};
+  }
+  return {0, "max_range=" + std::to_string(r.max_range) + ", " +
+                 tally.summary()};
+}
+
+core::CellOutcome oom_cell(const bench::BenchArgs& args,
+                           const std::string& name) {
+  auto md = make_cell_device(args, name, /*prefer_twin=*/false);
+  const std::size_t threads = args.threads != 0 ? args.threads : 1024;
+  AuditTally tally;
+  const auto r = work::run_oom(md.dev(), md.mgr(), threads, args.range_lo,
+                               args.heap_bytes(), args.timeout_s);
+  // The heap must stay structurally sound even at (and past) exhaustion —
+  // including after a watchdog-cancelled launch near the OOM edge.
+  if (auto why = tally.check(md.mgr()); !why.empty()) return {40, why};
+  if (auto report = drain_validation(md); !report.empty()) {
+    return {40, report};
+  }
+  return {0, "achieved=" + std::to_string(r.achieved) +
+                 (r.timed_out ? " (timed out)" : "") + ", " +
+                 tally.summary()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = bench::parse_args(argc, argv);
+  if (args.mem_mb == 256) args.mem_mb = 64;  // per-cell heap; sweeps are wide
+  if (args.timeout_s > args.deadline_s / 2) {
+    args.timeout_s = args.deadline_s / 2;  // oom soft cap inside the deadline
+  }
+  if (args.watchdog_ms <= 0) {
+    // The in-child watchdog fires first (with a diagnosis naming the stuck
+    // lane); the parent's SIGKILL is the backstop for cells that never reach
+    // a yield point.
+    args.watchdog_ms = args.deadline_s * 1000.0 / 2;
+  }
+  if (args.hostile) {
+    core::register_stub_allocators();
+    for (const char* stub : {"CrashStub", "HangStub", "CorruptStub"}) {
+      args.allocators.emplace_back(stub);
+    }
+  }
+  const auto workloads = split_csv(args.workloads);
+  if (workloads.empty()) {
+    std::cerr << "--workloads must name at least one of churn,frag,oom\n";
+    return 2;
+  }
+
+  core::SurveyRunner runner({.max_retries = args.retries,
+                             .deadline_s = args.deadline_s,
+                             .rlimit_mb = args.rlimit_mb,
+                             .quarantine_path = args.quarantine,
+                             .retry_quarantined = args.retry_quarantined});
+  if (runner.quarantined_count() > 0) {
+    std::cout << "(" << runner.quarantined_count() << " quarantined cells"
+              << (args.retry_quarantined ? ", retrying" : " will be skipped")
+              << " — " << args.quarantine << ")\n";
+  }
+
+  std::vector<std::string> columns{"Allocator"};
+  for (const auto& w : workloads) columns.push_back(w);
+  core::ResultTable table(columns);
+
+  for (const auto& name : args.allocators) {
+    std::vector<std::string> row{name};
+    for (const auto& workload : workloads) {
+      const std::string key = name + "/" + workload;
+      const auto res = runner.run_cell(key, [&]() -> core::CellOutcome {
+        if (workload == "churn") return churn_cell(args, name);
+        if (workload == "frag") return frag_cell(args, name);
+        if (workload == "oom") return oom_cell(args, name);
+        return {2, "unknown workload " + workload};
+      });
+      std::string cell = core::to_string(res.verdict);
+      if (res.skipped_quarantined) cell += " (q)";
+      if (res.attempts > 1) cell += " x" + std::to_string(res.attempts);
+      row.push_back(std::move(cell));
+      std::cout << res.to_string() << "\n";
+    }
+    table.add_row(std::move(row));
+  }
+
+  bench::emit(table, args, "Survey verdict matrix (fork-contained cells)");
+  std::cout << "\nsummary:";
+  for (const auto& [verdict, count] : runner.summary()) {
+    std::cout << " " << verdict << "=" << count;
+  }
+  std::cout << "  (quarantined: " << runner.quarantined_count() << ")\n";
+
+  const std::string json_path =
+      args.json.empty() ? "results/survey.json" : args.json;
+  runner.write_survey_json(json_path);
+  std::cout << "(json written to " << json_path << ")\n";
+  return 0;
+}

@@ -6,18 +6,23 @@
 # engine A/B (refreshing BENCH_simt.json, the recorded perf trajectory)
 # plus one allocator sweep as a sanity probe, and nothing else.
 #
-# Fails fast: a missing binary or a crashing bench aborts the sweep with a
-# non-zero exit instead of silently leaving stale result files behind.
+# --keep-going: record a failing bench and continue with the rest of the
+# sweep instead of aborting; prints a failure summary at the end and exits
+# non-zero if anything failed. The default stays fail-fast: a missing
+# binary or a crashing bench aborts the sweep with a non-zero exit instead
+# of silently leaving stale result files behind.
 set -euo pipefail
 
 B=build/bench
 R=results
 
 SMOKE=0
+KEEP_GOING=0
 for arg in "$@"; do
   case "$arg" in
     --smoke) SMOKE=1 ;;
-    *) echo "usage: $0 [--smoke]" >&2; exit 2 ;;
+    --keep-going) KEEP_GOING=1 ;;
+    *) echo "usage: $0 [--smoke] [--keep-going]" >&2; exit 2 ;;
   esac
 done
 
@@ -28,7 +33,7 @@ fi
 
 BENCHES=(bench_table1 bench_init_registers bench_alloc_size bench_alloc_mixed
          bench_scaling bench_fragmentation bench_oom bench_workgen
-         bench_access bench_graph bench_ablation bench_simt)
+         bench_access bench_graph bench_ablation bench_simt bench_survey)
 if [[ $SMOKE -eq 1 ]]; then
   BENCHES=(bench_simt bench_alloc_size)
 fi
@@ -45,26 +50,57 @@ fi
 
 mkdir -p "$R"
 
-if [[ $SMOKE -eq 1 ]]; then
-  set -x
-  "$B"/bench_simt       --json BENCH_simt.json          > "$R"/simt.txt
-  "$B"/bench_alloc_size --threads 10000 --iters 2       > "$R"/smoke_thread_10k.txt
+FAILED=()
+
+# run <outfile> <bench> [args...] — one sweep entry. Fail-fast by default;
+# with --keep-going a failure is recorded and the sweep continues.
+run() {
+  local out="$1" bench="$2"
+  shift 2
+  echo "+ $B/$bench $* > $out" >&2
+  local rc=0
+  "$B/$bench" "$@" > "$out" || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "FAIL (exit $rc): $bench" >&2
+    if [[ $KEEP_GOING -ne 1 ]]; then
+      exit "$rc"
+    fi
+    FAILED+=("$bench (exit $rc)")
+  fi
+}
+
+finish() {
+  if [[ ${#FAILED[@]} -gt 0 ]]; then
+    echo "" >&2
+    echo "=== ${#FAILED[@]} bench(es) failed ===" >&2
+    printf ' - %s\n' "${FAILED[@]}" >&2
+    exit 1
+  fi
   exit 0
+}
+
+if [[ $SMOKE -eq 1 ]]; then
+  run "$R"/simt.txt            bench_simt       --json BENCH_simt.json
+  run "$R"/smoke_thread_10k.txt bench_alloc_size --threads 10000 --iters 2
+  finish
 fi
 
-set -x
-"$B"/bench_table1                                      > "$R"/table1.txt
-"$B"/bench_init_registers --iters 3                    > "$R"/init_registers.txt
-"$B"/bench_alloc_size   --threads 10000 --iters 3      > "$R"/fig9_thread_10k.txt
-"$B"/bench_alloc_size   --threads 10000 --iters 3 --metric atomics > "$R"/fig9_thread_10k_atomics.txt
-"$B"/bench_alloc_size   --threads 10000 --iters 2 --warp --mem-mb 384 > "$R"/fig9g_warp_10k.txt
-"$B"/bench_alloc_mixed  --threads 10000 --iters 3      > "$R"/fig9h_mixed.txt
-"$B"/bench_scaling      --max-exp 14 --iters 2         > "$R"/fig10_scaling.txt
-"$B"/bench_fragmentation --threads 20000 --iters 4     > "$R"/fig11a_fragmentation.txt
-"$B"/bench_oom          --timeout-s 8 --mem-mb 48      > "$R"/fig11b_oom.txt
-"$B"/bench_workgen      --range 4-64   --max-exp 14 --iters 2 > "$R"/fig11c_workgen_small.txt
-"$B"/bench_workgen      --range 4-4096 --max-exp 13 --iters 2 --mem-mb 384 > "$R"/fig11d_workgen_large.txt
-"$B"/bench_access       --threads 16384                > "$R"/fig11e_access.txt
-"$B"/bench_graph        --scale 32 --threads 100000 --mem-mb 384 > "$R"/fig11fg_graph.txt
-"$B"/bench_ablation                                    > "$R"/ablation.txt
-"$B"/bench_simt         --json BENCH_simt.json         > "$R"/simt.txt
+run "$R"/table1.txt           bench_table1
+run "$R"/init_registers.txt   bench_init_registers --iters 3
+run "$R"/fig9_thread_10k.txt  bench_alloc_size --threads 10000 --iters 3
+run "$R"/fig9_thread_10k_atomics.txt bench_alloc_size --threads 10000 --iters 3 --metric atomics
+run "$R"/fig9g_warp_10k.txt   bench_alloc_size --threads 10000 --iters 2 --warp --mem-mb 384
+run "$R"/fig9h_mixed.txt      bench_alloc_mixed --threads 10000 --iters 3
+run "$R"/fig10_scaling.txt    bench_scaling --max-exp 14 --iters 2
+run "$R"/fig11a_fragmentation.txt bench_fragmentation --threads 20000 --iters 4 --json BENCH_fragmentation.json
+run "$R"/fig11b_oom.txt       bench_oom --timeout-s 8 --mem-mb 48 --json BENCH_oom.json
+run "$R"/fig11c_workgen_small.txt bench_workgen --range 4-64   --max-exp 14 --iters 2
+run "$R"/fig11d_workgen_large.txt bench_workgen --range 4-4096 --max-exp 13 --iters 2 --mem-mb 384
+run "$R"/fig11e_access.txt    bench_access --threads 16384
+run "$R"/fig11fg_graph.txt    bench_graph --scale 32 --threads 100000 --mem-mb 384
+run "$R"/ablation.txt         bench_ablation
+run "$R"/simt.txt             bench_simt --json BENCH_simt.json
+# Crash-contained verdict matrix over the full registry (+ hostile stubs to
+# prove the containment); writes results/survey.json + results/quarantine.json.
+run "$R"/survey.txt           bench_survey --deadline-s 20 --retries 1 --hostile
+finish

@@ -1,13 +1,30 @@
 #!/usr/bin/env bash
-# Builds the whole tree with AddressSanitizer + UBSan (GMS_ASAN=ON) into
-# build-asan/ and runs the test suite under it. The fiber layer annotates
-# every lane-stack switch for ASan, so the simulated kernels are scanned too.
+# Builds the whole tree under a sanitizer and runs the test suite under it.
 #
-# Usage: ./run_sanitized.sh [ctest args...]   e.g. ./run_sanitized.sh -R validation
+# Default: AddressSanitizer + UBSan (GMS_ASAN=ON) into build-asan/. The
+# fiber layer annotates every lane-stack switch for ASan, so the simulated
+# kernels are scanned too.
+#
+# --ubsan: standalone UndefinedBehaviorSanitizer (GMS_UBSAN=ON) into
+# build-ubsan/ — near-native speed, no interceptors; the configuration the
+# CI ubsan lane runs.
+#
+# Usage: ./run_sanitized.sh [--ubsan] [ctest args...]
+#   e.g. ./run_sanitized.sh -R validation
+#        ./run_sanitized.sh --ubsan -R survey
 set -euo pipefail
 
-cmake -B build-asan -S . -DGMS_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-asan -j "$(nproc)"
+BUILD_DIR=build-asan
+CMAKE_FLAGS=(-DGMS_ASAN=ON)
+if [[ "${1:-}" == "--ubsan" ]]; then
+  shift
+  BUILD_DIR=build-ubsan
+  CMAKE_FLAGS=(-DGMS_UBSAN=ON)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_FLAGS[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
 # LeakSanitizer is off: it cannot walk the hand-switched fiber stacks and
-# reports their (still reachable) allocations as leaks.
-ASAN_OPTIONS=detect_leaks=0 ctest --test-dir build-asan --output-on-failure "$@"
+# reports their (still reachable) allocations as leaks. (Harmless and
+# ignored for the UBSan-only build.)
+ASAN_OPTIONS=detect_leaks=0 ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <string>
 
 #include "gpu/thread_ctx.h"
 
@@ -95,6 +97,51 @@ class ListHeap {
   [[nodiscard]] bool contains(const void* p) const {
     auto* b = static_cast<const std::byte*>(p);
     return b >= pool_ && b < pool_ + std::size_t{units_} * kUnit;
+  }
+
+  /// Host-side integrity walk for MemoryManager::audit() (quiescent only):
+  /// follows the block list from unit 0 and checks the invariants that hold
+  /// even after a cancelled kernel — every reached block carries its start
+  /// bit, links are strictly increasing, and the walk terminates exactly at
+  /// `units_`. A block claimed by a reaped lane merely looks allocated
+  /// (bounded leakage, not a failure); a broken link or missing start bit is
+  /// corruption. Returns blocks walked; sets *why on failure.
+  [[nodiscard]] bool audit_host(std::uint64_t& blocks_walked,
+                                std::string* why) const {
+    blocks_walked = 0;
+    if (pool_ == nullptr || units_ == 0) return true;  // never initialised
+    std::uint32_t off = 0;
+    // units_+1 blocks can never exist: every block spans >= 1 unit + link.
+    for (std::size_t step = 0; step <= units_; ++step) {
+      if (off == units_) return true;  // clean end of heap
+      const std::uint64_t flags = std::atomic_ref<std::uint64_t>(
+                                      flags_[off / 32])
+                                      .load(std::memory_order_acquire);
+      if ((flags & start_bit(off)) == 0) {
+        if (why != nullptr) {
+          *why = "list-heap: unit " + std::to_string(off) +
+                 " reached by a link but has no start bit";
+        }
+        return false;
+      }
+      const std::uint32_t next =
+          std::atomic_ref<std::uint32_t>(
+              *reinterpret_cast<std::uint32_t*>(
+                  pool_ + std::size_t{off} * kUnit))
+              .load(std::memory_order_acquire);
+      if (next <= off || next > units_) {
+        if (why != nullptr) {
+          *why = "list-heap: block at unit " + std::to_string(off) +
+                 " links to " + std::to_string(next) + " (of " +
+                 std::to_string(units_) + " units)";
+        }
+        return false;
+      }
+      ++blocks_walked;
+      off = next;
+    }
+    if (why != nullptr) *why = "list-heap: block list does not terminate";
+    return false;  // more blocks than units: a cycle through stale flags
   }
 
   /// Number of blocks on the list (test/diagnostic, quiescent only).

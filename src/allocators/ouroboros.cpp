@@ -1,6 +1,9 @@
 #include "allocators/ouroboros.h"
 
+#include <atomic>
+#include <bit>
 #include <cstring>
+#include <string>
 #include <vector>
 
 namespace gms::alloc {
@@ -541,6 +544,69 @@ Ouroboros::Ouroboros(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
 }
 
 const core::AllocatorTraits& Ouroboros::traits() const { return traits_; }
+
+core::AuditResult Ouroboros::audit() {
+  core::AuditResult result;
+  result.supported = true;
+  auto fail = [&result](std::string what) {
+    ++result.failures;
+    if (result.detail.empty()) result.detail = std::move(what);
+  };
+  for (std::uint32_t c = 0; c < pool_.num_chunks(); ++c) {
+    ++result.structures_walked;
+    const std::uint64_t state = std::atomic_ref<std::uint64_t>(meta_[c].state)
+                                    .load(std::memory_order_acquire);
+    if (state == 0) continue;  // never assigned / fully recycled
+    const auto cls_tag = static_cast<std::uint32_t>(state >> 32);
+    if (cls_tag == 0 || cls_tag > kNumClasses) {
+      fail("ouroboros: chunk " + std::to_string(c) +
+           " carries impossible class tag " + std::to_string(cls_tag));
+      continue;
+    }
+    const std::size_t ppc = pages_per_chunk(cls_tag - 1);
+    const auto free_count = static_cast<std::uint32_t>(state);
+    if (free_count > ppc) {
+      fail("ouroboros: chunk " + std::to_string(c) + " free count " +
+           std::to_string(free_count) + " exceeds its " +
+           std::to_string(ppc) + " pages");
+      continue;
+    }
+    if (!cfg_.chunk_based) {
+      // Page-based variants never touch the counter half of the word.
+      if (free_count != 0) {
+        fail("ouroboros: page-based chunk " + std::to_string(c) +
+             " has a nonzero free counter");
+      }
+      continue;
+    }
+    std::size_t used = 0;
+    for (std::size_t w = 0; w < 8; ++w) {
+      std::uint64_t bits = std::atomic_ref<std::uint64_t>(meta_[c].bitmap[w])
+                               .load(std::memory_order_acquire);
+      std::uint64_t valid = ~0ull;
+      if (w * 64 >= ppc) {
+        valid = 0;
+      } else if ((w + 1) * 64 > ppc && ppc % 64 != 0) {
+        valid = (1ull << (ppc % 64)) - 1;
+      }
+      if ((bits & ~valid) != 0) {
+        fail("ouroboros: chunk " + std::to_string(c) +
+             " claims pages beyond its capacity");
+        break;
+      }
+      used += static_cast<std::size_t>(std::popcount(bits));
+    }
+    // Reserved-but-unclaimed pages from a cancelled malloc make the sum
+    // fall short (leakage); exceeding ppc is impossible without corruption.
+    if (free_count + used > ppc) {
+      fail("ouroboros: chunk " + std::to_string(c) + " accounts for " +
+           std::to_string(free_count + used) + " of " + std::to_string(ppc) +
+           " pages");
+    }
+  }
+  result.ok = result.failures == 0;
+  return result;
+}
 
 void* Ouroboros::malloc_page_based(gpu::ThreadCtx& ctx, std::size_t cls) {
   std::uint32_t unit = 0;

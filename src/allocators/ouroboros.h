@@ -219,6 +219,13 @@ class Ouroboros final : public core::MemoryManager {
   [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
   void free(gpu::ThreadCtx& ctx, void* ptr) override;
 
+  /// Walks every chunk's meta word (and, for the -C variants, its page
+  /// bitmap): class tags must name a real size class, free-page counters
+  /// must fit the chunk, and counter + claimed pages must never exceed the
+  /// chunk's page count. Pages a cancelled lane lost are accounted leakage
+  /// (leaked_pages) and pass; an impossible counter or tag fails.
+  [[nodiscard]] core::AuditResult audit() override;
+
   static constexpr std::size_t kNumClasses = 10;  // 16 B .. 8 KiB
   static constexpr std::size_t class_bytes(std::size_t c) {
     return std::size_t{16} << c;

@@ -1,6 +1,8 @@
 #include "allocators/scatter_alloc.h"
 
+#include <atomic>
 #include <cstring>
+#include <string>
 
 namespace gms::alloc {
 
@@ -66,6 +68,66 @@ ScatterAlloc::ScatterAlloc(gpu::Device& dev, std::size_t heap_bytes,
 }
 
 const core::AllocatorTraits& ScatterAlloc::traits() const { return kTraits; }
+
+core::AuditResult ScatterAlloc::audit() {
+  core::AuditResult result;
+  result.supported = true;
+  auto fail = [&result](std::string what) {
+    ++result.failures;
+    if (result.detail.empty()) result.detail = std::move(what);
+  };
+  const std::size_t chunk_pages =
+      chunk_superblocks_ * cfg_.pages_per_superblock;
+  for (std::size_t page = 0; page < chunk_pages; ++page) {
+    ++result.structures_walked;
+    const std::uint64_t state =
+        std::atomic_ref<std::uint64_t>(page_state_[page])
+            .load(std::memory_order_acquire);
+    if (state == 0) continue;  // unassigned
+    if ((state & kInitFlag) != 0) {
+      // claim_fresh_page never yields while it owns the flag, so a set flag
+      // at quiescence means the state word was overwritten.
+      fail("scatter: page " + std::to_string(page) +
+           " stuck mid-initialisation");
+      continue;
+    }
+    const std::uint32_t chunk = state_chunk(state);
+    if (chunk == 0 || chunk % 16 != 0 || chunk > cfg_.page_size / 2) {
+      fail("scatter: page " + std::to_string(page) +
+           " carries impossible chunk size " + std::to_string(chunk));
+      continue;
+    }
+    const std::uint32_t count = state_count(state);
+    if (count > page_capacity(chunk)) {
+      fail("scatter: page " + std::to_string(page) + " fill count " +
+           std::to_string(count) + " exceeds capacity " +
+           std::to_string(page_capacity(chunk)));
+    }
+  }
+  for (std::size_t page = chunk_pages; page < num_pages_; ++page) {
+    ++result.structures_walked;
+    const std::uint32_t k = std::atomic_ref<std::uint32_t>(multi_count_[page])
+                                .load(std::memory_order_acquire);
+    if (k == 0) continue;
+    // Runs never cross a bitmap word and fit the reserved super blocks.
+    if (k > 64 || page % 64 + k > 64 || page + k > num_pages_) {
+      fail("scatter: multi-page run @" + std::to_string(page) + " of " +
+           std::to_string(k) + " pages is out of range");
+      continue;
+    }
+    const std::uint64_t mask = (k == 64 ? ~0ull : ((1ull << k) - 1))
+                               << (page % 64);
+    const std::uint64_t word =
+        std::atomic_ref<std::uint64_t>(multi_bitmap_[page / 64])
+            .load(std::memory_order_acquire);
+    if ((word & mask) != mask) {
+      fail("scatter: multi-page run @" + std::to_string(page) +
+           " recorded without its claim bits");
+    }
+  }
+  result.ok = result.failures == 0;
+  return result;
+}
 
 std::uint32_t ScatterAlloc::page_capacity(std::uint32_t chunk) const {
   if (hierarchical(chunk)) {

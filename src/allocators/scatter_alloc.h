@@ -35,6 +35,14 @@ class ScatterAlloc final : public core::MemoryManager {
   [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
   void free(gpu::ThreadCtx& ctx, void* ptr) override;
 
+  /// Walks every page's packed state word and the multi-page bitmap,
+  /// checking the invariants that survive a cancelled kernel: chunk sizes
+  /// are 16 B-rounded and page-sized, fill counts never exceed capacity, no
+  /// page is stuck mid-initialisation, and recorded multi-page runs have
+  /// their claim bits set. Lost chunks (count without a visible owner) are
+  /// leakage, not corruption, and pass.
+  [[nodiscard]] core::AuditResult audit() override;
+
   /// Exposed for white-box tests: page-state accessors.
   [[nodiscard]] std::size_t num_pages() const { return num_pages_; }
   [[nodiscard]] std::uint32_t page_chunk_size(std::size_t page) const;

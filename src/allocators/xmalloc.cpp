@@ -44,6 +44,18 @@ XMalloc::XMalloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
 
 const core::AllocatorTraits& XMalloc::traits() const { return kTraits; }
 
+core::AuditResult XMalloc::audit() {
+  core::AuditResult result;
+  result.supported = true;
+  std::string why;
+  result.ok = heap_.audit_host(result.structures_walked, &why);
+  if (!result.ok) {
+    result.failures = 1;
+    result.detail = why;
+  }
+  return result;
+}
+
 void* XMalloc::take_from_superblock(gpu::ThreadCtx& ctx,
                                     std::uint32_t sb_unit,
                                     std::uint32_t cls) {

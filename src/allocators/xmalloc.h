@@ -43,6 +43,10 @@ class XMalloc final : public core::MemoryManager {
   [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
   void free(gpu::ThreadCtx& ctx, void* ptr) override;
 
+  /// Walks the Memoryblock list (ListHeap::audit_host): the slow large-path
+  /// list is exactly the structure a stray write corrupts first.
+  [[nodiscard]] core::AuditResult audit() override;
+
   static constexpr std::size_t kNumClasses = 9;  // 16 B ... 4096 B payloads
   static constexpr std::size_t class_payload(std::size_t c) {
     return std::size_t{16} << c;

@@ -54,6 +54,10 @@ class FaultInjector final : public MemoryManager {
   [[nodiscard]] MemoryManager& inner() { return *inner_; }
   [[nodiscard]] const FaultSpec& spec() const { return spec_; }
 
+  /// The injector owns no heap metadata of its own: audits pass through to
+  /// the wrapped manager so a fault-driven run still gets real introspection.
+  [[nodiscard]] AuditResult audit() override { return inner_->audit(); }
+
   /// Mallocs failed by the injector (not by the inner allocator).
   [[nodiscard]] std::uint64_t injected_failures() const {
     return injected_.load(std::memory_order_relaxed);

@@ -3,11 +3,49 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <string_view>
 
 #include "gpu/thread_ctx.h"
 
 namespace gms::core {
+
+/// Result of a host-side heap-integrity audit (MemoryManager::audit()). The
+/// survey runner invokes the audit after every kernel — including kernels the
+/// watchdog cancelled mid-malloc — so "the heap survived" is a checked
+/// invariant rather than an assumption. An audit distinguishes *corruption*
+/// (broken links, impossible counters, overwritten canaries) from mere
+/// *loss* (pages a cancelled lane never returned), which is bounded leakage
+/// and must NOT fail the audit: a killed CUDA kernel legitimately leaks.
+struct AuditResult {
+  bool supported = false;  ///< false: the manager has no introspection
+  bool ok = true;          ///< false: structural corruption was found
+  std::uint64_t structures_walked = 0;  ///< blocks/pages/chunks examined
+  std::uint64_t failures = 0;           ///< invariants found violated
+  std::string detail;                   ///< first failure, human-readable
+
+  /// Folds another audit (e.g. a decorator's inner manager) into this one.
+  AuditResult& merge(const AuditResult& other) {
+    supported |= other.supported;
+    structures_walked += other.structures_walked;
+    failures += other.failures;
+    if (!other.ok) {
+      ok = false;
+      if (detail.empty()) detail = other.detail;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    if (!supported) return "audit: unsupported";
+    std::string s = ok ? "audit: ok" : "audit: CORRUPT";
+    s += " (" + std::to_string(structures_walked) + " structures";
+    if (failures > 0) s += ", " + std::to_string(failures) + " violations";
+    s += ")";
+    if (!detail.empty()) s += " " + detail;
+    return s;
+  }
+};
 
 /// Capability metadata for one allocator — the machine-readable form of the
 /// paper's Table 1, printed by `bench_table1` and used by the harness to skip
@@ -82,6 +120,17 @@ class MemoryManager {
   /// Releases everything the calling warp ever allocated (FDGMalloc's only
   /// free mechanism). No-op for managers with individual free.
   virtual void warp_free_all(gpu::ThreadCtx& /*ctx*/) {}
+
+  /// Host-side heap-integrity audit: walks the manager's own metadata (free
+  /// lists, page bitfields, chunk counters, block headers) and reports
+  /// structural corruption. Quiescent only — call between launches, never
+  /// while kernels run. The default is a supported=false no-op so managers
+  /// without introspection still compose with the survey runner; real
+  /// implementations exist for ListHeap-backed managers (XMalloc),
+  /// ScatterAlloc, Ouroboros, and the "+V" validating twins. Must tolerate
+  /// the torn-but-sound state a watchdog-cancelled kernel leaves behind
+  /// (lost pages are leaks, not corruption).
+  [[nodiscard]] virtual AuditResult audit() { return {}; }
 
   /// Host-side: time spent in the constructor carving up the arena.
   [[nodiscard]] double init_ms() const { return init_ms_; }

@@ -1,0 +1,22 @@
+#pragma once
+
+namespace gms::core {
+
+/// Registers the hostile test-only managers used to exercise the survey
+/// runner's containment (idempotent):
+///
+///  * `CrashStub`   — dereferences a wild pointer on its first malloc
+///                    (child dies on SIGSEGV -> verdict crash).
+///  * `HangStub`    — spins in malloc without ever reaching a yield point,
+///                    so the in-child watchdog cannot unwind it; only the
+///                    parent's deadline SIGKILL ends the cell (-> timeout).
+///  * `CorruptStub` — allocates correctly but smashes its own block headers
+///                    on free; the damage is invisible to the workload and
+///                    caught only by audit() (-> validation-error).
+///
+/// All three are registered with decorated=true so default populations
+/// (Registry::names(), selector "all") never pick them up; they join a sweep
+/// only when named explicitly (bench_survey --hostile, tests).
+void register_stub_allocators();
+
+}  // namespace gms::core

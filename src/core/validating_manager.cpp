@@ -172,10 +172,8 @@ void ValidatingManager::table_remove(std::uint64_t payload_off) {
   }
 }
 
-void ValidatingManager::check_redzones(gpu::ThreadCtx* ctx,
-                                       std::uint64_t payload_off,
-                                       std::uint64_t size,
-                                       std::uint32_t rank) {
+bool ValidatingManager::redzones_intact(std::uint64_t payload_off,
+                                        std::uint64_t size) const {
   const auto* h = reinterpret_cast<const Header*>(heap_base_ + payload_off -
                                                   kFrontBytes);
   bool bad = h->canary0 != canary_word(payload_off, 0) ||
@@ -184,7 +182,14 @@ void ValidatingManager::check_redzones(gpu::ThreadCtx* ctx,
   std::memcpy(rear, heap_base_ + payload_off + size, kRearBytes);
   bad |= rear[0] != canary_word(payload_off, 2) ||
          rear[1] != canary_word(payload_off, 3);
-  if (!bad) return;
+  return !bad;
+}
+
+void ValidatingManager::check_redzones(gpu::ThreadCtx* ctx,
+                                       std::uint64_t payload_off,
+                                       std::uint64_t size,
+                                       std::uint32_t rank) {
+  if (redzones_intact(payload_off, size)) return;
   if (ctx != nullptr) {
     sink_.record(*ctx, ErrorKind::kRedzone, size, payload_off);
   } else {
@@ -321,6 +326,54 @@ std::uint64_t ValidatingManager::live_count() const {
     live += (key != kSlotEmpty && key != kSlotTombstone) ? 1 : 0;
   }
   return live;
+}
+
+AuditResult ValidatingManager::audit() {
+  AuditResult result;
+  result.supported = true;
+  for (std::size_t i = 0; i < table_capacity_; ++i) {
+    const std::uint64_t key = std::atomic_ref<std::uint64_t>(table_[i].ptr)
+                                  .load(std::memory_order_acquire);
+    if (key == kSlotEmpty || key == kSlotTombstone) continue;
+    const std::uint64_t meta = std::atomic_ref<std::uint64_t>(table_[i].meta)
+                                   .load(std::memory_order_acquire);
+    const std::uint64_t off = key - 1;
+    const std::uint64_t size = meta >> kRankBits;
+    ++result.structures_walked;
+    if (off < kFrontBytes || off + size + kRearBytes > inner_heap_bytes_) {
+      ++result.failures;
+      if (result.detail.empty()) {
+        result.detail = "tracked block outside the inner heap @heap+" +
+                        std::to_string(off);
+      }
+      continue;  // header/canary reads would be out of bounds
+    }
+    auto* h = reinterpret_cast<Header*>(heap_base_ + off - kFrontBytes);
+    const std::uint32_t magic =
+        std::atomic_ref<std::uint32_t>(h->magic).load(
+            std::memory_order_acquire);
+    bool bad = false;
+    std::string what;
+    if (magic != kLive) {
+      bad = true;
+      what = "live-table entry without live header magic";
+    } else if (h->size != size) {
+      bad = true;
+      what = "header size disagrees with live table";
+    } else if (!redzones_intact(off, size)) {
+      bad = true;
+      what = "redzone canary overwritten";
+    }
+    if (bad) {
+      ++result.failures;
+      if (result.detail.empty()) {
+        result.detail = what + " (size " + std::to_string(size) + " B @heap+" +
+                        std::to_string(off) + ")";
+      }
+    }
+  }
+  result.ok = result.failures == 0;
+  return result.merge(inner_->audit());
 }
 
 LaunchReport ValidatingManager::drain_report(bool leaks_are_errors) {

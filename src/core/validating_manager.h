@@ -57,6 +57,13 @@ class ValidatingManager final : public MemoryManager {
   /// Call between launches only.
   LaunchReport drain_report(bool leaks_are_errors = false);
 
+  /// Heap-integrity audit: non-destructively sweeps every tracked live
+  /// block's header magic + canaries and its shadow-bitmap coverage, then
+  /// folds in the inner manager's own audit. Unlike drain_report this
+  /// neither drains the sink nor records new errors, so it can run after
+  /// every kernel without perturbing the end-of-run report.
+  [[nodiscard]] AuditResult audit() override;
+
   /// Redzone bytes in front of each payload (header + canaries).
   static constexpr std::size_t kFrontBytes = 32;
   /// Canary bytes behind each payload.
@@ -74,7 +81,11 @@ class ValidatingManager final : public MemoryManager {
   void table_insert(gpu::ThreadCtx& ctx, std::uint64_t payload_off,
                     std::uint64_t size, std::uint32_t rank);
   void table_remove(std::uint64_t payload_off);
-  /// Validates one tracked live block's header + canaries (host or device).
+  /// True when one tracked live block's front/rear canaries are intact.
+  [[nodiscard]] bool redzones_intact(std::uint64_t payload_off,
+                                     std::uint64_t size) const;
+  /// Validates one tracked live block's header + canaries (host or device)
+  /// and records a kRedzone error on damage.
   void check_redzones(gpu::ThreadCtx* ctx, std::uint64_t payload_off,
                       std::uint64_t size, std::uint32_t rank);
   void release_warp_entries(gpu::ThreadCtx& ctx, std::uint32_t warp);

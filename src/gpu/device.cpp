@@ -77,6 +77,7 @@ std::uint64_t Device::heartbeat_sum() const {
 LaunchStats Device::launch_erased(unsigned grid_dim, unsigned block_dim,
                                   std::size_t shared_bytes, KernelRef kernel) {
   LaunchStats result;
+  last_launch_cancelled_ = false;
   if (grid_dim == 0) return result;
 
   {
@@ -124,6 +125,7 @@ LaunchStats Device::launch_erased(unsigned grid_dim, unsigned block_dim,
     }
   }
   const auto stop = std::chrono::steady_clock::now();
+  last_launch_cancelled_ = cancel_.load(std::memory_order_relaxed);
 
   if (launch_error_) std::rethrow_exception(launch_error_);
 

@@ -64,6 +64,16 @@ class Device {
     return stats;
   }
 
+  /// True when the most recent launch was cancelled (watchdog stall or a
+  /// failed sibling block) before all blocks completed normally. Exported for
+  /// the survey runner: after a cancelled launch the managed heap's contents
+  /// are indeterminate, so the runner must audit the manager before trusting
+  /// any further measurement from this device. Valid after launch() returns
+  /// or throws; reset by the next launch.
+  [[nodiscard]] bool last_launch_cancelled() const {
+    return last_launch_cancelled_;
+  }
+
  private:
   LaunchStats launch_erased(unsigned grid_dim, unsigned block_dim,
                             std::size_t shared_bytes, KernelRef kernel);
@@ -85,6 +95,7 @@ class Device {
   /// whose block failed, so sibling SMs stop instead of spinning on state
   /// the dead block will never advance.
   std::atomic<bool> cancel_{false};
+  bool last_launch_cancelled_ = false;  ///< host-side, set after each launch
   std::unique_ptr<HeartbeatSlot[]> heartbeats_;
 
   std::mutex mu_;

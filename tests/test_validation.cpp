@@ -192,6 +192,32 @@ TEST(FaultInjector, ProbScheduleIsSeedReproducible) {
   EXPECT_EQ(run(), first);
 }
 
+TEST(FaultInjector, ProbScheduleIsInterleavingInvariant) {
+  // prob:P:SEED decisions are a pure hash of (seed, global call index), so
+  // the injected count must be identical however the same number of calls is
+  // carved up across SMs, blocks, and per-thread loops — the property that
+  // makes a fault-driven failure replayable on any host.
+  auto run = [](unsigned num_sms, unsigned grid, unsigned block,
+                unsigned per_thread) {
+    Device small(16u << 20, GpuConfig{.num_sms = num_sms});
+    FaultInjector inj(make_inner(small, "Atomic"),
+                      FaultSpec::parse("prob:0.2:1337"));
+    small.launch(grid, block, [&](ThreadCtx& t) {
+      for (unsigned i = 0; i < per_thread; ++i) (void)inj.malloc(t, 16);
+    });
+    EXPECT_EQ(inj.calls(), std::uint64_t{grid} * block * per_thread);
+    return inj.injected_failures();
+  };
+  // 4096 calls each, three very different interleavings.
+  const auto single_sm = run(1, 4, 256, 4);
+  const auto two_sms = run(2, 16, 64, 4);
+  const auto eight_sms = run(8, 64, 32, 2);
+  EXPECT_GT(single_sm, 0u);
+  EXPECT_LT(single_sm, 4096u);
+  EXPECT_EQ(single_sm, two_sms);
+  EXPECT_EQ(two_sms, eight_sms);
+}
+
 TEST(FaultSpec, ParsesAndRoundTrips) {
   const auto nth = FaultSpec::parse("nth:7,delay=3");
   EXPECT_EQ(nth.mode, FaultSpec::Mode::kNth);
