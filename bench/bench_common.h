@@ -12,6 +12,10 @@
 #include "core/utils.h"
 #include "core/validating_manager.h"
 #include "gpu/device.h"
+#include "trace/trace_export.h"
+#include "trace/trace_format.h"
+#include "trace/trace_recorder.h"
+#include "trace/tracing_manager.h"
 
 namespace gms::bench {
 
@@ -56,6 +60,19 @@ struct BenchArgs {
   /// here; bench_oom / bench_fragmentation / bench_survey reuse the same
   /// `{"bench": ..., "cases": [...]}` shape).
   std::string json;
+  /// --trace FILE: record every allocation call into a .gmtrace file (one
+  /// file per traced device; sweeping benches insert a cell tag before the
+  /// extension). bench_replay reads the same flag as its input trace.
+  std::string trace;
+  /// --chrome FILE: also export the recording as chrome://tracing JSON.
+  std::string chrome;
+  /// --occupancy FILE: also export the heap-occupancy/fragmentation CSV.
+  std::string occupancy;
+  /// Write any still-pending recording when a ManagedDevice is destroyed
+  /// (tagged with the allocator name), so --trace works on every bench
+  /// without per-bench wiring. Not a CLI flag: bench_survey clears it to
+  /// keep capture failure-only.
+  bool trace_auto_write = true;
   // ---- bench_survey (crash-contained sweep) flags ----------------------
   /// --deadline-s S: parent-side wall clock per cell attempt before SIGKILL.
   double deadline_s = 20;
@@ -151,6 +168,12 @@ inline BenchArgs parse_args(int argc, char** argv,
       args.legacy_scheduler = true;
     } else if (flag == "--json") {
       args.json = need(i);
+    } else if (flag == "--trace") {
+      args.trace = need(i);
+    } else if (flag == "--chrome") {
+      args.chrome = need(i);
+    } else if (flag == "--occupancy") {
+      args.occupancy = need(i);
     } else if (flag == "--deadline-s") {
       args.deadline_s = std::stod(need(i));
     } else if (flag == "--retries") {
@@ -171,7 +194,8 @@ inline BenchArgs parse_args(int argc, char** argv,
              "--threads N  --iters N  --sms N  --csv file  --warp  "
              "--range LO-HI  --timeout-s S  --phase init|update|all  "
              "--scale N  --max-exp N  --validate  --fault=SPEC  "
-             "--watchdog-ms N  --legacy-scheduler  --json FILE\n"
+             "--watchdog-ms N  --legacy-scheduler  --json FILE  "
+             "--trace FILE.gmtrace  --chrome FILE  --occupancy FILE\n"
              "fault SPECs: nth:N  prob:P[:SEED]  budget:BYTES  "
              "(optional suffix ,delay=K)\n"
              "bench_survey: --deadline-s S  --retries N  --rlimit-mb N  "
@@ -196,11 +220,30 @@ inline BenchArgs parse_args(int argc, char** argv,
   return args;
 }
 
+/// Inserts a cell tag before the path's extension:
+/// ("results/t.gmtrace", "Ouro-16") -> "results/t.Ouro-16.gmtrace". Slashes
+/// in the tag become dashes so allocator names never add directories.
+inline std::string tagged_path(const std::string& path, std::string tag) {
+  if (tag.empty()) return path;
+  for (char& c : tag) {
+    if (c == '/' || c == '\\') c = '-';
+  }
+  const auto slash = path.find_last_of('/');
+  const auto dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + "." + tag;
+  }
+  return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
 /// Builds a fresh device + manager for one measurement (cold start parity
 /// across managers, as the paper's per-test processes provide). Applies the
 /// robustness decorator stack requested on the CLI, outermost first:
-/// FaultInjector( ValidatingManager( inner ) ) — faults are injected above
-/// the validator so an injected nullptr never reaches redzone bookkeeping.
+/// TracingManager( FaultInjector( ValidatingManager( inner ) ) ) — faults
+/// are injected above the validator so an injected nullptr never reaches
+/// redzone bookkeeping, and the tracer sits outermost so a recorded stream
+/// shows exactly the request/response sequence the kernel observed,
+/// injected faults included.
 class ManagedDevice {
  public:
   ManagedDevice(const BenchArgs& args, const std::string& name)
@@ -216,6 +259,8 @@ class ManagedDevice {
     if (args.validate && effective.find("+V") == std::string::npos) {
       effective += "+V";
     }
+    name_ = effective;
+    heap_bytes_ = args.heap_bytes();
     mgr_ = core::Registry::instance().make(effective, *device_,
                                            args.heap_bytes());
     validator_ = dynamic_cast<core::ValidatingManager*>(mgr_.get());
@@ -225,14 +270,79 @@ class ManagedDevice {
       injector_ = injector.get();
       mgr_ = std::move(injector);
     }
-    // Warm-up: materialise every SM's lane stacks outside the measurements.
+    if (!args.trace.empty()) {
+      recorder_ = std::make_unique<trace::TraceRecorder>(args.num_sms);
+      mgr_ = std::make_unique<trace::TracingManager>(std::move(mgr_),
+                                                     *recorder_,
+                                                     device_->arena());
+      device_->set_launch_observer(recorder_.get());
+      trace_path_ = args.trace;
+      chrome_path_ = args.chrome;
+      occupancy_path_ = args.occupancy;
+      trace_auto_write_ = args.trace_auto_write;
+    }
+    // Warm-up: materialise every SM's lane stacks outside the measurements
+    // (and outside the trace — recording starts after it).
     device_->launch(args.num_sms * 2, 256, [](gpu::ThreadCtx&) {});
+    if (recorder_ != nullptr) recorder_->set_enabled(true);
+  }
+
+  ~ManagedDevice() {
+    if (recorder_ != nullptr) {
+      // Benches that don't write per-cell traces themselves still honour
+      // --trace: flush the pending recording, tagged with the allocator.
+      if (trace_auto_write_ && !trace_written_) {
+        try {
+          write_trace_outputs(name_);
+        } catch (...) {
+          // Losing the trace beats terminating the bench mid-teardown.
+        }
+      }
+      // recorder_ is destroyed before device_ (declaration order): make
+      // sure no stale observer pointer survives it.
+      device_->set_launch_observer(nullptr);
+    }
   }
 
   gpu::Device& dev() { return *device_; }
   core::MemoryManager& mgr() { return *mgr_; }
   [[nodiscard]] core::ValidatingManager* validator() { return validator_; }
   [[nodiscard]] core::FaultInjector* injector() { return injector_; }
+  [[nodiscard]] trace::TraceRecorder* recorder() { return recorder_.get(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Drains the recording (if --trace was given) and writes the .gmtrace
+  /// file plus any requested exports, tagging each path with `tag` so
+  /// sweeping benches keep one file per cell. No-op without --trace.
+  void write_trace_outputs(const std::string& tag = "") {
+    if (recorder_ == nullptr) return;
+    recorder_->set_enabled(false);
+    const auto events = recorder_->drain();
+    trace::TraceHeader header;
+    header.dropped = recorder_->dropped();
+    header.heap_bytes = heap_bytes_;
+    header.arena_bytes = device_->arena().size();
+    header.num_sms = device_->config().num_sms;
+    header.warp_size = gpu::kWarpSize;
+    header.scheduler_fast_paths = device_->config().scheduler_fast_paths;
+    header.kernel_launches =
+        static_cast<std::uint32_t>(device_->session_launches());
+    header.threads_launched = device_->session_threads_launched();
+    header.set_allocator(name_);
+    const std::string path = tagged_path(trace_path_, tag);
+    trace::write_trace(path, header, events);
+    std::cout << "(trace written to " << path << ": " << events.size()
+              << " events, " << header.dropped << " dropped)\n";
+    const trace::Trace trace{header, events};
+    if (!chrome_path_.empty()) {
+      trace::write_chrome_trace(tagged_path(chrome_path_, tag), trace);
+    }
+    if (!occupancy_path_.empty()) {
+      trace::write_occupancy_csv(tagged_path(occupancy_path_, tag), trace);
+    }
+    trace_written_ = true;
+    recorder_->set_enabled(true);
+  }
 
   /// End-of-case summary of the active decorators (no-op when neither
   /// --validate nor --fault is in effect).
@@ -249,9 +359,15 @@ class ManagedDevice {
 
  private:
   std::unique_ptr<gpu::Device> device_;
+  std::unique_ptr<trace::TraceRecorder> recorder_;  ///< set iff --trace
   std::unique_ptr<core::MemoryManager> mgr_;
   core::ValidatingManager* validator_ = nullptr;  ///< owned via mgr_ chain
   core::FaultInjector* injector_ = nullptr;       ///< owned via mgr_
+  std::string name_;                              ///< effective registry name
+  std::size_t heap_bytes_ = 0;
+  std::string trace_path_, chrome_path_, occupancy_path_;  ///< --trace et al.
+  bool trace_auto_write_ = true;
+  bool trace_written_ = false;
 };
 
 /// The paper's size ladder: powers of two from lo to hi.

@@ -1,46 +1,9 @@
 // Fig. 11a — fragmentation: maximum address range returned for a wave of
 // allocations (and over repeated alloc/free cycles), against the dense
 // theoretical baseline.
-#include <fstream>
-
 #include "bench_common.h"
+#include "core/json_writer.h"
 #include "workloads/fragmentation.h"
-
-namespace {
-
-struct FragCase {
-  std::string name;  // "<allocator>/<size>"
-  std::size_t max_range = 0;
-  std::size_t first_round_range = 0;
-  std::size_t theoretical = 0;
-  std::uint64_t failed = 0;
-};
-
-// Same shape as BENCH_simt.json: bench id + flat "cases" list, one record
-// per (allocator, size) cell, so the results tooling can ingest all three.
-void write_json(const std::string& path, const gms::bench::BenchArgs& args,
-                const std::vector<FragCase>& cases) {
-  std::ofstream os(path);
-  if (!os) {
-    std::cerr << "cannot write " << path << "\n";
-    return;
-  }
-  os << "{\n  \"bench\": \"fragmentation\",\n"
-     << "  \"threads\": " << args.threads << ",\n"
-     << "  \"iters\": " << args.iters << ",\n"
-     << "  \"cases\": [\n";
-  for (std::size_t i = 0; i < cases.size(); ++i) {
-    const auto& c = cases[i];
-    os << "    {\"name\": \"" << c.name << "\", \"max_range\": "
-       << c.max_range << ", \"first_round_range\": " << c.first_round_range
-       << ", \"theoretical\": " << c.theoretical << ", \"failed\": "
-       << c.failed << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
-  }
-  os << "  ]\n}\n";
-  std::cout << "(json written to " << path << ")\n";
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gms;
@@ -51,7 +14,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> columns{"Bytes", "Theoretical"};
   for (const auto& name : args.allocators) columns.push_back(name);
   core::ResultTable table(columns);
-  std::vector<FragCase> cases;
+  core::BenchJson json("fragmentation");
+  json.meta().num("threads", args.threads).num("iters", args.iters);
 
   for (const std::size_t size :
        bench::pow2_sizes(args.range_lo, std::min<std::size_t>(args.range_hi, 512))) {
@@ -63,8 +27,13 @@ int main(int argc, char** argv) {
                                              size, args.iters);
       theoretical = r.theoretical;
       row.push_back(r.failed == 0 ? std::to_string(r.max_range) : "oom");
-      cases.push_back({name + "/" + std::to_string(size), r.max_range,
-                       r.first_round_range, r.theoretical, r.failed});
+      json.add_case()
+          .str("name", name + "/" + std::to_string(size))
+          .num("max_range", r.max_range)
+          .num("first_round_range", r.first_round_range)
+          .num("theoretical", r.theoretical)
+          .num("failed", r.failed);
+      md.write_trace_outputs(name + "-" + std::to_string(size));
     }
     row[1] = std::to_string(theoretical);
     table.add_row(std::move(row));
@@ -72,6 +41,6 @@ int main(int argc, char** argv) {
   bench::emit(table, args,
               "Fig. 11a — max address range, " + std::to_string(args.threads) +
                   " allocations, " + std::to_string(args.iters) + " cycles");
-  if (!args.json.empty()) write_json(args.json, args, cases);
+  if (!args.json.empty()) json.write(args.json);
   return 0;
 }

@@ -40,6 +40,8 @@ int main(int argc, char** argv) {
           std::cout << (phase == 0 ? "init " : "update ") << gname << ": ";
           md.print_report(std::cout);
         }
+        md.write_trace_outputs(gname + "-" + name +
+                               (phase == 0 ? "-init" : "-update"));
       }
       table.add_row(std::move(row));
     }

@@ -1,49 +1,9 @@
 // Fig. 11b — out-of-memory: allocate until the manager reports OOM (or a
 // time budget standing in for the paper's one-hour mark expires) and report
 // the achieved percentage of the theoretically possible allocations.
-#include <fstream>
-
 #include "bench_common.h"
+#include "core/json_writer.h"
 #include "workloads/fragmentation.h"
-
-namespace {
-
-struct OomCase {
-  std::string name;  // "<allocator>/<size>"
-  double percent = 0;
-  std::uint64_t achieved = 0;
-  std::uint64_t theoretical = 0;
-  bool timed_out = false;
-};
-
-// Same shape as BENCH_simt.json: bench id + flat "cases" list, one record
-// per (allocator, size) cell, so the results tooling can ingest all three.
-void write_json(const std::string& path, const gms::bench::BenchArgs& args,
-                const std::vector<OomCase>& cases) {
-  std::ofstream os(path);
-  if (!os) {
-    std::cerr << "cannot write " << path << "\n";
-    return;
-  }
-  os << "{\n  \"bench\": \"oom\",\n"
-     << "  \"threads\": " << args.threads << ",\n"
-     << "  \"mem_mb\": " << args.mem_mb << ",\n"
-     << "  \"timeout_s\": " << args.timeout_s << ",\n"
-     << "  \"cases\": [\n";
-  for (std::size_t i = 0; i < cases.size(); ++i) {
-    const auto& c = cases[i];
-    os << "    {\"name\": \"" << c.name << "\", \"percent\": "
-       << gms::core::ResultTable::fmt(c.percent, 1)
-       << ", \"achieved\": " << c.achieved
-       << ", \"theoretical\": " << c.theoretical << ", \"timed_out\": "
-       << (c.timed_out ? "true" : "false") << "}"
-       << (i + 1 < cases.size() ? "," : "") << "\n";
-  }
-  os << "  ]\n}\n";
-  std::cout << "(json written to " << path << ")\n";
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gms;
@@ -57,7 +17,11 @@ int main(int argc, char** argv) {
   std::vector<std::string> columns{"Bytes"};
   for (const auto& name : args.allocators) columns.push_back(name + " %");
   core::ResultTable table(columns);
-  std::vector<OomCase> cases;
+  core::BenchJson json("oom");
+  json.meta()
+      .num("threads", args.threads)
+      .num("mem_mb", args.mem_mb)
+      .num("timeout_s", args.timeout_s);
 
   for (const std::size_t size : bench::pow2_sizes(args.range_lo, args.range_hi)) {
     std::vector<std::string> row{std::to_string(size)};
@@ -68,15 +32,19 @@ int main(int argc, char** argv) {
       std::string cell = core::ResultTable::fmt(r.percent_of_baseline(), 1);
       if (r.timed_out) cell += "*";
       row.push_back(std::move(cell));
-      cases.push_back({name + "/" + std::to_string(size),
-                       r.percent_of_baseline(), r.achieved, r.theoretical,
-                       r.timed_out});
+      json.add_case()
+          .str("name", name + "/" + std::to_string(size))
+          .num("percent", r.percent_of_baseline(), 1)
+          .num("achieved", r.achieved)
+          .num("theoretical", r.theoretical)
+          .boolean("timed_out", r.timed_out);
+      md.write_trace_outputs(name + "-" + std::to_string(size));
     }
     table.add_row(std::move(row));
   }
   bench::emit(table, args,
               "Fig. 11b — out-of-memory utilisation (% of baseline; * = "
               "reined in by the timeout like the paper's 1 h mark)");
-  if (!args.json.empty()) write_json(args.json, args, cases);
+  if (!args.json.empty()) json.write(args.json);
   return 0;
 }

@@ -1,0 +1,183 @@
+// Trace replay: re-drives a .gmtrace recording (bench --trace FILE) against
+// any registered manager, preserving per-lane ordering and kernel
+// boundaries (DESIGN.md §9). Each target is replayed twice on fresh devices
+// and both replays are re-recorded; byte-identical canonical streams across
+// the pair is the determinism check, and a stream identical to the source
+// recording's shows the replay reproduced the original request sequence.
+//
+//   bench_replay --trace results/churn.gmtrace -t Ouroboros,ScatterAlloc
+//
+// Flags: --trace FILE (input, required)  -t TARGETS (default: the trace's
+// source allocator)  --sms N  --mem-mb N (0/default = the trace header's
+// heap)  --chrome FILE / --occupancy FILE (export the *input* trace)
+// --json FILE.
+#include <iomanip>
+#include <sstream>
+
+#include "bench_common.h"
+#include "core/json_writer.h"
+#include "trace/trace_replay.h"
+
+namespace {
+
+using namespace gms;
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << v;
+  return os.str();
+}
+
+struct TargetRun {
+  trace::ReplayResult result;
+  std::uint64_t digest = 0;       ///< canonical digest of the re-capture
+  std::uint64_t recaptured = 0;   ///< events the re-recording collected
+};
+
+/// One replay on a fresh device + manager, re-recorded through the same
+/// tracing stack benches use, so the canonical streams are comparable.
+TargetRun run_once(const trace::Trace& src, trace::TraceReplayer& replayer,
+                   const std::string& target, unsigned num_sms,
+                   std::size_t heap_bytes) {
+  gpu::Device dev(heap_bytes + (8u << 20),
+                  gpu::GpuConfig{.num_sms = num_sms,
+                                 .lane_stack_bytes = 32 * 1024});
+  trace::TraceRecorder recorder(num_sms);
+  trace::TracingManager mgr(
+      core::Registry::instance().make(target, dev, heap_bytes), recorder,
+      dev.arena());
+  dev.set_launch_observer(&recorder);
+  dev.launch(num_sms * 2, 256, [](gpu::ThreadCtx&) {});  // warm-up
+  recorder.set_enabled(true);
+
+  TargetRun run;
+  run.result = replayer.replay(dev, mgr);
+  recorder.set_enabled(false);
+  dev.set_launch_observer(nullptr);
+  const auto events = recorder.drain();
+  run.recaptured = events.size();
+  run.digest = trace::canonical_digest(events);
+  (void)src;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = bench::parse_args(argc, argv);
+  if (args.trace.empty()) {
+    std::cerr << "bench_replay needs --trace FILE (a .gmtrace recording; "
+                 "record one with any bench's --trace flag)\n";
+    return 2;
+  }
+
+  trace::Trace src;
+  try {
+    src = trace::read_trace(args.trace);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  trace::TraceReplayer replayer(src);
+
+  std::cout << "trace " << args.trace << ": allocator "
+            << src.header.allocator_name() << ", " << src.events.size()
+            << " events (" << src.header.dropped << " dropped), "
+            << replayer.kernels() << " allocation-bearing kernels, "
+            << replayer.hazards() << " cross-lane hazards, "
+            << replayer.unmatched_frees() << " unmatched frees, digest "
+            << hex64(replayer.request_digest()) << "\n";
+
+  if (!args.chrome.empty()) {
+    trace::write_chrome_trace(args.chrome, src);
+    std::cout << "(chrome trace written to " << args.chrome << ")\n";
+  }
+  if (!args.occupancy.empty()) {
+    trace::write_occupancy_csv(args.occupancy, src);
+    std::cout << "(occupancy csv written to " << args.occupancy << ")\n";
+  }
+
+  // Default population: the allocator the trace came from. An explicit -t
+  // replays against anything registered.
+  std::vector<std::string> targets = args.allocators;
+  bool explicit_targets = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string f = argv[i];
+    if (f == "-t" || f == "--allocators" ||
+        f.rfind("--allocators=", 0) == 0) {
+      explicit_targets = true;
+    }
+  }
+  if (!explicit_targets) {
+    const std::string source = src.header.allocator_name();
+    if (core::Registry::instance().find(source) != nullptr) {
+      targets = {source};
+    }
+  }
+
+  // Heap: the trace header's capture-time heap unless --mem-mb overrides.
+  const std::size_t heap_bytes =
+      args.mem_mb != 256 || src.header.heap_bytes == 0 ? args.heap_bytes()
+                                                       : src.header.heap_bytes;
+
+  core::ResultTable table({"Target", "mallocs", "failed", "frees", "skipped",
+                           "ms", "atomics", "deterministic", "matches src"});
+  core::BenchJson json("replay");
+  json.meta()
+      .str("trace", args.trace)
+      .str("source_allocator", src.header.allocator_name())
+      .num("source_events", src.events.size())
+      .num("source_dropped", src.header.dropped)
+      .num("kernels", replayer.kernels())
+      .num("hazards", replayer.hazards())
+      .num("unmatched_frees", replayer.unmatched_frees())
+      .num("num_sms", args.num_sms)
+      .num("heap_bytes", heap_bytes)
+      .str("request_digest", hex64(replayer.request_digest()));
+
+  bool all_deterministic = true;
+  for (const auto& target : targets) {
+    TargetRun a, b;
+    try {
+      a = run_once(src, replayer, target, args.num_sms, heap_bytes);
+      b = run_once(src, replayer, target, args.num_sms, heap_bytes);
+    } catch (const std::exception& e) {
+      std::cout << target << ": replay failed — " << e.what() << "\n";
+      table.add_row({target, "-", "-", "-", "-", "-", "-", "error", "-"});
+      json.add_case().str("name", target).str("error", e.what());
+      all_deterministic = false;
+      continue;
+    }
+    const bool deterministic = a.digest == b.digest;
+    const bool matches = a.digest == replayer.request_digest();
+    all_deterministic &= deterministic;
+    const auto& r = a.result;
+    table.add_row({target, std::to_string(r.mallocs),
+                   std::to_string(r.failed_mallocs), std::to_string(r.frees),
+                   std::to_string(r.skipped_frees),
+                   core::ResultTable::fmt_ms(r.elapsed_ms),
+                   std::to_string(r.counters.atomic_total()),
+                   deterministic ? "yes" : "NO", matches ? "yes" : "no"});
+    json.add_case()
+        .str("name", target)
+        .num("mallocs", r.mallocs)
+        .num("failed_mallocs", r.failed_mallocs)
+        .num("frees", r.frees)
+        .num("skipped_frees", r.skipped_frees)
+        .num("warp_free_alls", r.warp_free_alls)
+        .num("elapsed_ms", r.elapsed_ms)
+        .num("atomics", r.counters.atomic_total())
+        .num("recaptured_events", a.recaptured)
+        .str("digest", hex64(a.digest))
+        .boolean("deterministic", deterministic)
+        .boolean("matches_source", matches);
+  }
+
+  bench::emit(table, args,
+              "Trace replay — " + args.trace + " (" +
+                  src.header.allocator_name() + ") against " +
+                  std::to_string(targets.size()) + " target(s)");
+  if (!args.json.empty()) json.write(args.json);
+  // Determinism is the replayer's contract; a NO is a real failure.
+  return all_deterministic ? 0 : 1;
+}

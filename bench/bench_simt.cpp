@@ -16,13 +16,13 @@
 //                         (validated churn over every registry allocator)
 #include <atomic>
 #include <chrono>
-#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/json_writer.h"
 #include "gpu/watchdog.h"
 #include "workloads/alloc_perf.h"
 
@@ -146,11 +146,6 @@ struct Case {
 void write_json(const std::string& path, const bench::BenchArgs& args,
                 const std::vector<Case>& cases,
                 const std::vector<std::pair<double, double>>& ms) {
-  std::ofstream os(path);
-  if (!os) {
-    std::cerr << "cannot write " << path << "\n";
-    return;
-  }
   // Trajectory anchor: the same sweep (bench_table1 --measure-stability
   // --threads 10000 --iters 4, all allocators, 8 SMs) measured at the seed
   // commit, before the fast-path scheduler and the zero-fill-on-demand arena
@@ -158,28 +153,27 @@ void write_json(const std::string& path, const bench::BenchArgs& args,
   // arena change helps both modes), so the full before/after lives here.
   constexpr double kSeedSweepMs = 5075.0;
   const double sweep_fast_ms = ms.back().second;
-  os << "{\n  \"bench\": \"simt\",\n"
-     << "  \"num_sms\": " << args.num_sms << ",\n"
-     << "  \"sweep_threads\": " << (args.threads != 0 ? args.threads : 10'000)
-     << ",\n"
-     << "  \"sweep_allocators\": " << args.allocators.size() << ",\n"
-     << "  \"table1_sweep_trajectory\": {\"seed_ms\": "
-     << core::ResultTable::fmt(kSeedSweepMs) << ", \"now_ms\": "
-     << core::ResultTable::fmt(sweep_fast_ms) << ", \"speedup_vs_seed\": "
-     << core::ResultTable::fmt(
-            sweep_fast_ms > 0 ? kSeedSweepMs / sweep_fast_ms : 0)
-     << "},\n"
-     << "  \"cases\": [\n";
+  core::BenchJson json("simt");
+  json.meta()
+      .num("num_sms", args.num_sms)
+      .num("sweep_threads", args.threads != 0 ? args.threads : 10'000)
+      .num("sweep_allocators", args.allocators.size())
+      .raw("table1_sweep_trajectory",
+           core::JsonFields{}
+               .num("seed_ms", kSeedSweepMs)
+               .num("now_ms", sweep_fast_ms)
+               .num("speedup_vs_seed",
+                    sweep_fast_ms > 0 ? kSeedSweepMs / sweep_fast_ms : 0)
+               .render());
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const auto [legacy, fast] = ms[i];
-    os << "    {\"name\": \"" << cases[i].name << "\", \"legacy_ms\": "
-       << core::ResultTable::fmt(legacy) << ", \"fast_ms\": "
-       << core::ResultTable::fmt(fast) << ", \"speedup\": "
-       << core::ResultTable::fmt(fast > 0 ? legacy / fast : 0)
-       << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+    json.add_case()
+        .str("name", cases[i].name)
+        .num("legacy_ms", legacy)
+        .num("fast_ms", fast)
+        .num("speedup", fast > 0 ? legacy / fast : 0);
   }
-  os << "  ]\n}\n";
-  std::cout << "(json written to " << path << ")\n";
+  json.write(path);
 }
 
 }  // namespace

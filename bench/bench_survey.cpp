@@ -64,6 +64,9 @@ bench::ManagedDevice make_cell_device(const bench::BenchArgs& args,
   bench::BenchArgs local = args;
   local.validate = prefer_twin && name.find("+V") == std::string::npos &&
                    core::Registry::instance().find(name + "+V") != nullptr;
+  // Capture is failure-only here: with_failure_trace writes the trace for
+  // doomed cells; a clean cell's recording is discarded at teardown.
+  local.trace_auto_write = false;
   return bench::ManagedDevice(local, name);
 }
 
@@ -76,6 +79,34 @@ std::string drain_validation(bench::ManagedDevice& md) {
   return report.to_string();
 }
 
+/// Runs one cell body, saving the cell's allocation trace when it fails —
+/// a non-zero outcome (failed audit, validation report) or an exception
+/// unwinding to the fork boundary (the watchdog's LaunchTimeout). The
+/// .gmtrace of the doomed cell lands next to survey.json, tagged with the
+/// cell key, ready for bench_replay. Cells the kernel kills outright
+/// (SIGSEGV, the parent's SIGKILL) die before this code runs, so their
+/// traces are lost — a documented limitation of in-process capture.
+template <typename Body>
+core::CellOutcome with_failure_trace(bench::ManagedDevice& md,
+                                     const std::string& key, Body body) {
+  const auto capture = [&] {
+    if (md.recorder() == nullptr) return;
+    try {
+      md.write_trace_outputs(key);
+    } catch (...) {
+      // Best-effort: the verdict must survive even if the disk write fails.
+    }
+  };
+  try {
+    core::CellOutcome out = body();
+    if (out.exit_code != 0) capture();
+    return out;
+  } catch (...) {
+    capture();
+    throw;
+  }
+}
+
 // ---- cell bodies (each runs inside the forked child) -----------------------
 
 /// Alloc/free churn with an audit after EVERY kernel: the core contract the
@@ -83,6 +114,7 @@ std::string drain_validation(bench::ManagedDevice& md) {
 core::CellOutcome churn_cell(const bench::BenchArgs& args,
                              const std::string& name) {
   auto md = make_cell_device(args, name, /*prefer_twin=*/true);
+  return with_failure_trace(md, name + "-churn", [&]() -> core::CellOutcome {
   auto& mgr = md.mgr();
   const std::size_t threads = args.threads != 0 ? args.threads : 2048;
   const unsigned iters = args.iters != 0 ? args.iters : 2;
@@ -126,11 +158,13 @@ core::CellOutcome churn_cell(const bench::BenchArgs& args,
     return {40, report};
   }
   return {0, tally.summary()};
+  });
 }
 
 core::CellOutcome frag_cell(const bench::BenchArgs& args,
                             const std::string& name) {
   auto md = make_cell_device(args, name, /*prefer_twin=*/true);
+  return with_failure_trace(md, name + "-frag", [&]() -> core::CellOutcome {
   const std::size_t threads = args.threads != 0 ? args.threads : 2048;
   const unsigned iters = args.iters != 0 ? args.iters : 2;
   AuditTally tally;
@@ -142,11 +176,13 @@ core::CellOutcome frag_cell(const bench::BenchArgs& args,
   }
   return {0, "max_range=" + std::to_string(r.max_range) + ", " +
                  tally.summary()};
+  });
 }
 
 core::CellOutcome oom_cell(const bench::BenchArgs& args,
                            const std::string& name) {
   auto md = make_cell_device(args, name, /*prefer_twin=*/false);
+  return with_failure_trace(md, name + "-oom", [&]() -> core::CellOutcome {
   const std::size_t threads = args.threads != 0 ? args.threads : 1024;
   AuditTally tally;
   const auto r = work::run_oom(md.dev(), md.mgr(), threads, args.range_lo,
@@ -160,6 +196,7 @@ core::CellOutcome oom_cell(const bench::BenchArgs& args,
   return {0, "achieved=" + std::to_string(r.achieved) +
                  (r.timed_out ? " (timed out)" : "") + ", " +
                  tally.summary()};
+  });
 }
 
 }  // namespace
@@ -175,6 +212,12 @@ int main(int argc, char** argv) {
     // lane); the parent's SIGKILL is the backstop for cells that never reach
     // a yield point.
     args.watchdog_ms = args.deadline_s * 1000.0 / 2;
+  }
+  if (args.trace.empty()) {
+    // Every cell records into its child-local ring; only failing cells
+    // write the file (with_failure_trace), tagged "<allocator>-<workload>",
+    // so a crash report always ships with a replayable request stream.
+    args.trace = "results/failed-cell.gmtrace";
   }
   if (args.hostile) {
     core::register_stub_allocators();
@@ -229,9 +272,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "  (quarantined: " << runner.quarantined_count() << ")\n";
 
-  const std::string json_path =
-      args.json.empty() ? "results/survey.json" : args.json;
-  runner.write_survey_json(json_path);
-  std::cout << "(json written to " << json_path << ")\n";
+  runner.write_survey_json(args.json.empty() ? "results/survey.json"
+                                             : args.json);
   return 0;
 }

@@ -54,5 +54,10 @@ int main(int argc, char** argv) {
               "Fig. 11c/d — work generation, " +
                   std::to_string(args.range_lo) + "-" +
                   std::to_string(args.range_hi) + " B per thread");
+  // One recording per allocator, covering its whole thread sweep (the
+  // per-allocator devices persist across rows).
+  for (std::size_t a = 0; a < devices.size(); ++a) {
+    devices[a]->write_trace_outputs(args.allocators[a]);
+  }
   return 0;
 }

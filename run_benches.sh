@@ -33,9 +33,10 @@ fi
 
 BENCHES=(bench_table1 bench_init_registers bench_alloc_size bench_alloc_mixed
          bench_scaling bench_fragmentation bench_oom bench_workgen
-         bench_access bench_graph bench_ablation bench_simt bench_survey)
+         bench_access bench_graph bench_ablation bench_simt bench_survey
+         bench_replay)
 if [[ $SMOKE -eq 1 ]]; then
-  BENCHES=(bench_simt bench_alloc_size)
+  BENCHES=(bench_simt bench_alloc_size bench_workgen bench_replay)
 fi
 missing=0
 for b in "${BENCHES[@]}"; do
@@ -82,6 +83,14 @@ finish() {
 if [[ $SMOKE -eq 1 ]]; then
   run "$R"/simt.txt            bench_simt       --json BENCH_simt.json
   run "$R"/smoke_thread_10k.txt bench_alloc_size --threads 10000 --iters 2
+  # Record→replay round trip: capture a small reference trace, then replay
+  # it against the source allocator plus two strangers. bench_replay exits
+  # non-zero if any replay is non-deterministic.
+  run "$R"/smoke_trace.txt     bench_workgen -t ScatterAlloc --max-exp 8 --iters 1 --mem-mb 64 \
+                               --trace "$R"/reference.gmtrace
+  run "$R"/smoke_replay.txt    bench_replay --trace "$R"/reference.ScatterAlloc.gmtrace \
+                               -t ScatterAlloc,Ouro-P-VA,Halloc --json BENCH_replay.json \
+                               --chrome "$R"/reference.chrome.json
   finish
 fi
 
@@ -100,6 +109,14 @@ run "$R"/fig11e_access.txt    bench_access --threads 16384
 run "$R"/fig11fg_graph.txt    bench_graph --scale 32 --threads 100000 --mem-mb 384
 run "$R"/ablation.txt         bench_ablation
 run "$R"/simt.txt             bench_simt --json BENCH_simt.json
+# Reference allocation trace + deterministic replay (DESIGN.md §9): record a
+# mixed-size workgen run, replay it against four managers, and export the
+# Chrome-trace / occupancy views of the recording.
+run "$R"/trace_ref.txt        bench_workgen -t ScatterAlloc --max-exp 10 --iters 1 --mem-mb 64 \
+                              --trace "$R"/reference.gmtrace
+run "$R"/replay.txt           bench_replay --trace "$R"/reference.ScatterAlloc.gmtrace \
+                              -t ScatterAlloc,Ouro-P-VA,Halloc,XMalloc --json BENCH_replay.json \
+                              --chrome "$R"/reference.chrome.json --occupancy "$R"/reference.occupancy.csv
 # Crash-contained verdict matrix over the full registry (+ hostile stubs to
 # prove the containment); writes results/survey.json + results/quarantine.json.
 run "$R"/survey.txt           bench_survey --deadline-s 20 --retries 1 --hostile

@@ -1,0 +1,102 @@
+#include "core/json_writer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/result_table.h"
+
+namespace gms::core {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonFields& JsonFields::str(std::string_view key, std::string_view value) {
+  fields_.emplace_back(std::string(key), "\"" + json_escape(value) + "\"");
+  return *this;
+}
+
+JsonFields& JsonFields::num(std::string_view key, double value, int digits) {
+  fields_.emplace_back(std::string(key), ResultTable::fmt(value, digits));
+  return *this;
+}
+
+JsonFields& JsonFields::boolean(std::string_view key, bool value) {
+  fields_.emplace_back(std::string(key), value ? "true" : "false");
+  return *this;
+}
+
+JsonFields& JsonFields::raw(std::string_view key, std::string rendered) {
+  fields_.emplace_back(std::string(key), std::move(rendered));
+  return *this;
+}
+
+std::string JsonFields::render() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+std::string BenchJson::render() const {
+  std::ostringstream os;
+  // One meta field per line keeps the files diffable the way the
+  // hand-written writers were.
+  os << "{\n  \"bench\": \"" << json_escape(bench_id_) << "\"";
+  for (const auto& [key, value] : meta_.entries()) {
+    os << ",\n  \"" << key << "\": " << value;
+  }
+  os << ",\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases_.size(); ++i) {
+    os << "    " << cases_[i].render() << (i + 1 < cases_.size() ? "," : "")
+       << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+bool BenchJson::write(const std::string& path) const {
+  auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  os << render();
+  if (!os) {
+    std::cerr << "write failed: " << path << "\n";
+    return false;
+  }
+  std::cout << "(json written to " << path << ")\n";
+  return true;
+}
+
+}  // namespace gms::core

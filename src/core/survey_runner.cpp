@@ -15,6 +15,7 @@
 #include <sstream>
 #include <thread>
 
+#include "core/json_writer.h"
 #include "core/utils.h"
 #include "gpu/watchdog.h"
 
@@ -359,40 +360,30 @@ std::map<std::string, std::size_t> SurveyRunner::summary() const {
 }
 
 void SurveyRunner::write_survey_json(const std::string& path) const {
-  ensure_parent_dir(path);
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return;
-  out << "{\n"
-      << "  \"bench\": \"survey\",\n"
-      << "  \"deadline_s\": " << opts_.deadline_s << ",\n"
-      << "  \"max_retries\": " << opts_.max_retries << ",\n"
-      << "  \"rlimit_mb\": " << opts_.rlimit_mb << ",\n"
-      << "  \"retry_quarantined\": "
-      << (opts_.retry_quarantined ? "true" : "false") << ",\n";
-  out << "  \"summary\": {";
-  bool first = true;
-  for (const auto& [name, count] : summary()) {
-    if (!first) out << ", ";
-    first = false;
-    out << "\"" << name << "\": " << count;
-  }
-  out << "},\n";
-  out << "  \"quarantined\": " << quarantine_.size() << ",\n";
-  out << "  \"cases\": [\n";
-  first = true;
+  // Shared results shape (core/json_writer.h) — the same one the bench
+  // binaries emit, so the results tooling ingests the survey identically.
+  BenchJson json("survey");
+  JsonFields verdicts;
+  for (const auto& [name, count] : summary()) verdicts.num(name, count);
+  json.meta()
+      .num("deadline_s", opts_.deadline_s)
+      .num("max_retries", opts_.max_retries)
+      .num("rlimit_mb", opts_.rlimit_mb)
+      .boolean("retry_quarantined", opts_.retry_quarantined)
+      .raw("summary", verdicts.render())
+      .num("quarantined", quarantine_.size());
   for (const auto& r : results_) {
-    if (!first) out << ",\n";
-    first = false;
-    out << "    {\"name\": \"" << sanitize(r.key) << "\", \"verdict\": \""
-        << gms::core::to_string(r.verdict) << "\", \"signal\": "
-        << r.term_signal << ", \"attempts\": " << r.attempts
-        << ", \"last_attempt_ms\": " << r.last_attempt_ms
-        << ", \"total_backoff_ms\": " << r.total_backoff_ms
-        << ", \"skipped_quarantined\": "
-        << (r.skipped_quarantined ? "true" : "false") << ", \"detail\": \""
-        << sanitize(r.detail) << "\"}";
+    json.add_case()
+        .str("name", sanitize(r.key))
+        .str("verdict", gms::core::to_string(r.verdict))
+        .num("signal", r.term_signal)
+        .num("attempts", r.attempts)
+        .num("last_attempt_ms", r.last_attempt_ms)
+        .num("total_backoff_ms", r.total_backoff_ms)
+        .boolean("skipped_quarantined", r.skipped_quarantined)
+        .str("detail", sanitize(r.detail));
   }
-  out << "\n  ]\n}\n";
+  json.write(path);
 }
 
 }  // namespace gms::core

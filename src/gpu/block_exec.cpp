@@ -19,10 +19,11 @@ struct CancelLane {};
 
 BlockExec::BlockExec(const GpuConfig& cfg, unsigned smid, StatsCounters& stats,
                      const std::atomic<bool>* cancel,
-                     std::atomic<std::uint64_t>* heartbeat)
+                     std::atomic<std::uint64_t>* heartbeat,
+                     const std::atomic<LaunchObserver*>* observer)
     : cfg_(cfg), smid_(smid), stats_(stats), cancel_(cancel),
-      heartbeat_(heartbeat), fast_(cfg.scheduler_fast_paths),
-      pool_(cfg.lane_stack_bytes) {}
+      heartbeat_(heartbeat), observer_(observer),
+      fast_(cfg.scheduler_fast_paths), pool_(cfg.lane_stack_bytes) {}
 
 BlockExec::~BlockExec() = default;
 
@@ -108,6 +109,7 @@ bool BlockExec::masks_consistent() const {
 
 void BlockExec::run_block(unsigned block_idx) {
   done_lanes_ = 0;
+  current_block_ = block_idx;
   kernel_error_ = nullptr;
   // Each block starts with pristine shared memory, as on hardware — but only
   // the bytes this launch requested are touched, not the retained capacity.
@@ -565,6 +567,11 @@ bool BlockExec::try_release_barrier() {
   }
   if (!saw_barrier) return false;
   ++stats_.block_barriers;
+  if (observer_ != nullptr) {
+    if (LaunchObserver* obs = observer_->load(std::memory_order_relaxed)) {
+      obs->on_barrier_release(smid_, current_block_);
+    }
+  }
   for (unsigned i = 0; i < block_dim_; ++i) {
     Lane& lane = lanes_[i];
     if (lane.status != LaneStatus::kDone) {

@@ -9,6 +9,7 @@
 #include "gpu/config.h"
 #include "gpu/fiber.h"
 #include "gpu/fiber_pool.h"
+#include "gpu/launch_observer.h"
 #include "gpu/stats.h"
 #include "gpu/thread_ctx.h"
 #include "gpu/watchdog.h"
@@ -37,10 +38,14 @@ class BlockExec {
  public:
   /// `cancel` (optional) is the device-wide cancellation flag polled between
   /// scheduling passes; `heartbeat` (optional) is bumped whenever this SM
-  /// makes progress, feeding the launch watchdog.
+  /// makes progress, feeding the launch watchdog. `observer` (optional)
+  /// points at the device's attached LaunchObserver slot: the executor reads
+  /// it per barrier release, so tracing can be toggled between launches
+  /// without rebuilding the worker pool.
   BlockExec(const GpuConfig& cfg, unsigned smid, StatsCounters& stats,
             const std::atomic<bool>* cancel = nullptr,
-            std::atomic<std::uint64_t>* heartbeat = nullptr);
+            std::atomic<std::uint64_t>* heartbeat = nullptr,
+            const std::atomic<LaunchObserver*>* observer = nullptr);
   ~BlockExec();
 
   BlockExec(const BlockExec&) = delete;
@@ -145,6 +150,8 @@ class BlockExec {
   StatsCounters& stats_;
   const std::atomic<bool>* cancel_ = nullptr;
   std::atomic<std::uint64_t>* heartbeat_ = nullptr;
+  const std::atomic<LaunchObserver*>* observer_ = nullptr;
+  unsigned current_block_ = 0;  ///< block run_block is executing (markers)
   bool cancelling_ = false;
   const bool fast_;  ///< cached cfg_.scheduler_fast_paths
 

@@ -28,7 +28,7 @@ Device::~Device() {
 
 void Device::worker_main(unsigned smid, const std::stop_token& stop) {
   BlockExec exec(cfg_, smid, sm_stats_[smid].counters, &cancel_,
-                 &heartbeats_[smid].beats);
+                 &heartbeats_[smid].beats, &observer_);
   std::uint64_t seen_epoch = 0;
   for (;;) {
     {
@@ -79,6 +79,10 @@ LaunchStats Device::launch_erased(unsigned grid_dim, unsigned block_dim,
   LaunchStats result;
   last_launch_cancelled_ = false;
   if (grid_dim == 0) return result;
+  ++session_launches_;
+  session_threads_launched_ +=
+      static_cast<std::uint64_t>(grid_dim) * block_dim;
+  LaunchObserver* const obs = observer_.load(std::memory_order_acquire);
 
   {
     std::scoped_lock lock(mu_);
@@ -96,6 +100,7 @@ LaunchStats Device::launch_erased(unsigned grid_dim, unsigned block_dim,
     for (auto& s : sm_stats_) s.counters = StatsCounters{};
     ++epoch_;
   }
+  if (obs != nullptr) obs->on_kernel_begin(grid_dim, block_dim);
   const auto start = std::chrono::steady_clock::now();
   cv_work_.notify_all();
   {
@@ -119,13 +124,17 @@ LaunchStats Device::launch_erased(unsigned grid_dim, unsigned block_dim,
           last_change = now;
         } else if (std::chrono::duration<double, std::milli>(now - last_change)
                        .count() >= cfg_.watchdog_ms) {
-          cancel_.store(true, std::memory_order_relaxed);
+          if (!cancel_.exchange(true, std::memory_order_relaxed) &&
+              obs != nullptr) {
+            obs->on_watchdog_cancel();
+          }
         }
       }
     }
   }
   const auto stop = std::chrono::steady_clock::now();
   last_launch_cancelled_ = cancel_.load(std::memory_order_relaxed);
+  if (obs != nullptr) obs->on_kernel_end(last_launch_cancelled_);
 
   if (launch_error_) std::rethrow_exception(launch_error_);
 

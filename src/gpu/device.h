@@ -12,6 +12,7 @@
 #include "gpu/block_exec.h"
 #include "gpu/config.h"
 #include "gpu/device_arena.h"
+#include "gpu/launch_observer.h"
 #include "gpu/stats.h"
 #include "gpu/thread_ctx.h"
 
@@ -74,6 +75,24 @@ class Device {
     return last_launch_cancelled_;
   }
 
+  /// Attaches (or detaches, with nullptr) the instrumentation observer that
+  /// receives kernel-launch / barrier / watchdog markers. Swap only between
+  /// launches; the observer must outlive any launch it watches.
+  void set_launch_observer(LaunchObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
+
+  /// Session totals accumulated across every launch of this device (unlike
+  /// LaunchStats::threads_launched, which is per launch and was historically
+  /// overwritten): trace headers and survey metadata report these so "how
+  /// much work did this device actually run" survives multi-launch cells.
+  [[nodiscard]] std::uint64_t session_threads_launched() const {
+    return session_threads_launched_;
+  }
+  [[nodiscard]] std::uint64_t session_launches() const {
+    return session_launches_;
+  }
+
  private:
   LaunchStats launch_erased(unsigned grid_dim, unsigned block_dim,
                             std::size_t shared_bytes, KernelRef kernel);
@@ -97,6 +116,11 @@ class Device {
   std::atomic<bool> cancel_{false};
   bool last_launch_cancelled_ = false;  ///< host-side, set after each launch
   std::unique_ptr<HeartbeatSlot[]> heartbeats_;
+  /// Instrumentation hook (tracing). Atomic so the SM workers' barrier
+  /// callback site can read it without taking mu_; swapped only when idle.
+  std::atomic<LaunchObserver*> observer_{nullptr};
+  std::uint64_t session_threads_launched_ = 0;  ///< host-side running total
+  std::uint64_t session_launches_ = 0;
 
   std::mutex mu_;
   std::condition_variable cv_work_;

@@ -1,0 +1,34 @@
+#pragma once
+
+namespace gms::gpu {
+
+/// Instrumentation hook the tracing subsystem plugs into the simulator.
+/// The device holds at most one observer (an atomic pointer, swappable only
+/// between launches); a null observer costs one relaxed load per callback
+/// site, so the disabled path stays effectively free.
+///
+/// Threading contract: on_kernel_begin / on_kernel_end / on_watchdog_cancel
+/// run on the host thread that issued launch(); on_barrier_release runs on
+/// the SM worker thread that released the barrier. An implementation must
+/// therefore be safe for one host thread plus num_sms worker threads calling
+/// concurrently (the trace recorder keeps one ring per SM for exactly this).
+class LaunchObserver {
+ public:
+  virtual ~LaunchObserver() = default;
+
+  /// Host side, after the launch state is staged but before any block runs.
+  virtual void on_kernel_begin(unsigned grid_dim, unsigned block_dim) = 0;
+
+  /// Host side, after every worker drained. `cancelled` mirrors
+  /// Device::last_launch_cancelled() for this launch.
+  virtual void on_kernel_end(bool cancelled) = 0;
+
+  /// Host side, the moment the watchdog raises the cancellation flag.
+  virtual void on_watchdog_cancel() = 0;
+
+  /// SM worker side: block `block_idx` on SM `smid` released a block-wide
+  /// barrier (one call per release, i.e. per sync_block round).
+  virtual void on_barrier_release(unsigned smid, unsigned block_idx) = 0;
+};
+
+}  // namespace gms::gpu

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace gms::trace {
+
+/// What one trace record describes. Allocation events (the low range) carry
+/// lane geometry plus size/offset; marker events (the high range) delimit
+/// kernel launches and record harness interventions.
+enum class EventKind : std::uint8_t {
+  kMalloc = 1,       ///< per-thread malloc attempt (success or nullptr)
+  kWarpMalloc = 2,   ///< warp-cooperative allocation (FDGMalloc path)
+  kFree = 3,         ///< per-thread free
+  kWarpFreeAll = 4,  ///< warp heap teardown (FDGMalloc's only free)
+
+  kKernelBegin = 16,     ///< size = grid_dim << 32 | block_dim
+  kKernelEnd = 17,       ///< size = 1 when the launch was cancelled
+  kWatchdogCancel = 18,  ///< watchdog raised the cancellation flag
+  kBarrier = 19,         ///< one block-wide barrier released on this SM
+};
+
+[[nodiscard]] constexpr bool is_alloc_event(EventKind k) {
+  return k >= EventKind::kMalloc && k <= EventKind::kWarpFreeAll;
+}
+
+[[nodiscard]] constexpr const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kMalloc: return "malloc";
+    case EventKind::kWarpMalloc: return "warp_malloc";
+    case EventKind::kFree: return "free";
+    case EventKind::kWarpFreeAll: return "warp_free_all";
+    case EventKind::kKernelBegin: return "kernel_begin";
+    case EventKind::kKernelEnd: return "kernel_end";
+    case EventKind::kWatchdogCancel: return "watchdog_cancel";
+    case EventKind::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+/// `offset` value for "no pointer": failed mallocs and null frees.
+inline constexpr std::uint64_t kNullOffset = ~std::uint64_t{0};
+/// High bit marking a pointer outside the device arena (e.g. the CUDA
+/// stand-in's host-heap relay). The low bits are pointer-derived, stable
+/// within one recording (enough to pair a free with its malloc) but
+/// meaningless across runs. Real arena offsets never come close to this bit.
+inline constexpr std::uint64_t kForeignOffsetFlag = std::uint64_t{1} << 63;
+
+/// One fixed-size, trivially copyable trace record — written byte-verbatim
+/// into .gmtrace files, so the layout is part of the format version.
+struct TraceEvent {
+  std::uint64_t seq = 0;   ///< global publication order within the recording
+  std::uint64_t t_ns = 0;  ///< ns since the recorder's epoch (call entry)
+  /// malloc/warp_malloc: requested bytes. kKernelBegin: grid<<32|block.
+  /// kKernelEnd: 1 if cancelled. Otherwise 0.
+  std::uint64_t size = 0;
+  /// Arena offset of the returned (malloc) or submitted (free) payload;
+  /// kNullOffset for nullptr, kForeignOffsetFlag-tagged outside the arena.
+  std::uint64_t offset = 0;
+  std::uint32_t thread_rank = 0;
+  std::uint32_t block = 0;
+  std::uint32_t kernel_seq = 0;  ///< 1-based launch ordinal in the session
+  /// Ordinal of this event among its lane's allocation events within the
+  /// same kernel — the replay ordering key. Assigned by drain(), not on the
+  /// hot path (per-lane order is already implied by seq).
+  std::uint32_t lane_op = 0;
+  std::uint32_t dur_ns = 0;     ///< call duration, saturated at ~4.29 s
+  std::uint32_t atomics = 0;    ///< StatsCounters::atomic_total() delta
+  std::uint32_t cas_failed = 0; ///< CAS-retry delta over the call
+  std::uint8_t kind = 0;        ///< EventKind
+  std::uint8_t smid = 0;
+  std::uint8_t lane = 0;        ///< lane within the warp
+  std::uint8_t warp = 0;        ///< warp within the block
+
+  [[nodiscard]] EventKind event_kind() const {
+    return static_cast<EventKind>(kind);
+  }
+};
+
+static_assert(sizeof(TraceEvent) == 64,
+              "TraceEvent layout is part of the .gmtrace format");
+static_assert(std::is_trivially_copyable_v<TraceEvent>);
+
+}  // namespace gms::trace

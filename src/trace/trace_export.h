@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "trace/trace_format.h"
+
+namespace gms::trace {
+
+/// Writes a `chrome://tracing` / Perfetto JSON view of the trace: one track
+/// per SM plus a host track (tid = num_sms) carrying kernel begin/end spans
+/// and watchdog-cancel instants; every malloc/free is a complete ("X") event
+/// with size/offset/atomics args; matched malloc→free pairs are connected
+/// with flow ("s"/"f") arrows so an allocation's lifetime can be followed
+/// across SMs. Throws std::runtime_error on I/O errors.
+void write_chrome_trace(const std::string& path, const Trace& trace);
+
+/// Writes a heap-occupancy time series: one CSV row per allocation event in
+/// publication order, with running live-allocation count, live bytes, the
+/// high-water extent of the live set (largest in-use arena end offset — the
+/// span a compacted heap would need), and live_bytes/extent utilisation (the
+/// external-fragmentation proxy, Fig. 11a). Foreign (out-of-arena) relays
+/// are excluded from the byte accounting. Throws std::runtime_error on I/O
+/// errors.
+void write_occupancy_csv(const std::string& path, const Trace& trace);
+
+}  // namespace gms::trace

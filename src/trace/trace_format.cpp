@@ -1,0 +1,140 @@
+#include "trace/trace_format.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace gms::trace {
+namespace {
+
+void ensure_parent_dir(const std::string& path) {
+  auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+  throw std::runtime_error("gmtrace: " + path + ": " + why);
+}
+
+void append_bytes(std::vector<std::byte>& out, const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::byte*>(p);
+  out.insert(out.end(), b, b + n);
+}
+
+}  // namespace
+
+void TraceHeader::set_allocator(const std::string& name) {
+  std::memset(allocator, 0, sizeof allocator);
+  std::memcpy(allocator, name.data(),
+              std::min(name.size(), sizeof(allocator) - 1));
+}
+
+std::string TraceHeader::allocator_name() const {
+  return {allocator, strnlen(allocator, sizeof allocator)};
+}
+
+void write_trace(const std::string& path, TraceHeader header,
+                 std::span<const TraceEvent> events) {
+  header.header_bytes = sizeof(TraceHeader);
+  header.event_count = events.size();
+  std::memcpy(header.magic, kTraceMagic, sizeof kTraceMagic);
+  header.version = kTraceVersion;
+
+  ensure_parent_dir(path);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) fail(path, "cannot open for writing");
+  os.write(reinterpret_cast<const char*>(&header), sizeof header);
+  os.write(reinterpret_cast<const char*>(events.data()),
+           static_cast<std::streamsize>(events.size() * sizeof(TraceEvent)));
+  if (!os) fail(path, "write failed");
+}
+
+Trace read_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) fail(path, "cannot open");
+  const auto file_size = static_cast<std::uint64_t>(is.tellg());
+  is.seekg(0);
+  if (file_size < sizeof(TraceHeader)) fail(path, "truncated header");
+
+  Trace trace;
+  is.read(reinterpret_cast<char*>(&trace.header), sizeof(TraceHeader));
+  if (!is) fail(path, "header read failed");
+  if (std::memcmp(trace.header.magic, kTraceMagic, sizeof kTraceMagic) != 0) {
+    fail(path, "bad magic (not a .gmtrace file)");
+  }
+  if (trace.header.version != kTraceVersion) {
+    fail(path, "unsupported version " + std::to_string(trace.header.version));
+  }
+  if (trace.header.header_bytes != sizeof(TraceHeader)) {
+    fail(path, "header size mismatch");
+  }
+  const std::uint64_t body = file_size - sizeof(TraceHeader);
+  if (body != trace.header.event_count * sizeof(TraceEvent)) {
+    fail(path, "truncated or padded event stream (" + std::to_string(body) +
+                   " bytes for " + std::to_string(trace.header.event_count) +
+                   " events)");
+  }
+  trace.events.resize(trace.header.event_count);
+  is.read(reinterpret_cast<char*>(trace.events.data()),
+          static_cast<std::streamsize>(body));
+  if (!is) fail(path, "event read failed");
+  return trace;
+}
+
+std::vector<std::byte> canonical_bytes(std::span<const TraceEvent> events) {
+  // Dense kernel ordinals: absolute kernel_seq values differ between a live
+  // capture and its replay (warm-up launches, prior session launches), but
+  // the sequence of allocation-bearing kernels is what replays.
+  std::map<std::uint32_t, std::uint32_t> dense;
+  for (const auto& ev : events) {
+    if (is_alloc_event(ev.event_kind())) dense.emplace(ev.kernel_seq, 0);
+  }
+  std::uint32_t next = 0;
+  for (auto& [abs, ord] : dense) ord = next++;
+
+  std::vector<const TraceEvent*> alloc;
+  alloc.reserve(events.size());
+  for (const auto& ev : events) {
+    if (is_alloc_event(ev.event_kind())) alloc.push_back(&ev);
+  }
+  std::sort(alloc.begin(), alloc.end(),
+            [&](const TraceEvent* a, const TraceEvent* b) {
+              const auto ka = dense.at(a->kernel_seq);
+              const auto kb = dense.at(b->kernel_seq);
+              if (ka != kb) return ka < kb;
+              if (a->thread_rank != b->thread_rank) {
+                return a->thread_rank < b->thread_rank;
+              }
+              return a->lane_op < b->lane_op;
+            });
+
+  std::vector<std::byte> out;
+  out.reserve(alloc.size() * 21);
+  for (const TraceEvent* ev : alloc) {
+    const std::uint32_t kernel = dense.at(ev->kernel_seq);
+    append_bytes(out, &kernel, sizeof kernel);
+    append_bytes(out, &ev->thread_rank, sizeof ev->thread_rank);
+    append_bytes(out, &ev->lane_op, sizeof ev->lane_op);
+    append_bytes(out, &ev->kind, sizeof ev->kind);
+    append_bytes(out, &ev->size, sizeof ev->size);
+  }
+  return out;
+}
+
+std::uint64_t canonical_digest(std::span<const TraceEvent> events) {
+  const auto bytes = canonical_bytes(events);
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace gms::trace

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+
+#include "core/memory_manager.h"
+#include "gpu/device_arena.h"
+#include "trace/trace_recorder.h"
+
+namespace gms::trace {
+
+/// Decorator that records every malloc/free crossing the unified interface
+/// into a TraceRecorder — lane, warp, block, size, returned arena offset,
+/// wall-clock entry/duration, and the per-SM StatsCounters deltas (atomics,
+/// CAS retries) the call spanned. Stacks outermost over the harness's other
+/// decorators (FaultInjector, ValidatingManager), so the trace shows exactly
+/// the request/response stream the kernel observed, injected faults
+/// included.
+///
+/// When the recorder is disabled the decorator costs one relaxed load and a
+/// branch per call; everything else forwards untouched.
+///
+/// The counter deltas are sampled from the calling SM's shared StatsCounters
+/// instance, so on an SM whose scheduler interleaves other lanes mid-call
+/// the delta attributes their atomics too — an SM-local contention proxy,
+/// not an exact per-call count (DESIGN.md §9).
+class TracingManager final : public core::MemoryManager {
+ public:
+  TracingManager(std::unique_ptr<core::MemoryManager> inner,
+                 TraceRecorder& recorder, gpu::DeviceArena& arena);
+
+  [[nodiscard]] const core::AllocatorTraits& traits() const override {
+    return inner_->traits();
+  }
+  [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
+  void free(gpu::ThreadCtx& ctx, void* ptr) override;
+  [[nodiscard]] void* warp_malloc(gpu::ThreadCtx& ctx,
+                                  std::size_t size) override;
+  void warp_free_all(gpu::ThreadCtx& ctx) override;
+  [[nodiscard]] core::AuditResult audit() override { return inner_->audit(); }
+
+  [[nodiscard]] core::MemoryManager& inner() { return *inner_; }
+
+  /// Trace encoding of a pointer: arena offset, kNullOffset for nullptr, or
+  /// a kForeignOffsetFlag-tagged pointer hash for out-of-arena relays.
+  [[nodiscard]] std::uint64_t encode_offset(const void* p) const;
+
+ private:
+  [[nodiscard]] void* traced_malloc(gpu::ThreadCtx& ctx, std::size_t size,
+                                    EventKind kind);
+
+  std::unique_ptr<core::MemoryManager> inner_;
+  TraceRecorder& recorder_;
+  gpu::DeviceArena& arena_;
+};
+
+}  // namespace gms::trace

@@ -1,0 +1,239 @@
+// Trace subsystem tests (DESIGN.md §9): .gmtrace round-trip and strict read
+// validation, ring-overflow drop accounting (drop-never-overwrite), the
+// disabled-recorder fast path, and the replay determinism contract — the
+// canonical request stream of a replay is byte-identical to the recording's
+// regardless of the replay device's SM count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/registry.h"
+#include "gpu/device.h"
+#include "trace/trace_format.h"
+#include "trace/trace_recorder.h"
+#include "trace/trace_replay.h"
+#include "trace/tracing_manager.h"
+
+namespace gms {
+namespace {
+
+using gpu::Device;
+using gpu::GpuConfig;
+using gpu::ThreadCtx;
+
+// ScatterAlloc's superblock carving divides by the page-per-region count,
+// which hits zero below ~16 MB — keep the test heap comfortably above that.
+constexpr std::size_t kHeapBytes = 64u << 20;
+
+struct RegisterAllocators {
+  RegisterAllocators() { core::register_all_allocators(); }
+};
+const RegisterAllocators register_allocators;
+
+std::string tmp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/// Records one alloc/free churn session against `allocator` and returns the
+/// in-memory trace (header filled the way bench_common does).
+trace::Trace record_session(const std::string& allocator, unsigned num_sms,
+                            std::size_t threads = 256) {
+  Device dev(kHeapBytes + (4u << 20), GpuConfig{.num_sms = num_sms});
+  trace::TraceRecorder recorder(num_sms);
+  trace::TracingManager mgr(
+      core::Registry::instance().make(allocator, dev, kHeapBytes), recorder,
+      dev.arena());
+  dev.set_launch_observer(&recorder);
+  recorder.set_enabled(true);
+
+  std::vector<void*> ptrs(threads, nullptr);
+  dev.launch_n(threads, [&](ThreadCtx& t) {
+    const std::size_t size = 16 + (t.thread_rank() % 7) * 16;
+    void* p = mgr.malloc(t, size);
+    if (p != nullptr) *static_cast<std::uint8_t*>(p) = 1;
+    ptrs[t.thread_rank()] = p;
+  });
+  dev.launch_n(threads,
+               [&](ThreadCtx& t) { mgr.free(t, ptrs[t.thread_rank()]); });
+
+  recorder.set_enabled(false);
+  dev.set_launch_observer(nullptr);
+
+  trace::Trace out;
+  out.events = recorder.drain();
+  out.header.dropped = recorder.dropped();
+  out.header.heap_bytes = kHeapBytes;
+  out.header.arena_bytes = dev.arena().size();
+  out.header.num_sms = num_sms;
+  out.header.warp_size = gpu::kWarpSize;
+  out.header.set_allocator(allocator);
+  return out;
+}
+
+/// Replays `src` against a fresh device with `num_sms` SMs, re-recording
+/// through the same tracing stack, and returns the canonical digest of the
+/// re-captured stream plus the replay result.
+std::pair<std::uint64_t, trace::ReplayResult> replay_recaptured(
+    const trace::Trace& src, const std::string& allocator, unsigned num_sms) {
+  trace::TraceReplayer replayer(src);
+  Device dev(kHeapBytes + (4u << 20), GpuConfig{.num_sms = num_sms});
+  trace::TraceRecorder recorder(num_sms);
+  trace::TracingManager mgr(
+      core::Registry::instance().make(allocator, dev, kHeapBytes), recorder,
+      dev.arena());
+  dev.set_launch_observer(&recorder);
+  recorder.set_enabled(true);
+  auto result = replayer.replay(dev, mgr);
+  recorder.set_enabled(false);
+  dev.set_launch_observer(nullptr);
+  return {trace::canonical_digest(recorder.drain()), result};
+}
+
+TEST(TraceFormat, RoundTripPreservesHeaderAndEvents) {
+  const auto src = record_session("ScatterAlloc", 4);
+  ASSERT_FALSE(src.events.empty());
+
+  const auto path = tmp_path("roundtrip.gmtrace");
+  trace::write_trace(path, src.header, src.events);
+  const auto back = trace::read_trace(path);
+
+  EXPECT_EQ(back.header.event_count, src.events.size());
+  EXPECT_EQ(back.header.heap_bytes, src.header.heap_bytes);
+  EXPECT_EQ(back.header.num_sms, src.header.num_sms);
+  EXPECT_EQ(back.header.allocator_name(), "ScatterAlloc");
+  ASSERT_EQ(back.events.size(), src.events.size());
+  EXPECT_EQ(0, std::memcmp(back.events.data(), src.events.data(),
+                           src.events.size() * sizeof(trace::TraceEvent)));
+}
+
+TEST(TraceFormat, RejectsCorruptAndTruncatedFiles) {
+  const auto src = record_session("ScatterAlloc", 2, 64);
+  const auto path = tmp_path("corrupt.gmtrace");
+
+  EXPECT_THROW((void)trace::read_trace(tmp_path("no-such.gmtrace")),
+               std::runtime_error);
+
+  // Bad magic.
+  trace::write_trace(path, src.header, src.events);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.write("BOGUS", 5);
+  }
+  EXPECT_THROW((void)trace::read_trace(path), std::runtime_error);
+
+  // Unknown version.
+  trace::write_trace(path, src.header, src.events);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(offsetof(trace::TraceHeader, version));
+    const std::uint32_t bad = 999;
+    f.write(reinterpret_cast<const char*>(&bad), sizeof(bad));
+  }
+  EXPECT_THROW((void)trace::read_trace(path), std::runtime_error);
+
+  // Truncated payload: the file must hold exactly event_count events.
+  trace::write_trace(path, src.header, src.events);
+  std::filesystem::resize_file(
+      path, std::filesystem::file_size(path) - sizeof(trace::TraceEvent) / 2);
+  EXPECT_THROW((void)trace::read_trace(path), std::runtime_error);
+}
+
+TEST(TraceRecorder, RingOverflowDropsNeverOverwrites) {
+  trace::TraceRecorder recorder(1, {.ring_capacity = 8});
+  recorder.set_enabled(true);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    trace::TraceEvent ev;
+    ev.kind = static_cast<std::uint8_t>(trace::EventKind::kMalloc);
+    ev.thread_rank = i;
+    ev.size = 64;
+    recorder.record(0, ev);
+  }
+  EXPECT_EQ(recorder.dropped(), 12u);
+
+  // The survivors are the exact prefix — a truncated trace still replays as
+  // a faithful prefix of the session instead of a scrambled window.
+  const auto events = recorder.drain();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(events[i].thread_rank, i);
+  }
+  // Drop counts persist across the drain (they describe the whole session).
+  EXPECT_EQ(recorder.dropped(), 12u);
+}
+
+TEST(TracingManager, DisabledRecorderBuffersNothing) {
+  Device dev(kHeapBytes + (4u << 20), GpuConfig{.num_sms = 2});
+  trace::TraceRecorder recorder(2);
+  trace::TracingManager mgr(
+      core::Registry::instance().make("ScatterAlloc", dev, kHeapBytes),
+      recorder, dev.arena());
+  dev.set_launch_observer(&recorder);  // enabled() gates the markers too
+
+  std::vector<void*> ptrs(128, nullptr);
+  dev.launch_n(128, [&](ThreadCtx& t) {
+    ptrs[t.thread_rank()] = mgr.malloc(t, 32);
+  });
+  dev.launch_n(128, [&](ThreadCtx& t) { mgr.free(t, ptrs[t.thread_rank()]); });
+  dev.set_launch_observer(nullptr);
+
+  EXPECT_EQ(recorder.buffered(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(TraceReplay, DeterministicAcrossSmCounts) {
+  const auto src = record_session("ScatterAlloc", 4);
+  trace::TraceReplayer replayer(src);
+  ASSERT_GT(replayer.kernels(), 0u);
+
+  // The recording's own canonical stream is the reference; every replay —
+  // whatever the device geometry — must re-issue exactly that stream.
+  for (const unsigned sms : {1u, 2u, 4u}) {
+    const auto [digest, result] = replay_recaptured(src, "ScatterAlloc", sms);
+    EXPECT_EQ(digest, replayer.request_digest()) << sms << " SMs";
+    EXPECT_EQ(result.failed_mallocs, 0u) << sms << " SMs";
+  }
+}
+
+TEST(TraceReplay, ReplayMatchesLiveRunCounts) {
+  const auto src = record_session("ScatterAlloc", 4);
+  std::uint64_t live_mallocs = 0;
+  std::uint64_t live_frees = 0;
+  for (const auto& ev : src.events) {
+    if (ev.event_kind() == trace::EventKind::kMalloc) ++live_mallocs;
+    if (ev.event_kind() == trace::EventKind::kFree) ++live_frees;
+  }
+  ASSERT_EQ(live_mallocs, 256u);
+  ASSERT_EQ(live_frees, 256u);
+
+  // Replaying against a different manager re-issues the same call counts and
+  // exercises the target's real synchronisation (atomics observed).
+  const auto [digest, result] = replay_recaptured(src, "Ouro-P-VA", 4);
+  EXPECT_EQ(digest, trace::TraceReplayer(src).request_digest());
+  EXPECT_EQ(result.mallocs, live_mallocs);
+  EXPECT_EQ(result.frees, live_frees);
+  EXPECT_EQ(result.failed_mallocs, 0u);
+  EXPECT_EQ(result.skipped_frees, 0u);
+  EXPECT_GT(result.counters.atomic_total(), 0u);
+}
+
+TEST(TraceReplay, SkipsFreesForNoFreeTargets) {
+  const auto src = record_session("ScatterAlloc", 2, 128);
+  trace::TraceReplayer replayer(src);
+
+  // The Atomic baseline cannot free; its traits force frees into
+  // skipped_frees instead of crashing the replay.
+  Device dev(kHeapBytes + (4u << 20), GpuConfig{.num_sms = 2});
+  auto mgr = core::Registry::instance().make("Atomic", dev, kHeapBytes);
+  const auto result = replayer.replay(dev, *mgr);
+  EXPECT_EQ(result.mallocs, 128u);
+  EXPECT_EQ(result.frees, 0u);
+  EXPECT_EQ(result.skipped_frees, 128u);
+}
+
+}  // namespace
+}  // namespace gms
