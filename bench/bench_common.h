@@ -8,6 +8,7 @@
 
 #include "core/fault_inject.h"
 #include "core/registry.h"
+#include "core/stack_builder.h"
 #include "core/result_table.h"
 #include "core/utils.h"
 #include "core/validating_manager.h"
@@ -42,6 +43,11 @@ struct BenchArgs {
   /// --validate: run each manager's "+V" validated twin and print the
   /// LaunchReport (redzones, double frees, leaks) after the bench.
   bool validate = false;
+  /// --stack=SPEC: explicit decorator stack, outermost first — e.g.
+  /// "trace>fault>validate" (applied to every -t selection) or
+  /// "warpagg>Halloc" (full spec incl. base). Overrides the individual
+  /// --validate/--fault/--trace wiring; stages share those flags' configs.
+  std::string stack;
   /// --fault=SPEC: wrap every manager in the deterministic FaultInjector
   /// ("nth:7", "prob:0.05:42", "budget:1048576", suffix ",delay=K").
   core::FaultSpec fault;
@@ -153,6 +159,20 @@ inline BenchArgs parse_args(int argc, char** argv,
       args.metric = need(i);
     } else if (flag == "--validate") {
       args.validate = true;
+    } else if (flag == "--stack") {
+      args.stack = need(i);
+      // Malformed specs are a CLI contract: one-line message, exit 2 —
+      // not an uncaught throw out of ManagedDevice later.
+      try {
+        const auto spec = core::StackSpec::parse(args.stack);
+        if (!spec.base.empty() &&
+            core::Registry::instance().find(spec.base) == nullptr) {
+          throw std::invalid_argument{"unknown allocator: " + spec.base};
+        }
+      } catch (const std::invalid_argument& e) {
+        std::cerr << e.what() << "\n";
+        std::exit(2);
+      }
     } else if (flag == "--fault") {
       try {
         args.fault = core::FaultSpec::parse(need(i));
@@ -193,11 +213,15 @@ inline BenchArgs parse_args(int argc, char** argv,
           << "common flags: -t o+s+h+c+r+x | name,name  --mem-mb N  "
              "--threads N  --iters N  --sms N  --csv file  --warp  "
              "--range LO-HI  --timeout-s S  --phase init|update|all  "
-             "--scale N  --max-exp N  --validate  --fault=SPEC  "
+             "--scale N  --max-exp N  --validate  --stack SPEC  "
+             "--fault=SPEC  "
              "--watchdog-ms N  --legacy-scheduler  --json FILE  "
              "--trace FILE.gmtrace  --chrome FILE  --occupancy FILE\n"
              "fault SPECs: nth:N  prob:P[:SEED]  budget:BYTES  "
              "(optional suffix ,delay=K)\n"
+             "stack SPECs: '>'-separated stages outermost first from "
+             "{trace, fault, validate, warpagg}, optionally ending in a "
+             "base allocator name (else applied to each -t selection)\n"
              "bench_survey: --deadline-s S  --retries N  --rlimit-mb N  "
              "--quarantine FILE  --retry-quarantined  --hostile  "
              "--workloads churn,frag,oom\n";
@@ -254,28 +278,36 @@ class ManagedDevice {
                 .lane_stack_bytes = 32 * 1024,
                 .watchdog_ms = args.watchdog_ms,
                 .scheduler_fast_paths = !args.legacy_scheduler})) {
-    // --validate swaps in the manager's registered "+V" twin.
-    std::string effective = name;
-    if (args.validate && effective.find("+V") == std::string::npos) {
-      effective += "+V";
+    // One wiring path for every decorator combination: fold the legacy
+    // flags (--validate / --fault / --trace) into a stack spec unless
+    // --stack supplied one explicitly, then hand it to the StackBuilder.
+    core::StackSpec spec;
+    if (!args.stack.empty()) {
+      spec = core::StackSpec::parse(args.stack);
+      if (spec.base.empty()) spec.base = name;  // stage-only spec: per -t cell
+    } else {
+      // --validate swaps in the manager's registered "+V" twin.
+      spec.base = name;
+      if (args.validate && spec.base.find("+V") == std::string::npos) {
+        spec.base += "+V";
+      }
+      if (args.fault.mode != core::FaultSpec::Mode::kNone) {
+        spec.stages.push_back(core::StackSpec::Stage::kFault);
+      }
+      if (!args.trace.empty()) {
+        spec.stages.insert(spec.stages.begin(),
+                           core::StackSpec::Stage::kTrace);
+      }
     }
-    name_ = effective;
     heap_bytes_ = args.heap_bytes();
-    mgr_ = core::Registry::instance().make(effective, *device_,
-                                           args.heap_bytes());
-    validator_ = dynamic_cast<core::ValidatingManager*>(mgr_.get());
-    if (args.fault.mode != core::FaultSpec::Mode::kNone) {
-      auto injector =
-          std::make_unique<core::FaultInjector>(std::move(mgr_), args.fault);
-      injector_ = injector.get();
-      mgr_ = std::move(injector);
-    }
+    auto stack = core::StackBuilder(*device_).fault(args.fault).build(
+        spec, args.heap_bytes());
+    mgr_ = std::move(stack.manager);
+    recorder_ = std::move(stack.recorder);
+    validator_ = stack.validator;
+    injector_ = stack.injector;
+    name_ = stack.name;
     if (!args.trace.empty()) {
-      recorder_ = std::make_unique<trace::TraceRecorder>(args.num_sms);
-      mgr_ = std::make_unique<trace::TracingManager>(std::move(mgr_),
-                                                     *recorder_,
-                                                     device_->arena());
-      device_->set_launch_observer(recorder_.get());
       trace_path_ = args.trace;
       chrome_path_ = args.chrome;
       occupancy_path_ = args.occupancy;
@@ -315,7 +347,9 @@ class ManagedDevice {
   /// file plus any requested exports, tagging each path with `tag` so
   /// sweeping benches keep one file per cell. No-op without --trace.
   void write_trace_outputs(const std::string& tag = "") {
-    if (recorder_ == nullptr) return;
+    // A --stack spec with a trace stage but no --trace path records (the
+    // stage is live for replay digests) but has nowhere to write.
+    if (recorder_ == nullptr || trace_path_.empty()) return;
     recorder_->set_enabled(false);
     const auto events = recorder_->drain();
     trace::TraceHeader header;

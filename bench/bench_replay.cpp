@@ -42,19 +42,16 @@ TargetRun run_once(const trace::Trace& src, trace::TraceReplayer& replayer,
   gpu::Device dev(heap_bytes + (8u << 20),
                   gpu::GpuConfig{.num_sms = num_sms,
                                  .lane_stack_bytes = 32 * 1024});
-  trace::TraceRecorder recorder(num_sms);
-  trace::TracingManager mgr(
-      core::Registry::instance().make(target, dev, heap_bytes), recorder,
-      dev.arena());
-  dev.set_launch_observer(&recorder);
+  auto stack =
+      core::StackBuilder(dev).build("trace>" + target, heap_bytes);
   dev.launch(num_sms * 2, 256, [](gpu::ThreadCtx&) {});  // warm-up
-  recorder.set_enabled(true);
+  stack.recorder->set_enabled(true);
 
   TargetRun run;
-  run.result = replayer.replay(dev, mgr);
-  recorder.set_enabled(false);
+  run.result = replayer.replay(dev, *stack.manager);
+  stack.recorder->set_enabled(false);
   dev.set_launch_observer(nullptr);
-  const auto events = recorder.drain();
+  const auto events = stack.recorder->drain();
   run.recaptured = events.size();
   run.digest = trace::canonical_digest(events);
   (void)src;

@@ -1,0 +1,171 @@
+// Warp-aggregation A/B: every general-purpose base allocator against its
+// registered "+W" twin (WarpAggregator leader-combine, DESIGN.md §10) under
+// a convergent malloc/free churn — the best case for aggregation: all 32
+// lanes of a warp allocate together, so the twin issues ONE inner malloc
+// per warp where the base issues 32 contended ones.
+//
+// Columns: wall ms, instrumented atomics per malloc (the contention signal
+// wall clock compresses on a single-core host), and the twin's combine
+// stats. Emits BENCH_warpagg.json via --json; run_benches.sh records it
+// next to BENCH_simt.json as the aggregation perf baseline.
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "alloc_core/warp_aggregator.h"
+#include "bench_common.h"
+#include "core/json_writer.h"
+
+namespace {
+
+using namespace gms;
+
+struct CellResult {
+  double ms = 0;
+  std::uint64_t mallocs = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t groups = 0;  ///< +W only: combined groups
+  std::uint64_t lanes = 0;   ///< +W only: lanes served by a combine
+};
+
+/// One fresh device + stack, one churn launch. Every lane runs `rounds`
+/// convergent malloc/store/free iterations over a small size mix.
+CellResult run_cell_once(const bench::BenchArgs& args, const std::string& spec,
+                         unsigned rounds) {
+  gpu::Device dev(args.heap_bytes() + (8u << 20),
+                  gpu::GpuConfig{.num_sms = args.num_sms,
+                                 .lane_stack_bytes = 32 * 1024,
+                                 .watchdog_ms = args.watchdog_ms});
+  auto stack = core::StackBuilder(dev).build(spec, args.heap_bytes());
+  dev.launch(args.num_sms * 2, 256, [](gpu::ThreadCtx&) {});  // warm-up
+
+  static constexpr std::size_t kSizes[4] = {32, 64, 128, 256};
+  std::atomic<std::uint64_t> failed{0};
+  core::MemoryManager& mgr = *stack.manager;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto stats = dev.launch(
+      args.num_sms * 4, 256, [&mgr, &failed, rounds](gpu::ThreadCtx& ctx) {
+        for (unsigned r = 0; r < rounds; ++r) {
+          // Same size across the warp per round: the aggregator's combined
+          // block stays uniform, the base path sees 32 identical requests.
+          const std::size_t size = kSizes[r % 4];
+          void* p = mgr.malloc(ctx, size);
+          if (p == nullptr) {
+            failed.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          *static_cast<std::uint32_t*>(p) = ctx.thread_rank();
+          mgr.free(ctx, p);
+        }
+      });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  CellResult res;
+  res.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  res.mallocs =
+      static_cast<std::uint64_t>(args.num_sms) * 4 * 256 * rounds;
+  res.failed = failed.load();
+  res.atomics = stats.counters.atomic_total();
+  if (stack.aggregator != nullptr) {
+    res.groups = stack.aggregator->groups_combined();
+    res.lanes = stack.aggregator->lanes_served();
+  }
+  return res;
+}
+
+/// Best-of-N wall clock (fresh device per attempt, cold-start parity kept):
+/// the A/B margin between a base and its twin is smaller than host
+/// scheduling noise on a loaded machine, and min-of-reps is the standard
+/// way to read a latency bench through that noise.
+CellResult run_cell(const bench::BenchArgs& args, const std::string& spec,
+                    unsigned rounds) {
+  constexpr unsigned kReps = 3;
+  CellResult best;
+  for (unsigned i = 0; i < kReps; ++i) {
+    CellResult r = run_cell_once(args, spec, rounds);
+    if (i == 0 || r.ms < best.ms) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = bench::parse_args(argc, argv);
+  const unsigned rounds = args.iters != 0 ? args.iters : 16;
+
+  // Population: general-purpose bases that have a registered "+W" twin
+  // (warp-scoped managers like FDGMalloc have no individual free to
+  // aggregate over).
+  std::vector<std::string> bases;
+  for (const auto& name : args.allocators) {
+    const auto* entry = core::Registry::instance().find(name);
+    if (entry == nullptr || !entry->traits.general_purpose) continue;
+    if (core::Registry::instance().find(name + "+W") == nullptr) continue;
+    bases.push_back(name);
+  }
+
+  core::ResultTable table({"Allocator", "base ms", "+W ms", "speedup",
+                           "base atomics/malloc", "+W atomics/malloc",
+                           "groups", "lanes/group"});
+  core::BenchJson json("warpagg");
+  json.meta()
+      .num("rounds", rounds)
+      .num("num_sms", args.num_sms)
+      .num("heap_bytes", args.heap_bytes());
+
+  for (const auto& name : bases) {
+    CellResult base, agg;
+    try {
+      base = run_cell(args, name, rounds);
+      agg = run_cell(args, "warpagg>" + name, rounds);
+    } catch (const std::exception& e) {
+      std::cerr << name << ": " << e.what() << "\n";
+      table.add_row({name, "err", "err", "-", "-", "-", "-", "-"});
+      json.add_case().str("name", name).str("error", e.what());
+      continue;
+    }
+    const double calls = static_cast<double>(base.mallocs);
+    const double lanes_per_group =
+        agg.groups != 0
+            ? static_cast<double>(agg.lanes) / static_cast<double>(agg.groups)
+            : 0.0;
+    table.add_row(
+        {name, core::ResultTable::fmt_ms(base.ms),
+         core::ResultTable::fmt_ms(agg.ms),
+         core::ResultTable::fmt(base.ms / agg.ms, 2) + "x",
+         core::ResultTable::fmt(static_cast<double>(base.atomics) / calls, 1),
+         core::ResultTable::fmt(static_cast<double>(agg.atomics) / calls, 1),
+         std::to_string(agg.groups),
+         core::ResultTable::fmt(lanes_per_group, 1)});
+    json.add_case()
+        .str("name", name)
+        .num("rounds", rounds)
+        .num("mallocs", base.mallocs)
+        .num("base_ms", base.ms)
+        .num("warpagg_ms", agg.ms)
+        .num("speedup", base.ms / agg.ms)
+        .num("base_failed", base.failed)
+        .num("warpagg_failed", agg.failed)
+        .num("base_atomics", base.atomics)
+        .num("warpagg_atomics", agg.atomics)
+        .num("base_atomics_per_malloc",
+             static_cast<double>(base.atomics) / calls)
+        .num("warpagg_atomics_per_malloc",
+             static_cast<double>(agg.atomics) / calls)
+        .num("groups_combined", agg.groups)
+        .num("lanes_served", agg.lanes)
+        .num("lanes_per_group", lanes_per_group);
+  }
+
+  bench::emit(table, args,
+              "Warp aggregation — base vs \"+W\" twin, convergent churn, " +
+                  std::to_string(rounds) + " rounds/lane");
+  if (!args.json.empty()) json.write(args.json);
+  return 0;
+}

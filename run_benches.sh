@@ -34,9 +34,9 @@ fi
 BENCHES=(bench_table1 bench_init_registers bench_alloc_size bench_alloc_mixed
          bench_scaling bench_fragmentation bench_oom bench_workgen
          bench_access bench_graph bench_ablation bench_simt bench_survey
-         bench_replay)
+         bench_replay bench_warpagg)
 if [[ $SMOKE -eq 1 ]]; then
-  BENCHES=(bench_simt bench_alloc_size bench_workgen bench_replay)
+  BENCHES=(bench_simt bench_alloc_size bench_workgen bench_replay bench_warpagg)
 fi
 missing=0
 for b in "${BENCHES[@]}"; do
@@ -91,6 +91,11 @@ if [[ $SMOKE -eq 1 ]]; then
   run "$R"/smoke_replay.txt    bench_replay --trace "$R"/reference.ScatterAlloc.gmtrace \
                                -t ScatterAlloc,Ouro-P-VA,Halloc --json BENCH_replay.json \
                                --chrome "$R"/reference.chrome.json
+  # Warp-aggregation A/B on a representative subset (the full matrix runs in
+  # the non-smoke sweep); refreshes BENCH_warpagg.json at the recorded
+  # contention point (32 SMs, 32 rounds/lane).
+  run "$R"/smoke_warpagg.txt   bench_warpagg -t CUDA,Halloc,ScatterAlloc,Ouro-P-VA \
+                               --sms 32 --iters 32 --json BENCH_warpagg.json
   finish
 fi
 
@@ -117,6 +122,10 @@ run "$R"/trace_ref.txt        bench_workgen -t ScatterAlloc --max-exp 10 --iters
 run "$R"/replay.txt           bench_replay --trace "$R"/reference.ScatterAlloc.gmtrace \
                               -t ScatterAlloc,Ouro-P-VA,Halloc,XMalloc --json BENCH_replay.json \
                               --chrome "$R"/reference.chrome.json --occupancy "$R"/reference.occupancy.csv
+# Warp-aggregation A/B over every general-purpose base vs its "+W" twin
+# (DESIGN.md §10): wall ms + atomics-per-malloc at the recorded contention
+# point. BENCH_warpagg.json is a perf-trajectory file like BENCH_simt.json.
+run "$R"/warpagg.txt          bench_warpagg --sms 32 --iters 32 --json BENCH_warpagg.json
 # Crash-contained verdict matrix over the full registry (+ hostile stubs to
 # prove the containment); writes results/survey.json + results/quarantine.json.
 run "$R"/survey.txt           bench_survey --deadline-s 20 --retries 1 --hostile

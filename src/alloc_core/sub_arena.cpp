@@ -1,0 +1,33 @@
+#include "alloc_core/sub_arena.h"
+
+namespace gms::alloc_core {
+
+namespace {
+
+std::string human_bytes(std::size_t bytes) {
+  if (bytes >= (std::size_t{1} << 20)) {
+    const double mib = static_cast<double>(bytes) / (1u << 20);
+    std::string s = std::to_string(mib);
+    return s.substr(0, s.find('.') + 2) + "MiB";
+  }
+  if (bytes >= 1024) {
+    const double kib = static_cast<double>(bytes) / 1024;
+    std::string s = std::to_string(kib);
+    return s.substr(0, s.find('.') + 2) + "KiB";
+  }
+  return std::to_string(bytes) + "B";
+}
+
+}  // namespace
+
+std::string SubArena::describe() const {
+  std::string out;
+  for (const auto& e : extents_) {
+    if (!out.empty()) out += " | ";
+    out += std::string(e.label) + " " + human_bytes(e.bytes);
+  }
+  if (out.empty()) out = "unlabelled carve, " + human_bytes(used());
+  return out;
+}
+
+}  // namespace gms::alloc_core

@@ -1,0 +1,105 @@
+#include "alloc_core/warp_aggregator.h"
+
+#include <cassert>
+#include <limits>
+#include <new>
+
+#include "alloc_core/size_class_map.h"
+
+namespace gms::alloc_core {
+
+namespace {
+/// Redzone-style overhead every lane slot carries on top of its payload.
+constexpr std::size_t kSlotOverhead = 16;  // sizeof(LaneHeader)
+constexpr std::size_t kBlockOverhead = 16;  // sizeof(BlockHeader)
+}  // namespace
+
+core::AllocatorTraits WarpAggregator::decorate_traits(core::AllocatorTraits t) {
+  t.decorated = true;
+  // A solo lane's request grows by the block + lane headers before it
+  // reaches the inner manager, so the size at which the inner path starts
+  // relaying shrinks by that overhead (mirrors the validating twin's pad).
+  if (t.max_direct_size != std::numeric_limits<std::size_t>::max()) {
+    const std::size_t pad = kBlockOverhead + kSlotOverhead;
+    t.max_direct_size = t.max_direct_size > pad ? t.max_direct_size - pad : 0;
+  }
+  return t;
+}
+
+WarpAggregator::WarpAggregator(std::unique_ptr<core::MemoryManager> inner)
+    : inner_(std::move(inner)) {
+  name_ = std::string(inner_->traits().name) + "+W";
+  traits_ = decorate_traits(inner_->traits());
+  traits_.name = name_;
+  init_ms_ = inner_->init_ms();
+}
+
+void* WarpAggregator::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
+  // Leader-combine: one coalesce, one prefix sum, ONE inner malloc for the
+  // whole group (contrast: the undecorated path issues one per lane).
+  const gpu::Coalesced g = ctx.coalesce();
+  const std::size_t slot = SizeClassMap::round16(size) + sizeof(LaneHeader);
+  const std::size_t prefix = ctx.scan_exclusive_add(slot);
+  const std::size_t total = ctx.reduce_add(slot);
+
+  std::byte* block = nullptr;
+  if (g.is_leader()) {
+    block = static_cast<std::byte*>(
+        inner_->malloc(ctx, sizeof(BlockHeader) + total));
+    if (block != nullptr) {
+      new (block) BlockHeader{kBlockMagic, g.size,
+                              static_cast<std::uint64_t>(total)};
+      groups_.fetch_add(1, std::memory_order_relaxed);
+      lanes_.fetch_add(g.size, std::memory_order_relaxed);
+    }
+  }
+  block = ctx.broadcast(g, block, g.leader);
+  if (block == nullptr) {
+    // The combined request outgrew the inner manager (32 aggregated lanes
+    // can exceed a serviceable-size ceiling a single lane never hits, e.g.
+    // ScatterAlloc's multi-page run limit) — or it is genuinely out of
+    // memory. Degrade to per-lane "group of one" blocks with the same
+    // layout, so free() stays uniform and a failing combine never turns
+    // into a spurious whole-group OOM.
+    const std::size_t solo = sizeof(BlockHeader) + slot;
+    auto* own = static_cast<std::byte*>(inner_->malloc(ctx, solo));
+    if (own == nullptr) return nullptr;
+    new (own) BlockHeader{kBlockMagic, 1u, static_cast<std::uint64_t>(slot)};
+    lanes_.fetch_add(1, std::memory_order_relaxed);
+    auto* lh = new (own + sizeof(BlockHeader)) LaneHeader{};
+    lh->magic = kLaneMagic;
+    lh->block_off = sizeof(BlockHeader);
+    return own + sizeof(BlockHeader) + sizeof(LaneHeader);
+  }
+
+  std::byte* lane = block + sizeof(BlockHeader) + prefix;
+  auto* lh = new (lane) LaneHeader{};
+  lh->magic = kLaneMagic;
+  lh->block_off = static_cast<std::uint64_t>(lane - block);
+  return lane + sizeof(LaneHeader);
+}
+
+void* WarpAggregator::warp_malloc(gpu::ThreadCtx& ctx, std::size_t size) {
+  return malloc(ctx, size);
+}
+
+void WarpAggregator::free(gpu::ThreadCtx& ctx, void* ptr) {
+  if (ptr == nullptr) return;
+  auto* lane = static_cast<std::byte*>(ptr) - sizeof(LaneHeader);
+  auto* lh = reinterpret_cast<LaneHeader*>(lane);
+  assert(lh->magic == kLaneMagic && "free of a pointer the aggregator never returned");
+  auto* block = lane - lh->block_off;
+  auto* bh = reinterpret_cast<BlockHeader*>(block);
+  // Last lane out returns the combined block. fetch_sub returns the old
+  // value, so the lane that saw 1 owned the final reference.
+  if (ctx.atomic_sub(&bh->live, 1u) == 1u) {
+    inner_->free(ctx, block);
+  }
+}
+
+void WarpAggregator::warp_free_all(gpu::ThreadCtx& ctx) {
+  // Wholesale reclamation subsumes the per-block refcounts.
+  inner_->warp_free_all(ctx);
+}
+
+}  // namespace gms::alloc_core

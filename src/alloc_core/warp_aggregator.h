@@ -1,0 +1,81 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/memory_manager.h"
+
+namespace gms::alloc_core {
+
+/// Warp-aggregated leader-combine adapter (the paper's §4 warp-cooperation
+/// analysis, generalised): the lanes that reach malloc together are
+/// coalesced, their 16-byte-rounded requests prefix-summed, and the group
+/// leader issues ONE inner allocation for the combined total — one leader
+/// claim/CAS per coalesced group instead of one per lane. FDGMalloc bakes
+/// this scheme into its own superblocks; the adapter retrofits it onto any
+/// general-purpose manager, registered as the "+W" twins and measured by
+/// bench_warpagg.
+///
+/// Block layout (one inner allocation per group):
+///   [BlockHeader 16B][lane slot 0][lane slot 1]...[lane slot N-1]
+///   lane slot = [LaneHeader 16B][payload, 16B-rounded]
+/// Individual frees stay legal: each free decrements the block's live-lane
+/// count (one device atomic), and the last lane out returns the whole block
+/// to the inner manager.
+class WarpAggregator final : public core::MemoryManager {
+ public:
+  explicit WarpAggregator(std::unique_ptr<core::MemoryManager> inner);
+
+  [[nodiscard]] const core::AllocatorTraits& traits() const override {
+    return traits_;
+  }
+  [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
+  void free(gpu::ThreadCtx& ctx, void* ptr) override;
+  /// Warp-cooperative entry point: aggregation IS the warp path — same code.
+  [[nodiscard]] void* warp_malloc(gpu::ThreadCtx& ctx,
+                                  std::size_t size) override;
+  void warp_free_all(gpu::ThreadCtx& ctx) override;
+  [[nodiscard]] core::AuditResult audit() override { return inner_->audit(); }
+
+  [[nodiscard]] core::MemoryManager& inner() { return *inner_; }
+
+  /// Groups the leader combined / lanes served through them, for the
+  /// bench's "32 mallocs became N inner calls" evidence.
+  [[nodiscard]] std::uint64_t groups_combined() const {
+    return groups_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t lanes_served() const {
+    return lanes_.load(std::memory_order_relaxed);
+  }
+
+  /// Traits a "+W" twin advertises, derivable without building a manager
+  /// (registry twin registration probes nothing). Name is left to the
+  /// caller; the per-lane headers shrink the direct-service limit.
+  static core::AllocatorTraits decorate_traits(core::AllocatorTraits t);
+
+ private:
+  struct BlockHeader {
+    std::uint32_t magic;
+    std::uint32_t live;  ///< lanes still holding a slot of this block
+    std::uint64_t total; ///< combined payload+header bytes (audit aid)
+  };
+  struct LaneHeader {
+    std::uint32_t magic;
+    std::uint32_t pad;
+    std::uint64_t block_off;  ///< this slot's offset from the block header
+  };
+  static_assert(sizeof(BlockHeader) == 16);
+  static_assert(sizeof(LaneHeader) == 16);
+  static constexpr std::uint32_t kBlockMagic = 0xA66B10CBu;
+  static constexpr std::uint32_t kLaneMagic = 0xA66EA4E5u;
+
+  std::unique_ptr<core::MemoryManager> inner_;
+  std::string name_;  ///< backs traits_.name ("<inner>+W")
+  core::AllocatorTraits traits_{};
+  std::atomic<std::uint64_t> groups_{0};
+  std::atomic<std::uint64_t> lanes_{0};
+};
+
+}  // namespace gms::alloc_core

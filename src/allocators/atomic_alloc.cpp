@@ -1,5 +1,8 @@
 #include "allocators/atomic_alloc.h"
 
+#include "alloc_core/size_class_map.h"
+#include "alloc_core/sub_arena.h"
+
 namespace gms::alloc {
 
 namespace {
@@ -21,17 +24,17 @@ constexpr core::AllocatorTraits kTraits{
 
 AtomicAlloc::AtomicAlloc(gpu::Device& dev, std::size_t heap_bytes) {
   core::Stopwatch timer;
-  HeapCarver carver(dev, heap_bytes);
-  offset_ = carver.take<std::uint64_t>(1);
+  alloc_core::SubArena carver(dev, heap_bytes);
+  offset_ = carver.take<std::uint64_t>(1, alignof(std::uint64_t), "bump");
   *offset_ = 0;
-  data_ = carver.take_rest(capacity_);
+  data_ = carver.take_rest(capacity_, 16, "data");
   init_ms_ = timer.elapsed_ms();
 }
 
 const core::AllocatorTraits& AtomicAlloc::traits() const { return kTraits; }
 
 void* AtomicAlloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
-  const auto bytes = core::round_up(size, 16);
+  const auto bytes = alloc_core::SizeClassMap::round16(size);
   const auto old = ctx.atomic_add(offset_, static_cast<std::uint64_t>(bytes));
   if (old + bytes > capacity_) {
     // Roll back so later, smaller requests can still succeed.

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "alloc_core/sub_arena.h"
+
 namespace gms::alloc {
 
 // ---------------------------------------------------------------------------
@@ -229,12 +231,16 @@ BulkAlloc::BulkAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
   core::Stopwatch timer;
   num_sms_ = dev.config().num_sms;
   heap_base_ = dev.arena().data();
-  HeapCarver carver(dev, heap_bytes);
+  alloc_core::SubArena carver(dev, heap_bytes);
 
-  sem_words_ = carver.take<std::uint64_t>(num_sms_ * kNumClasses);
+  sem_words_ = carver.take<std::uint64_t>(num_sms_ * kNumClasses,
+                                          alignof(std::uint64_t),
+                                          "semaphores");
   for (std::size_t i = 0; i < num_sms_ * kNumClasses; ++i) sem_words_[i] = 0;
-  arena_chunk_ = carver.take<std::byte*>(num_sms_);
-  arena_lock_ = carver.take<std::uint32_t>(num_sms_);
+  arena_chunk_ = carver.take<std::byte*>(num_sms_, alignof(std::byte*),
+                                         "arena-chunks");
+  arena_lock_ = carver.take<std::uint32_t>(num_sms_, alignof(std::uint32_t),
+                                           "arena-locks");
   for (unsigned s = 0; s < num_sms_; ++s) {
     arena_chunk_[s] = nullptr;
     arena_lock_[s] = 0;
@@ -242,7 +248,8 @@ BulkAlloc::BulkAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
   bin_queues_.reserve(num_sms_ * kNumClasses);
   for (std::size_t q = 0; q < num_sms_ * kNumClasses; ++q) {
     auto* words = carver.take<std::uint64_t>(
-        BoundedTicketQueue::layout_words(cfg_.bins_queue_capacity));
+        BoundedTicketQueue::layout_words(cfg_.bins_queue_capacity),
+        alignof(std::uint64_t), "bin-queues");
     bin_queues_.emplace_back(words, cfg_.bins_queue_capacity);
     bin_queues_.back().init_host();
   }
@@ -250,7 +257,7 @@ BulkAlloc::BulkAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
   // Cover the rest with a forest of buddy trees, largest first, so a
   // non-power-of-two heap is not half wasted.
   std::size_t rest = 0;
-  auto* region = carver.take_rest(rest, 4096);
+  auto* region = carver.take_rest(rest, 4096, "buddy-forest");
   const std::size_t leaf = cfg_.bin_bytes;  // 4 KiB leaves
   while (rest >= cfg_.chunk_bytes && forest_.size() < 12) {
     unsigned levels = 0;
@@ -284,6 +291,12 @@ BulkAlloc::BulkAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
 }
 
 const core::AllocatorTraits& BulkAlloc::traits() const { return kTraits; }
+
+const alloc_core::SizeClassMap& BulkAlloc::bin_classes() {
+  static const alloc_core::SizeClassMap map =
+      alloc_core::SizeClassMap::geometric(16, kNumClasses);
+  return map;
+}
 
 void* BulkAlloc::forest_malloc(gpu::ThreadCtx& ctx, std::size_t bytes) {
   for (auto& tree : forest_) {
@@ -459,9 +472,9 @@ void BulkAlloc::free_small(gpu::ThreadCtx& ctx, std::byte* chunk,
 void* BulkAlloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
   if (size == 0) size = 1;
   if (size < 2048) {
-    std::size_t cls = 0;
-    while (class_bytes(cls) < size) ++cls;
-    return malloc_small(ctx, cls);
+    // < not <=: a full 2 KiB request goes to the buddy forest, so the
+    // class_for result is always a real class here.
+    return malloc_small(ctx, bin_classes().class_for(size));
   }
   return forest_malloc(ctx, size);
 }

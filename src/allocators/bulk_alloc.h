@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "allocators/bulk_semaphore.h"
+#include "alloc_core/size_class_map.h"
 #include "allocators/common.h"
 #include "allocators/lockfree_queue.h"
 
@@ -110,6 +111,8 @@ class BulkAlloc final : public core::MemoryManager {
   static constexpr std::size_t class_bytes(std::size_t c) {
     return std::size_t{16} << c;
   }
+  /// The same geometry as a shared SizeClassMap (request-side lookup).
+  static const alloc_core::SizeClassMap& bin_classes();
 
  private:
   /// Per-bin metadata, stored in the chunk's first two (metadata) bins.

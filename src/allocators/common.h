@@ -52,41 +52,4 @@ class DeviceLockGuard {
   gpu::ThreadCtx& ctx_;
 };
 
-/// Host-side sequential carver used in constructors to lay out an allocator's
-/// metadata and data regions inside its slice of the arena.
-class HeapCarver {
- public:
-  HeapCarver(gpu::Device& dev, std::size_t heap_bytes)
-      : base_(dev.arena().data()), end_(heap_bytes) {}
-
-  /// Carves a sub-range (used when one manager nests another, e.g. Halloc's
-  /// split with the CUDA-Allocator stand-in for > 3 KiB requests).
-  HeapCarver(std::byte* base, std::size_t bytes) : base_(base), end_(bytes) {}
-
-  template <typename T>
-  T* take(std::size_t count, std::size_t align = alignof(T)) {
-    off_ = core::round_up(off_, std::max<std::size_t>(align, alignof(T)));
-    auto* p = reinterpret_cast<T*>(base_ + off_);
-    off_ += sizeof(T) * count;
-    assert(off_ <= end_ && "allocator metadata exceeds heap");
-    return p;
-  }
-
-  /// Remaining bytes after metadata, aligned to `align`.
-  std::byte* take_rest(std::size_t& bytes_out, std::size_t align = 16) {
-    off_ = core::round_up(off_, align);
-    bytes_out = end_ - off_;
-    auto* p = base_ + off_;
-    off_ = end_;
-    return p;
-  }
-
-  [[nodiscard]] std::size_t used() const { return off_; }
-
- private:
-  std::byte* base_;
-  std::size_t end_;
-  std::size_t off_ = 0;
-};
-
 }  // namespace gms::alloc

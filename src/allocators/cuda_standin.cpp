@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "alloc_core/sub_arena.h"
+
 namespace gms::alloc {
 
 namespace {
@@ -39,7 +41,10 @@ bool CudaStandin::contains(const void* p) const {
 
 CudaStandin::CudaStandin(std::byte* base, std::size_t heap_bytes) {
   core::Stopwatch timer;
-  HeapCarver carver(base, heap_bytes);
+  alloc_core::SubArena carver(base, heap_bytes);
+  static constexpr std::string_view kRegionLabels[3] = {"small-region",
+                                                        "medium-region",
+                                                        "large-region"};
   for (unsigned r = 0; r < 3; ++r) {
     const std::size_t bytes = heap_bytes * kShares[r] / 100;
     Region& reg = regions_[r];
@@ -54,7 +59,8 @@ CudaStandin::CudaStandin(std::byte* base, std::size_t heap_bytes) {
     }
     // Trim so metadata + data fit the share (the carver zero-fills via the
     // arena's clear; only the data pointer is still needed).
-    reg.data = carver.take<std::byte>(reg.num_units * reg.unit, 128);
+    reg.data = carver.take<std::byte>(reg.num_units * reg.unit, 128,
+                                      kRegionLabels[r]);
   }
   init_ms_ = timer.elapsed_ms();
 }

@@ -1,5 +1,8 @@
 #include "allocators/fdg_malloc.h"
 
+#include "alloc_core/size_class_map.h"
+#include "alloc_core/sub_arena.h"
+
 namespace gms::alloc {
 
 namespace {
@@ -24,14 +27,15 @@ constexpr core::AllocatorTraits kTraits{
 FDGMalloc::FDGMalloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
     : cfg_(cfg) {
   core::Stopwatch timer;
-  HeapCarver carver(dev, heap_bytes);
-  warp_table_ = carver.take<WarpHeader*>(cfg_.max_warps);
+  alloc_core::SubArena carver(dev, heap_bytes);
+  warp_table_ = carver.take<WarpHeader*>(cfg_.max_warps, alignof(WarpHeader*),
+                                         "warp-table");
   for (std::size_t w = 0; w < cfg_.max_warps; ++w) warp_table_[w] = nullptr;
   std::size_t rest = 0;
-  auto* base = carver.take_rest(rest);
+  auto* base = carver.take_rest(rest, 16, "cuda-relay");
   // FDGMalloc sources WarpHeaders, lists and SuperBlocks from the CUDA
-  // allocator (Fig. 3); the stand-in owns the remaining heap.
-  system_ = std::make_unique<CudaStandin>(base, rest);
+  // allocator (Fig. 3); the relay owns the remaining heap.
+  system_.engage(base, rest);
   init_ms_ = timer.elapsed_ms();
 }
 
@@ -42,7 +46,7 @@ FDGMalloc::WarpHeader* FDGMalloc::header_for(gpu::ThreadCtx& ctx) {
   auto* wh = reinterpret_cast<WarpHeader*>(
       ctx.atomic_load(reinterpret_cast<std::uintptr_t*>(&warp_table_[slot])));
   if (wh != nullptr) return wh;
-  wh = static_cast<WarpHeader*>(system_->malloc(ctx, sizeof(WarpHeader)));
+  wh = static_cast<WarpHeader*>(system_.malloc(ctx, sizeof(WarpHeader)));
   if (wh == nullptr) return nullptr;
   wh->current = nullptr;
   wh->current_off = 0;
@@ -53,7 +57,7 @@ FDGMalloc::WarpHeader* FDGMalloc::header_for(gpu::ThreadCtx& ctx) {
   if (ctx.atomic_cas(reinterpret_cast<std::uintptr_t*>(&warp_table_[slot]),
                      std::uintptr_t{0}, reinterpret_cast<std::uintptr_t>(wh)) !=
       0) {
-    system_->free(ctx, wh);
+    system_.free(ctx, wh);
     return reinterpret_cast<WarpHeader*>(
         ctx.atomic_load(reinterpret_cast<std::uintptr_t*>(&warp_table_[slot])));
   }
@@ -65,7 +69,7 @@ bool FDGMalloc::register_block(gpu::ThreadCtx& ctx, WarpHeader* wh,
   SuperBlockList* list = wh->tail;
   if (list == nullptr || list->total_count >= cfg_.list_capacity) {
     // "These lists are of fixed size and are replaced once full."
-    auto* fresh = static_cast<SuperBlockList*>(system_->malloc(
+    auto* fresh = static_cast<SuperBlockList*>(system_.malloc(
         ctx, sizeof(SuperBlockList) + cfg_.list_capacity * sizeof(void*)));
     if (fresh == nullptr) return false;
     fresh->total_count = 0;
@@ -85,7 +89,7 @@ bool FDGMalloc::register_block(gpu::ThreadCtx& ctx, WarpHeader* wh,
 void* FDGMalloc::warp_malloc(gpu::ThreadCtx& ctx, std::size_t size) {
   // Voting determines a leader which does all the work for the group.
   const gpu::Coalesced g = ctx.coalesce();
-  const std::size_t rounded = core::round_up(size, 16);
+  const std::size_t rounded = alloc_core::SizeClassMap::round16(size);
   const std::size_t prefix = ctx.scan_exclusive_add(rounded);
   const std::size_t total = ctx.reduce_add(rounded);
 
@@ -96,18 +100,18 @@ void* FDGMalloc::warp_malloc(gpu::ThreadCtx& ctx, std::size_t size) {
       if (total > cfg_.superblock_bytes) {
         // Warp total exceeds the maximum SuperBlock: forward to the CUDA
         // allocator (still registered so warp_free_all reclaims it).
-        base = static_cast<std::byte*>(system_->malloc(ctx, total));
+        base = static_cast<std::byte*>(system_.malloc(ctx, total));
         if (base != nullptr && !register_block(ctx, wh, base)) {
-          system_->free(ctx, base);
+          system_.free(ctx, base);
           base = nullptr;
         }
       } else {
         if (wh->current == nullptr ||
             wh->current_off + total > cfg_.superblock_bytes) {
           auto* sb = static_cast<std::byte*>(
-              system_->malloc(ctx, cfg_.superblock_bytes));
+              system_.malloc(ctx, cfg_.superblock_bytes));
           if (sb != nullptr && !register_block(ctx, wh, sb)) {
-            system_->free(ctx, sb);
+            system_.free(ctx, sb);
             sb = nullptr;
           }
           if (sb != nullptr) {
@@ -146,13 +150,13 @@ void FDGMalloc::warp_free_all(gpu::ThreadCtx& ctx) {
       SuperBlockList* list = wh->head;
       while (list != nullptr) {
         for (std::uint32_t i = 0; i < list->total_count; ++i) {
-          system_->free(ctx, list->blocks[i]);
+          system_.free(ctx, list->blocks[i]);
         }
         SuperBlockList* next = list->next;
-        system_->free(ctx, list);
+        system_.free(ctx, list);
         list = next;
       }
-      system_->free(ctx, wh);
+      system_.free(ctx, wh);
     }
   }
   ctx.sync_group(g);

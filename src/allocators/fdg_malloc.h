@@ -2,8 +2,8 @@
 
 #include <memory>
 
+#include "alloc_core/large_relay.h"
 #include "allocators/common.h"
-#include "allocators/cuda_standin.h"
 
 namespace gms::alloc {
 
@@ -64,7 +64,9 @@ class FDGMalloc final : public core::MemoryManager {
 
   Config cfg_;
   WarpHeader** warp_table_ = nullptr;  // global_warp_id -> header
-  std::unique_ptr<CudaStandin> system_;
+  /// FDGMalloc sources *everything* (headers, lists, SuperBlocks) from the
+  /// CUDA allocator, so the relay is its entire backing store.
+  alloc_core::LargeRequestRelay system_;
 };
 
 }  // namespace gms::alloc

@@ -1,5 +1,7 @@
 #include "allocators/halloc.h"
 
+#include "alloc_core/sub_arena.h"
+
 namespace gms::alloc {
 
 namespace {
@@ -25,29 +27,41 @@ constexpr core::AllocatorTraits kTraits{
 constexpr std::uint32_t kStepPrimes[4] = {7, 11, 13, 17};
 }  // namespace
 
+const alloc_core::SizeClassMap& Halloc::block_classes() {
+  static const alloc_core::SizeClassMap map = alloc_core::SizeClassMap::ladder(
+      {16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048,
+       3072});
+  return map;
+}
+
 Halloc::Halloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
     : cfg_(cfg) {
   core::Stopwatch timer;
-  HeapCarver carver(dev, heap_bytes);
+  alloc_core::SubArena carver(dev, heap_bytes);
+  const auto& classes = block_classes();
 
   const std::size_t relay_bytes = heap_bytes * cfg_.relay_percent / 100;
   const std::size_t slab_region = heap_bytes - relay_bytes;
   // Bitmap sized for the densest class (16 B blocks).
-  bitmap_words_ = (cfg_.slab_bytes / kBlockSizes.front() + 63) / 64;
+  bitmap_words_ = (cfg_.slab_bytes / classes.class_bytes(0) + 63) / 64;
   num_slabs_ = static_cast<std::uint32_t>(
       slab_region /
       (cfg_.slab_bytes + sizeof(std::uint64_t) * (1 + bitmap_words_) + 64));
   if (num_slabs_ == 0) num_slabs_ = 1;
 
-  slab_state_ = carver.take<std::uint64_t>(num_slabs_);
-  bitmaps_ = carver.take<std::uint64_t>(num_slabs_ * bitmap_words_);
-  heads_ = carver.take<std::uint32_t>(kBlockSizes.size());
+  slab_state_ = carver.take<std::uint64_t>(num_slabs_, alignof(std::uint64_t),
+                                           "slab-state");
+  bitmaps_ = carver.take<std::uint64_t>(num_slabs_ * bitmap_words_,
+                                        alignof(std::uint64_t), "bitmaps");
+  heads_ = carver.take<std::uint32_t>(classes.num_classes(),
+                                      alignof(std::uint32_t), "heads");
   auto* queue_words = carver.take<std::uint64_t>(
-      BoundedTicketQueue::layout_words(num_slabs_ + 1));
+      BoundedTicketQueue::layout_words(num_slabs_ + 1), alignof(std::uint64_t),
+      "free-queue");
   free_slabs_ = BoundedTicketQueue(queue_words, num_slabs_ + 1);
   free_slabs_.init_host();
   slab_base_ = carver.take<std::byte>(std::size_t{num_slabs_} * cfg_.slab_bytes,
-                                      4096);
+                                      4096, "slabs");
 
   // The paper measures Halloc's initialisation ~5.5x above the average: it
   // pre-registers every slab up front. We do the analogous work — every slab
@@ -57,11 +71,13 @@ Halloc::Halloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
     for (std::size_t w = 0; w < bitmap_words_; ++w) slab_bitmap(s)[w] = 0;
     free_slabs_.push_host(s);
   }
-  for (std::uint32_t c = 0; c < kBlockSizes.size(); ++c) heads_[c] = kInvalid;
+  for (std::uint32_t c = 0; c < classes.num_classes(); ++c) {
+    heads_[c] = kInvalid;
+  }
 
   std::size_t rest = 0;
-  auto* relay_base = carver.take_rest(rest);
-  relay_ = std::make_unique<CudaStandin>(relay_base, rest);
+  auto* relay_base = carver.take_rest(rest, 16, "relay");
+  relay_.engage(relay_base, rest);
   init_ms_ = timer.elapsed_ms();
 }
 
@@ -143,9 +159,11 @@ std::uint32_t Halloc::replace_head(gpu::ThreadCtx& ctx, std::uint32_t cls,
 
 void* Halloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
   if (size == 0) size = 1;
-  if (size > kBlockSizes.back()) return relay_->malloc(ctx, size);
-  std::uint32_t cls = 0;
-  while (kBlockSizes[cls] < size) ++cls;
+  const auto& classes = block_classes();
+  const std::uint32_t cls = classes.class_for(size);
+  if (cls == alloc_core::SizeClassMap::kNoClass) {
+    return relay_.malloc(ctx, size);
+  }
   const std::uint32_t cap = capacity(cls);
 
   for (unsigned attempt = 0; attempt < 64; ++attempt) {
@@ -179,7 +197,7 @@ void* Halloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
       continue;
     }
     return slab_base_ + std::size_t{slab} * cfg_.slab_bytes +
-           std::size_t{block} * kBlockSizes[cls];
+           std::size_t{block} * classes.class_bytes(cls);
   }
   return nullptr;
 }
@@ -189,7 +207,7 @@ void Halloc::free(gpu::ThreadCtx& ctx, void* ptr) {
   auto* p = static_cast<std::byte*>(ptr);
   if (p < slab_base_ ||
       p >= slab_base_ + std::size_t{num_slabs_} * cfg_.slab_bytes) {
-    relay_->free(ctx, ptr);
+    relay_.free(ctx, ptr);
     return;
   }
   const std::size_t off = static_cast<std::size_t>(p - slab_base_);
@@ -197,7 +215,8 @@ void Halloc::free(gpu::ThreadCtx& ctx, void* ptr) {
   const std::uint64_t state = ctx.atomic_load(&slab_state_[slab]);
   const std::uint32_t cls = state_cls(state) - 1;
   const std::size_t in_slab = off % cfg_.slab_bytes;
-  const auto block = static_cast<std::uint32_t>(in_slab / kBlockSizes[cls]);
+  const auto block = static_cast<std::uint32_t>(
+      in_slab / block_classes().class_bytes(cls));
   ctx.atomic_and(&slab_bitmap(slab)[block / 64],
                  ~(std::uint64_t{1} << (block % 64)));
   auto* count_word = reinterpret_cast<std::uint32_t*>(&slab_state_[slab]);

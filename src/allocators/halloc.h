@@ -1,10 +1,10 @@
 #pragma once
 
-#include <array>
 #include <memory>
 
+#include "alloc_core/large_relay.h"
+#include "alloc_core/size_class_map.h"
 #include "allocators/common.h"
-#include "allocators/cuda_standin.h"
 #include "allocators/lockfree_queue.h"
 
 namespace gms::alloc {
@@ -40,15 +40,16 @@ class Halloc final : public core::MemoryManager {
   [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
   void free(gpu::ThreadCtx& ctx, void* ptr) override;
 
-  /// Block size classes (halloc's 16 B ... 3 KiB ladder).
-  static constexpr std::array<std::uint32_t, 16> kBlockSizes{
-      16,  24,  32,  48,   64,   96,   128,  192,
-      256, 384, 512, 768, 1024, 1536, 2048, 3072};
+  /// Block size classes: halloc's 16 B ... 3 KiB mixed ladder.
+  static const alloc_core::SizeClassMap& block_classes();
 
   /// White-box for tests.
   [[nodiscard]] std::uint32_t slab_count() const { return num_slabs_; }
   [[nodiscard]] std::uint32_t slab_class(gpu::ThreadCtx& ctx,
                                          std::uint32_t slab);
+  [[nodiscard]] const alloc_core::LargeRequestRelay& relay() const {
+    return relay_;
+  }
 
  private:
   // Slab state word: {class+1 : high 32 (0 = unassigned), used count : low}.
@@ -64,7 +65,8 @@ class Halloc final : public core::MemoryManager {
   }
 
   [[nodiscard]] std::uint32_t capacity(std::uint32_t cls) const {
-    return static_cast<std::uint32_t>(cfg_.slab_bytes / kBlockSizes[cls]);
+    return static_cast<std::uint32_t>(cfg_.slab_bytes /
+                                      block_classes().class_bytes(cls));
   }
   [[nodiscard]] std::uint64_t* slab_bitmap(std::uint32_t slab) {
     return bitmaps_ + std::size_t{slab} * bitmap_words_;
@@ -91,7 +93,7 @@ class Halloc final : public core::MemoryManager {
   std::uint32_t* heads_ = nullptr;  // per class
   BoundedTicketQueue free_slabs_;
   std::byte* slab_base_ = nullptr;
-  std::unique_ptr<CudaStandin> relay_;
+  alloc_core::LargeRequestRelay relay_;
 };
 
 }  // namespace gms::alloc

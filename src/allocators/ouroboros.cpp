@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "alloc_core/sub_arena.h"
+
 namespace gms::alloc {
 
 // ---------------------------------------------------------------------------
@@ -478,16 +480,18 @@ Ouroboros::Ouroboros(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
                               std::min(cfg_.standard_capacity, budget_entries));
   }
 
-  HeapCarver carver(dev, heap_bytes);
-  leak_counter_ = carver.take<std::uint64_t>(1);
+  alloc_core::SubArena carver(dev, heap_bytes);
+  leak_counter_ = carver.take<std::uint64_t>(1, alignof(std::uint64_t),
+                                             "leak-counter");
   *leak_counter_ = 0;
 
   // Upper bound on chunk count (metadata sized before the exact data region
   // is known; the carver take_rest below fixes the final count).
   const std::size_t est_chunks = heap_bytes / cfg_.chunk_bytes + 1;
-  meta_ = carver.take<ChunkMeta>(est_chunks);
-  auto* reuse_words =
-      carver.take<std::uint64_t>(1 + BoundedTicketQueue::layout_words(est_chunks));
+  meta_ = carver.take<ChunkMeta>(est_chunks, alignof(ChunkMeta), "chunk-meta");
+  auto* reuse_words = carver.take<std::uint64_t>(
+      1 + BoundedTicketQueue::layout_words(est_chunks),
+      alignof(std::uint64_t), "chunk-reuse-queue");
 
   std::vector<std::uint64_t*> queue_words(kNumClasses);
   std::vector<std::uint32_t*> va_readers(kNumClasses, nullptr);
@@ -495,23 +499,27 @@ Ouroboros::Ouroboros(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
     switch (cfg_.queue) {
       case QueueKind::kStandard:
         queue_words[c] = carver.take<std::uint64_t>(
-            BoundedTicketQueue::layout_words(cfg_.standard_capacity));
+            BoundedTicketQueue::layout_words(cfg_.standard_capacity),
+            alignof(std::uint64_t), "page-queues");
         break;
       case QueueKind::kVirtArray:
         queue_words[c] = carver.take<std::uint64_t>(
-            VirtArrayOuroQueue::layout_words(cfg_.va_slots));
-        va_readers[c] = carver.take<std::uint32_t>(cfg_.va_slots);
+            VirtArrayOuroQueue::layout_words(cfg_.va_slots),
+            alignof(std::uint64_t), "page-queues");
+        va_readers[c] = carver.take<std::uint32_t>(
+            cfg_.va_slots, alignof(std::uint32_t), "va-readers");
         break;
       case QueueKind::kVirtLinked:
         queue_words[c] = carver.take<std::uint64_t>(
-            VirtLinkedOuroQueue::layout_words(cfg_.vl_descs));
+            VirtLinkedOuroQueue::layout_words(cfg_.vl_descs),
+            alignof(std::uint64_t), "page-queues");
         break;
     }
   }
 
   const std::size_t relay_bytes = heap_bytes * cfg_.relay_percent / 100;
   std::size_t rest = 0;
-  auto* region = carver.take_rest(rest, cfg_.chunk_bytes);
+  auto* region = carver.take_rest(rest, cfg_.chunk_bytes, "chunks");
   auto* relay_base = region + (rest - relay_bytes) / cfg_.chunk_bytes *
                                   cfg_.chunk_bytes;
   const auto num_chunks = static_cast<std::uint32_t>(
@@ -538,9 +546,15 @@ Ouroboros::Ouroboros(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
       }
     }
   }
-  relay_ = std::make_unique<CudaStandin>(relay_base,
-                                         rest - (relay_base - region));
+  relay_.engage(relay_base,
+                rest - static_cast<std::size_t>(relay_base - region));
   init_ms_ = timer.elapsed_ms();
+}
+
+const alloc_core::SizeClassMap& Ouroboros::page_classes() {
+  static const alloc_core::SizeClassMap map =
+      alloc_core::SizeClassMap::geometric(16, kNumClasses);
+  return map;
 }
 
 const core::AllocatorTraits& Ouroboros::traits() const { return traits_; }
@@ -725,9 +739,10 @@ void Ouroboros::free_chunk_based(gpu::ThreadCtx& ctx, std::uint32_t chunk,
 
 void* Ouroboros::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
   if (size == 0) size = 1;
-  if (size > class_bytes(kNumClasses - 1)) return relay_->malloc(ctx, size);
-  std::size_t cls = 0;
-  while (class_bytes(cls) < size) ++cls;
+  const unsigned cls = page_classes().class_for(size);
+  if (cls == alloc_core::SizeClassMap::kNoClass) {
+    return relay_.malloc(ctx, size);
+  }
   return cfg_.chunk_based ? malloc_chunk_based(ctx, cls)
                           : malloc_page_based(ctx, cls);
 }
@@ -735,9 +750,8 @@ void* Ouroboros::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
 void Ouroboros::free(gpu::ThreadCtx& ctx, void* ptr) {
   if (ptr == nullptr) return;
   auto* p = static_cast<std::byte*>(ptr);
-  if (p < pool_.base() ||
-      p >= pool_.base() + std::size_t{pool_.num_chunks()} * cfg_.chunk_bytes) {
-    relay_->free(ctx, ptr);
+  if (relay_.owns(p)) {
+    relay_.free(ctx, ptr);
     return;
   }
   const std::size_t off = static_cast<std::size_t>(p - pool_.base());

@@ -3,8 +3,9 @@
 #include <array>
 #include <memory>
 
+#include "alloc_core/large_relay.h"
+#include "alloc_core/size_class_map.h"
 #include "allocators/common.h"
-#include "allocators/cuda_standin.h"
 #include "allocators/lockfree_queue.h"
 
 namespace gms::alloc {
@@ -230,6 +231,8 @@ class Ouroboros final : public core::MemoryManager {
   static constexpr std::size_t class_bytes(std::size_t c) {
     return std::size_t{16} << c;
   }
+  /// The same geometry as a shared SizeClassMap (request-side lookup).
+  static const alloc_core::SizeClassMap& page_classes();
 
   /// Pages a freed value could not be queued back for (capacity overflow) —
   /// accounted, bounded leakage rather than a blocked free.
@@ -259,7 +262,7 @@ class Ouroboros final : public core::MemoryManager {
   ChunkMeta* meta_ = nullptr;
   std::array<std::unique_ptr<OuroQueue>, kNumClasses> queues_;
   std::uint64_t* leak_counter_ = nullptr;
-  std::unique_ptr<CudaStandin> relay_;
+  alloc_core::LargeRequestRelay relay_;
 };
 
 }  // namespace gms::alloc

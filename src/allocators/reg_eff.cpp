@@ -1,5 +1,7 @@
 #include "allocators/reg_eff.h"
 
+#include "alloc_core/sub_arena.h"
+
 namespace gms::alloc {
 
 namespace {
@@ -36,13 +38,15 @@ RegEffAlloc::RegEffAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
       .free_state_bytes = cfg_.fused ? 12u : 16u,
   };
 
-  HeapCarver carver(dev, heap_bytes);
+  alloc_core::SubArena carver(dev, heap_bytes);
   // Side flags cost 2 bits per 16 B unit = 1.6 % of the heap.
   const std::size_t est_units = heap_bytes / kUnit;
-  flag_words_ = carver.take<std::uint64_t>(est_units / 32 + 1);
-  offsets_ = carver.take<std::uint32_t>(num_arenas_);
+  flag_words_ = carver.take<std::uint64_t>(est_units / 32 + 1,
+                                           alignof(std::uint64_t), "flags");
+  offsets_ = carver.take<std::uint32_t>(num_arenas_, alignof(std::uint32_t),
+                                        "arena-offsets");
   std::size_t rest = 0;
-  pool_ = carver.take_rest(rest, kUnit);
+  pool_ = carver.take_rest(rest, kUnit, "chunk-pool");
   heap_units_ = static_cast<std::uint32_t>(rest / kUnit);
 
   // Pre-split each arena's share into the binary-heap chunk ladder (Fig. 4).

@@ -1,3 +1,4 @@
+#include "alloc_core/warp_aggregator.h"
 #include "allocators/atomic_alloc.h"
 #include "allocators/bulk_alloc.h"
 #include "allocators/cuda_standin.h"
@@ -8,6 +9,7 @@
 #include "allocators/scatter_alloc.h"
 #include "allocators/xmalloc.h"
 #include "core/registry.h"
+#include "core/stack_builder.h"
 #include "core/validating_manager.h"
 
 namespace gms::core {
@@ -21,44 +23,44 @@ ManagerFactory make_factory(Extra... extra) {
   };
 }
 
-/// Builds a dummy manager once to copy its traits into the registry entry.
-/// (Traits are static per variant; a tiny throwaway device keeps this cheap.)
-AllocatorTraits probe_traits(const ManagerFactory& factory) {
-  static gpu::Device probe_dev(32u << 20, gpu::GpuConfig{.num_sms = 1});
-  return factory(probe_dev, 16u << 20)->traits();
-}
-
-void add(char selector, ManagerFactory factory) {
+/// Registers one base variant. Traits are probed exactly once per factory —
+/// a throwaway manager on the caller's probe device — and cached in the
+/// registry entry; decorated twins later derive their traits from this
+/// cache instead of probing again.
+void add(gpu::Device& probe_dev, char selector, ManagerFactory factory) {
   Registry::instance().add(RegistryEntry{
-      .traits = probe_traits(factory),
+      .traits = factory(probe_dev, 16u << 20)->traits(),
       .selector = selector,
       .factory = std::move(factory),
   });
 }
 
-/// Traits hold a string_view, but decorator names are built at runtime;
-/// intern them so registry copies of the probed traits stay valid.
-std::string_view intern(std::string s) {
-  static std::vector<std::unique_ptr<std::string>> pool;
-  pool.push_back(std::make_unique<std::string>(std::move(s)));
-  return *pool.back();
-}
-
-/// Gives every registered variant a "<name>+V" twin wrapped in the
-/// ValidatingManager (selector 'v'). Twins are traits-flagged `decorated`,
-/// so default populations skip them; --validate and tests pick them by name.
-void register_validated_twins() {
+/// Gives every registered variant a "<name>+V" validating twin (selector
+/// 'v') and every general-purpose variant a "<name>+W" warp-aggregated twin
+/// (selector 'w'), both wired through StackBuilder::stage_factory — the
+/// same path --stack specs use. Twin traits are derived from the cached
+/// base traits (no probe construction); twin names are interned in the
+/// registry so the string_views outlive this translation unit.
+void register_decorated_twins() {
   auto& reg = Registry::instance();
   const std::vector<RegistryEntry> base = reg.entries();  // snapshot
   for (const auto& e : base) {
-    const ManagerFactory inner = e.factory;
-    ManagerFactory twin = [inner](gpu::Device& dev, std::size_t heap) {
-      return std::make_unique<ValidatingManager>(dev, heap, inner);
-    };
-    AllocatorTraits traits = probe_traits(twin);
-    traits.name = intern(std::string(e.traits.name) + "+V");
+    AllocatorTraits vt = ValidatingManager::decorate_traits(e.traits);
+    vt.name = reg.intern(std::string(e.traits.name) + "+V");
     reg.add(RegistryEntry{
-        .traits = traits, .selector = 'v', .factory = std::move(twin)});
+        .traits = vt,
+        .selector = 'v',
+        .factory = StackBuilder::stage_factory(StackSpec::Stage::kValidate,
+                                               e.factory)});
+
+    if (!e.traits.general_purpose) continue;  // aggregation needs free/thread
+    AllocatorTraits wt = alloc_core::WarpAggregator::decorate_traits(e.traits);
+    wt.name = reg.intern(std::string(e.traits.name) + "+W");
+    reg.add(RegistryEntry{
+        .traits = wt,
+        .selector = 'w',
+        .factory = StackBuilder::stage_factory(StackSpec::Stage::kWarpAgg,
+                                               e.factory)});
   }
 }
 
@@ -72,35 +74,46 @@ void register_all_allocators() {
   using alloc::RegEffAlloc;
   using QK = Ouroboros::QueueKind;
 
-  // Paper selector letters: o+s+h+c+r+x (+a Atomic, +f FDGMalloc).
-  add('a', make_factory<alloc::AtomicAlloc>());
-  add('c', make_factory<alloc::CudaStandin>());
-  add('x', make_factory<alloc::XMalloc>(alloc::XMalloc::Config{}));
-  add('s', make_factory<alloc::ScatterAlloc>(alloc::ScatterAlloc::Config{}));
-  add('f', make_factory<alloc::FDGMalloc>(alloc::FDGMalloc::Config{}));
-  add('h', make_factory<alloc::Halloc>(alloc::Halloc::Config{}));
+  // Scoped to this call (not a function-local static): probing must not
+  // leave a device whose teardown order races the registry singleton's.
+  gpu::Device probe_dev(32u << 20, gpu::GpuConfig{.num_sms = 1});
 
-  add('r', make_factory<RegEffAlloc>(
-               RegEffAlloc::Config{.fused = false, .multi = false}));
-  add('r', make_factory<RegEffAlloc>(
-               RegEffAlloc::Config{.fused = true, .multi = false}));
-  add('r', make_factory<RegEffAlloc>(
-               RegEffAlloc::Config{.fused = false, .multi = true}));
-  add('r', make_factory<RegEffAlloc>(
-               RegEffAlloc::Config{.fused = true, .multi = true}));
+  // Paper selector letters: o+s+h+c+r+x (+a Atomic, +f FDGMalloc).
+  add(probe_dev, 'a', make_factory<alloc::AtomicAlloc>());
+  add(probe_dev, 'c', make_factory<alloc::CudaStandin>());
+  add(probe_dev, 'x', make_factory<alloc::XMalloc>(alloc::XMalloc::Config{}));
+  add(probe_dev, 's',
+      make_factory<alloc::ScatterAlloc>(alloc::ScatterAlloc::Config{}));
+  add(probe_dev, 'f',
+      make_factory<alloc::FDGMalloc>(alloc::FDGMalloc::Config{}));
+  add(probe_dev, 'h', make_factory<alloc::Halloc>(alloc::Halloc::Config{}));
+
+  add(probe_dev, 'r',
+      make_factory<RegEffAlloc>(
+          RegEffAlloc::Config{.fused = false, .multi = false}));
+  add(probe_dev, 'r',
+      make_factory<RegEffAlloc>(
+          RegEffAlloc::Config{.fused = true, .multi = false}));
+  add(probe_dev, 'r',
+      make_factory<RegEffAlloc>(
+          RegEffAlloc::Config{.fused = false, .multi = true}));
+  add(probe_dev, 'r',
+      make_factory<RegEffAlloc>(
+          RegEffAlloc::Config{.fused = true, .multi = true}));
 
   for (bool chunk_based : {false, true}) {
     for (QK kind : {QK::kStandard, QK::kVirtArray, QK::kVirtLinked}) {
-      add('o', make_factory<Ouroboros>(Ouroboros::Config{
-                   .queue = kind, .chunk_based = chunk_based}));
+      add(probe_dev, 'o',
+          make_factory<Ouroboros>(Ouroboros::Config{
+              .queue = kind, .chunk_based = chunk_based}));
     }
   }
 
   // Extension beyond the paper's evaluated population (§2.9 had no public
   // version): our BulkAllocator rebuild, selector 'b'.
-  add('b', make_factory<alloc::BulkAlloc>(alloc::BulkAlloc::Config{}));
+  add(probe_dev, 'b', make_factory<alloc::BulkAlloc>(alloc::BulkAlloc::Config{}));
 
-  register_validated_twins();
+  register_decorated_twins();
 }
 
 }  // namespace gms::core

@@ -4,6 +4,9 @@
 #include <cstring>
 #include <string>
 
+#include "alloc_core/size_class_map.h"
+#include "alloc_core/sub_arena.h"
+
 namespace gms::alloc {
 
 namespace {
@@ -48,17 +51,23 @@ ScatterAlloc::ScatterAlloc(gpu::Device& dev, std::size_t heap_bytes,
   chunk_superblocks_ = num_superblocks_ - reserved;
   num_pages_ = num_superblocks_ * cfg_.pages_per_superblock;
 
-  HeapCarver carver(dev, heap_bytes);
-  page_state_ = carver.take<std::uint64_t>(num_pages_);
-  page_bitfield_ = carver.take<std::uint32_t>(num_pages_);
+  alloc_core::SubArena carver(dev, heap_bytes);
+  page_state_ = carver.take<std::uint64_t>(num_pages_, alignof(std::uint64_t),
+                                           "page-state");
+  page_bitfield_ = carver.take<std::uint32_t>(
+      num_pages_, alignof(std::uint32_t), "page-bitfield");
   const std::size_t regions =
       num_pages_ / cfg_.pages_per_region + 1;
-  region_full_ = carver.take<std::uint32_t>(regions);
-  multi_bitmap_ = carver.take<std::uint64_t>(num_pages_ / 64 + 1);
-  multi_count_ = carver.take<std::uint32_t>(num_pages_);
-  active_sb_ = carver.take<std::uint32_t>(1);
+  region_full_ = carver.take<std::uint32_t>(regions, alignof(std::uint32_t),
+                                            "region-full");
+  multi_bitmap_ = carver.take<std::uint64_t>(
+      num_pages_ / 64 + 1, alignof(std::uint64_t), "multi-bitmap");
+  multi_count_ = carver.take<std::uint32_t>(num_pages_, alignof(std::uint32_t),
+                                            "multi-count");
+  active_sb_ = carver.take<std::uint32_t>(1, alignof(std::uint32_t),
+                                          "active-sb");
   std::size_t rest = 0;
-  pages_ = carver.take_rest(rest, cfg_.page_size);
+  pages_ = carver.take_rest(rest, cfg_.page_size, "pages");
   while (num_pages_ * cfg_.page_size > rest) {
     --num_superblocks_;
     --chunk_superblocks_;
@@ -344,7 +353,8 @@ void* ScatterAlloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
   // beyond 64 pages is unserviceable; reject before the 32-bit rounding
   // below can truncate a huge request into a small (or zero) chunk size.
   if (size > std::size_t{64} * cfg_.page_size) return nullptr;
-  const auto rounded = static_cast<std::uint32_t>(core::round_up(size, 16));
+  const auto rounded =
+      static_cast<std::uint32_t>(alloc_core::SizeClassMap::round16(size));
   if (rounded <= cfg_.page_size / 2) {
     return malloc_chunk(ctx, rounded);
   }

@@ -1,5 +1,7 @@
 #include "allocators/xmalloc.h"
 
+#include "alloc_core/sub_arena.h"
+
 namespace gms::alloc {
 
 namespace {
@@ -22,27 +24,37 @@ constexpr core::AllocatorTraits kTraits{
 XMalloc::XMalloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
     : cfg_(cfg) {
   core::Stopwatch timer;
-  HeapCarver carver(dev, heap_bytes);
+  alloc_core::SubArena carver(dev, heap_bytes);
   for (std::size_t c = 0; c < kNumClasses; ++c) {
     auto* s1 = carver.take<std::uint64_t>(
-        BoundedTicketQueue::layout_words(cfg_.fifo1_capacity));
+        BoundedTicketQueue::layout_words(cfg_.fifo1_capacity),
+        alignof(std::uint64_t), "fifo1");
     fifo1_[c] = BoundedTicketQueue(s1, cfg_.fifo1_capacity);
     fifo1_[c].init_host();
     auto* s2 = carver.take<std::uint64_t>(
-        BoundedTicketQueue::layout_words(cfg_.fifo2_capacity));
+        BoundedTicketQueue::layout_words(cfg_.fifo2_capacity),
+        alignof(std::uint64_t), "fifo2");
     fifo2_[c] = BoundedTicketQueue(s2, cfg_.fifo2_capacity);
     fifo2_[c].init_host();
   }
   const std::size_t est_units = heap_bytes / ListHeap::kUnit;
-  auto* flags = carver.take<std::uint64_t>(ListHeap::flag_words(est_units));
+  auto* flags = carver.take<std::uint64_t>(ListHeap::flag_words(est_units),
+                                           alignof(std::uint64_t),
+                                           "heap-flags");
   std::size_t rest = 0;
-  pool_base_ = carver.take_rest(rest, ListHeap::kUnit);
+  pool_base_ = carver.take_rest(rest, ListHeap::kUnit, "memoryblock-heap");
   heap_.init_host(pool_base_,
                   static_cast<std::uint32_t>(rest / ListHeap::kUnit), flags);
   init_ms_ = timer.elapsed_ms();
 }
 
 const core::AllocatorTraits& XMalloc::traits() const { return kTraits; }
+
+const alloc_core::SizeClassMap& XMalloc::payload_classes() {
+  static const alloc_core::SizeClassMap map =
+      alloc_core::SizeClassMap::geometric(16, kNumClasses);
+  return map;
+}
 
 core::AuditResult XMalloc::audit() {
   core::AuditResult result;
@@ -117,10 +129,9 @@ void* XMalloc::malloc_large(gpu::ThreadCtx& ctx, std::size_t size) {
 
 void* XMalloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
   if (size == 0) size = 1;
-  for (std::size_t c = 0; c < kNumClasses; ++c) {
-    if (size <= class_payload(c)) {
-      return malloc_small(ctx, static_cast<std::uint32_t>(c));
-    }
+  const unsigned c = payload_classes().class_for(size);
+  if (c != alloc_core::SizeClassMap::kNoClass) {
+    return malloc_small(ctx, c);
   }
   return malloc_large(ctx, size);
 }

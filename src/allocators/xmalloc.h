@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "alloc_core/size_class_map.h"
 #include "allocators/common.h"
 #include "allocators/list_heap.h"
 #include "allocators/lockfree_queue.h"
@@ -51,6 +52,8 @@ class XMalloc final : public core::MemoryManager {
   static constexpr std::size_t class_payload(std::size_t c) {
     return std::size_t{16} << c;
   }
+  /// The same geometry as a shared SizeClassMap (request-side lookup).
+  static const alloc_core::SizeClassMap& payload_classes();
 
  private:
   struct BasicHeader {

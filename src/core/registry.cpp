@@ -19,6 +19,14 @@ void Registry::add(RegistryEntry entry) {
   entries_.push_back(std::move(entry));
 }
 
+std::string_view Registry::intern(std::string name) {
+  for (const auto& s : interned_) {
+    if (s == name) return s;
+  }
+  interned_.push_back(std::move(name));
+  return interned_.back();
+}
+
 const RegistryEntry* Registry::find(std::string_view name) const {
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [&](const auto& e) { return e.traits.name == name; });

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -54,8 +55,14 @@ class Registry {
                                                     gpu::Device& dev,
                                                     std::size_t heap_bytes) const;
 
+  /// Interns a runtime-built name (the decorated "+V"/"+W" twin names) for
+  /// the registry's lifetime, so AllocatorTraits can keep its string_view
+  /// shape. Deduplicates; the deque keeps references stable across growth.
+  std::string_view intern(std::string name);
+
  private:
   std::vector<RegistryEntry> entries_;
+  std::deque<std::string> interned_;  ///< backs decorated twin trait names
 };
 
 /// Registers S4-S11 (idempotent). Call once at program start.

@@ -1,0 +1,177 @@
+// Compiled into gms_trace (not gms_core): the trace stage constructs
+// TracingManager, which lives a layer above the core library. Everything
+// else the builder touches (registry, validator, injector, aggregator) is
+// visible from there without a dependency cycle.
+#include "core/stack_builder.h"
+
+#include <stdexcept>
+
+#include "alloc_core/warp_aggregator.h"
+#include "core/validating_manager.h"
+#include "trace/trace_recorder.h"
+#include "trace/tracing_manager.h"
+
+namespace gms::core {
+
+namespace {
+
+constexpr std::string_view kStageNames[] = {"trace", "fault", "validate",
+                                            "warpagg"};
+
+}  // namespace
+
+std::string_view StackSpec::stage_name(Stage s) {
+  return kStageNames[static_cast<std::uint8_t>(s)];
+}
+
+bool StackSpec::has(Stage s) const {
+  for (Stage st : stages) {
+    if (st == s) return true;
+  }
+  return false;
+}
+
+std::string StackSpec::to_string() const {
+  std::string out;
+  for (Stage s : stages) {
+    out += std::string(stage_name(s)) + ">";
+  }
+  return out + base;
+}
+
+StackSpec StackSpec::parse(std::string_view spec) {
+  StackSpec out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto gt = spec.find('>', pos);
+    const auto tok = spec.substr(
+        pos, gt == std::string_view::npos ? spec.size() - pos : gt - pos);
+    const bool last = gt == std::string_view::npos;
+    if (tok.empty()) {
+      throw std::invalid_argument{"empty token in stack spec: \"" +
+                                  std::string(spec) + "\""};
+    }
+    bool is_stage = false;
+    for (std::uint8_t i = 0; i < 4; ++i) {
+      if (tok == kStageNames[i]) {
+        const auto stage = static_cast<Stage>(i);
+        if (out.has(stage)) {
+          throw std::invalid_argument{"duplicate stack stage: " +
+                                      std::string(tok)};
+        }
+        out.stages.push_back(stage);
+        is_stage = true;
+        break;
+      }
+    }
+    if (!is_stage) {
+      if (!last) {
+        throw std::invalid_argument{
+            "unknown stack stage: " + std::string(tok) +
+            " (expected trace|fault|validate|warpagg)"};
+      }
+      out.base = std::string(tok);
+    }
+    if (last) break;
+    pos = gt + 1;
+  }
+  return out;
+}
+
+ManagerFactory StackBuilder::stage_factory(StackSpec::Stage stage,
+                                           ManagerFactory base,
+                                           FaultSpec fault) {
+  switch (stage) {
+    case StackSpec::Stage::kValidate:
+      return [base = std::move(base)](gpu::Device& dev, std::size_t heap) {
+        return std::unique_ptr<MemoryManager>(
+            std::make_unique<ValidatingManager>(dev, heap, base));
+      };
+    case StackSpec::Stage::kFault:
+      return [base = std::move(base), fault](gpu::Device& dev,
+                                             std::size_t heap) {
+        return std::unique_ptr<MemoryManager>(
+            std::make_unique<FaultInjector>(base(dev, heap), fault));
+      };
+    case StackSpec::Stage::kWarpAgg:
+      return [base = std::move(base)](gpu::Device& dev, std::size_t heap) {
+        return std::unique_ptr<MemoryManager>(
+            std::make_unique<alloc_core::WarpAggregator>(base(dev, heap)));
+      };
+    case StackSpec::Stage::kTrace:
+      break;
+  }
+  throw std::invalid_argument{
+      "the trace stage needs a recorder and cannot be a twin factory"};
+}
+
+BuiltStack StackBuilder::build(std::string_view spec,
+                               std::size_t heap_bytes) const {
+  return build(StackSpec::parse(spec), heap_bytes);
+}
+
+BuiltStack StackBuilder::build(const StackSpec& spec,
+                               std::size_t heap_bytes) const {
+  const auto* entry = Registry::instance().find(spec.base);
+  if (entry == nullptr) {
+    throw std::invalid_argument{"unknown allocator: " + spec.base};
+  }
+  if (heap_bytes > dev_->arena().size()) {
+    throw std::invalid_argument{"heap larger than device arena"};
+  }
+
+  BuiltStack out;
+  if (spec.has(StackSpec::Stage::kTrace)) {
+    out.recorder =
+        std::make_unique<trace::TraceRecorder>(dev_->config().num_sms);
+  }
+
+  // Compose innermost-first: the stage closest to the base wraps first.
+  ManagerFactory f = entry->factory;
+  for (auto it = spec.stages.rbegin(); it != spec.stages.rend(); ++it) {
+    if (*it == StackSpec::Stage::kTrace) {
+      f = [inner = std::move(f), rec = out.recorder.get()](
+              gpu::Device& dev, std::size_t heap) {
+        return std::unique_ptr<MemoryManager>(
+            std::make_unique<trace::TracingManager>(inner(dev, heap), *rec,
+                                                    dev.arena()));
+      };
+    } else {
+      f = stage_factory(*it, std::move(f), fault_);
+    }
+  }
+
+  dev_->arena().clear();  // identical cold start, like Registry::make
+  out.manager = f(*dev_, heap_bytes);
+
+  // Harvest borrowed layer pointers + the stack's identity name by walking
+  // the chain outermost-in.
+  MemoryManager* m = out.manager.get();
+  while (m != nullptr) {
+    if (auto* t = dynamic_cast<trace::TracingManager*>(m)) {
+      if (out.tracer == nullptr) out.tracer = t;
+      m = &t->inner();
+    } else if (auto* fi = dynamic_cast<FaultInjector*>(m)) {
+      if (out.injector == nullptr) out.injector = fi;
+      m = &fi->inner();
+    } else if (auto* v = dynamic_cast<ValidatingManager*>(m)) {
+      if (out.validator == nullptr) out.validator = v;
+      if (out.name.empty()) out.name = std::string(v->traits().name);
+      m = &v->inner();
+    } else if (auto* w = dynamic_cast<alloc_core::WarpAggregator*>(m)) {
+      if (out.aggregator == nullptr) out.aggregator = w;
+      if (out.name.empty()) out.name = std::string(w->traits().name);
+      m = &w->inner();
+    } else {
+      break;
+    }
+  }
+  if (out.name.empty()) out.name = std::string(entry->traits.name);
+
+  if (out.recorder != nullptr) {
+    dev_->set_launch_observer(out.recorder.get());
+  }
+  return out;
+}
+
+}  // namespace gms::core

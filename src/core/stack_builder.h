@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/fault_inject.h"
+#include "core/memory_manager.h"
+#include "core/registry.h"
+#include "gpu/device.h"
+
+namespace gms::trace {
+class TraceRecorder;
+class TracingManager;
+}  // namespace gms::trace
+
+namespace gms::alloc_core {
+class WarpAggregator;
+}  // namespace gms::alloc_core
+
+namespace gms::core {
+
+class ValidatingManager;
+
+/// Parsed form of a manager-stack spec: decorator stages outermost-first,
+/// then the base allocator's registry name — "trace>fault>validate>Halloc"
+/// builds TracingManager(FaultInjector(ValidatingManager(Halloc))).
+struct StackSpec {
+  enum class Stage : std::uint8_t { kTrace, kFault, kValidate, kWarpAgg };
+
+  std::vector<Stage> stages;  ///< outermost first, as written
+  std::string base;           ///< registry name; empty for a stage-only spec
+
+  /// Stage tokens: "trace", "fault", "validate", "warpagg". The last
+  /// '>'-separated token that is not a stage name becomes the base; a spec
+  /// of stages only ("trace>validate") leaves base empty so one --stack
+  /// stage list can apply across a whole -t selection. Throws
+  /// std::invalid_argument on unknown stages, duplicates, or empty tokens.
+  static StackSpec parse(std::string_view spec);
+
+  static std::string_view stage_name(Stage s);
+  [[nodiscard]] bool has(Stage s) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Result of StackBuilder::build(): the composed manager plus borrowed
+/// pointers into each decorator layer (all owned via `manager`), and the
+/// recorder backing a trace stage. The caller keeps the recorder alive as
+/// long as the manager and clears the device's launch observer before
+/// destroying it (build() registers the recorder as observer).
+struct BuiltStack {
+  std::unique_ptr<MemoryManager> manager;
+  ValidatingManager* validator = nullptr;
+  FaultInjector* injector = nullptr;
+  trace::TracingManager* tracer = nullptr;
+  alloc_core::WarpAggregator* aggregator = nullptr;
+  std::unique_ptr<trace::TraceRecorder> recorder;  ///< set iff a trace stage
+
+  /// Identity of the stack: the name of the outermost layer that is not a
+  /// pure observer (trace and fault layers are transparent) — "Halloc",
+  /// "Halloc+V", "Halloc+W". Matches the registered twin names and the
+  /// allocator field written into trace headers.
+  std::string name;
+};
+
+/// The one decorator-wiring path. Registry twin registration ("+V"/"+W"),
+/// ManagedDevice in bench_common.h, the survey runner (via ManagedDevice)
+/// and bench_replay all compose their stacks here; nothing outside this
+/// class and the tests constructs Validating/Fault/Tracing decorators
+/// directly.
+class StackBuilder {
+ public:
+  explicit StackBuilder(gpu::Device& dev) : dev_(&dev) {}
+
+  /// Configuration consumed by a "fault" stage (ignored without one). The
+  /// default FaultSpec{} is mode kNone: a pass-through injector.
+  StackBuilder& fault(const FaultSpec& spec) {
+    fault_ = spec;
+    return *this;
+  }
+
+  /// Builds the stack over a freshly cleared arena (Registry::make
+  /// semantics: throws on unknown base or a heap larger than the arena).
+  [[nodiscard]] BuiltStack build(const StackSpec& spec,
+                                 std::size_t heap_bytes) const;
+  [[nodiscard]] BuiltStack build(std::string_view spec,
+                                 std::size_t heap_bytes) const;
+
+  /// Factory wrapping `base` in one stage — the registry's twin-registration
+  /// hook, so "+V"/"+W" twins and --stack specs share the same wiring. The
+  /// trace stage needs a live recorder and cannot be a standalone factory;
+  /// passing kTrace throws std::invalid_argument.
+  static ManagerFactory stage_factory(StackSpec::Stage stage,
+                                      ManagerFactory base,
+                                      FaultSpec fault = {});
+
+ private:
+  gpu::Device* dev_;
+  FaultSpec fault_{};
+};
+
+}  // namespace gms::core

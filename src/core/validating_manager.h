@@ -69,6 +69,11 @@ class ValidatingManager final : public MemoryManager {
   /// Canary bytes behind each payload.
   static constexpr std::size_t kRearBytes = 16;
 
+  /// Traits a "+V" twin advertises, derivable without building a manager
+  /// (registry twin registration probes nothing). Name is left to the
+  /// caller; the redzone pad shrinks the inner direct-service limit.
+  static AllocatorTraits decorate_traits(AllocatorTraits t);
+
  private:
   struct Header;  // lives in the front redzone
 

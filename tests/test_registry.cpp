@@ -112,6 +112,80 @@ TEST_F(RegistryTest, TraitsMatchPaperTable1) {
   }
 }
 
+TEST_F(RegistryTest, WarpAggregatedTwinsForGeneralPurposeOnly) {
+  // Every general-purpose variant gains a "+W" twin (selector 'w'); warp-
+  // scoped or free-less managers (FDGMalloc, Atomic) must not.
+  for (const auto& name : reg().names()) {
+    const auto* base = reg().find(name);
+    ASSERT_NE(base, nullptr) << name;
+    const auto* twin = reg().find(name + "+W");
+    if (base->traits.general_purpose) {
+      ASSERT_NE(twin, nullptr) << name;
+      EXPECT_TRUE(twin->traits.decorated) << name;
+      EXPECT_EQ(twin->selector, 'w') << name;
+      EXPECT_TRUE(twin->traits.general_purpose) << name;
+    } else {
+      EXPECT_EQ(twin, nullptr) << name;
+    }
+  }
+  const auto agg = reg().select("w");
+  EXPECT_EQ(agg.size(), reg().names(/*general_purpose_only=*/true).size());
+  // Default populations stay twin-free.
+  for (const auto& n : reg().select("all")) {
+    EXPECT_EQ(n.find("+W"), std::string::npos) << n;
+  }
+}
+
+TEST_F(RegistryTest, SelectDeduplicatesDecoratedTwins) {
+  EXPECT_EQ(reg().select("Halloc+V,Halloc+V").size(), 1u);
+  EXPECT_EQ(reg().select("Halloc+W,Halloc,Halloc+W").size(), 2u);
+  // Selector letters mixed with repetition stay deduplicated too.
+  const auto mixed = reg().select("h+h");
+  EXPECT_EQ(mixed.size(), 1u);
+}
+
+TEST_F(RegistryTest, SelectErrorsNameTheOffender) {
+  try {
+    (void)reg().select("z");
+    FAIL() << "select(\"z\") should throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown selector letter: z"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)reg().select("Halloc,Nope");
+    FAIL() << "select with an unknown name should throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown allocator: Nope"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(RegistryTest, MakeUnknownNameThrows) {
+  gpu::Device dev(8u << 20, gpu::GpuConfig{.num_sms = 1});
+  try {
+    (void)reg().make("NotAnAllocator", dev, 1u << 20);
+    FAIL() << "make of an unknown name should throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown allocator: NotAnAllocator"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(RegistryTest, InternDeduplicatesTwinNames) {
+  const auto a = reg().intern("Halloc+W");
+  const auto b = reg().intern("Halloc+W");
+  EXPECT_EQ(a.data(), b.data());  // same backing string, not just equal text
+  // The registered twin's traits name is the interned view, so repeated
+  // registration rounds never grow the pool for existing names.
+  const auto* twin = reg().find("Halloc+W");
+  ASSERT_NE(twin, nullptr);
+  EXPECT_EQ(twin->traits.name.data(), a.data());
+}
+
 TEST_F(RegistryTest, MakeRejectsOversizedHeap) {
   gpu::Device dev(8u << 20, gpu::GpuConfig{.num_sms = 1});
   EXPECT_THROW(reg().make("ScatterAlloc", dev, 1u << 30),
