@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc_core/resilient_manager.h"
 #include "core/fault_inject.h"
 #include "core/registry.h"
 #include "core/stack_builder.h"
@@ -51,6 +52,9 @@ struct BenchArgs {
   /// --fault=SPEC: wrap every manager in the deterministic FaultInjector
   /// ("nth:7", "prob:0.05:42", "budget:1048576", suffix ",delay=K").
   core::FaultSpec fault;
+  /// --resilience=SPEC: policy knobs for any "resilient" stage
+  /// ("retries=3,reserve=8,breaker=16,decay=256,backoff=4,seed=S").
+  core::ResilienceSpec resilience;
   /// --watchdog-ms=N: cancel a launch after N ms without scheduler progress
   /// (0 = off). Surfaces as the paper's "timed out / unstable" outcome.
   double watchdog_ms = 0;
@@ -95,6 +99,13 @@ struct BenchArgs {
   bool hostile = false;
   /// --workloads LIST: comma list from {churn, frag, oom}.
   std::string workloads = "churn,frag,oom";
+  /// --soak N: bench_survey soak mode — N rounds of fault-schedule campaigns
+  /// per (allocator, workload) cell; failing cells auto-save + minimize
+  /// their trace into the corpus directory. 0 = regular sweep.
+  unsigned soak = 0;
+  /// --corpus DIR: the adversarial regression corpus. bench_survey soak
+  /// writes minimized failures here; bench_replay --corpus sweeps it.
+  std::string corpus;
 
   [[nodiscard]] std::size_t heap_bytes() const { return mem_mb << 20; }
 };
@@ -180,6 +191,17 @@ inline BenchArgs parse_args(int argc, char** argv,
         std::cerr << e.what() << "\n";
         std::exit(2);
       }
+    } else if (flag == "--resilience") {
+      try {
+        args.resilience = core::ResilienceSpec::parse(need(i));
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        std::exit(2);
+      }
+    } else if (flag == "--soak") {
+      args.soak = static_cast<unsigned>(std::stoul(need(i)));
+    } else if (flag == "--corpus") {
+      args.corpus = need(i);
     } else if (flag == "--watchdog-ms") {
       args.watchdog_ms = std::stod(need(i));
     } else if (flag == "--measure-stability") {
@@ -214,17 +236,20 @@ inline BenchArgs parse_args(int argc, char** argv,
              "--threads N  --iters N  --sms N  --csv file  --warp  "
              "--range LO-HI  --timeout-s S  --phase init|update|all  "
              "--scale N  --max-exp N  --validate  --stack SPEC  "
-             "--fault=SPEC  "
+             "--fault=SPEC  --resilience=SPEC  "
              "--watchdog-ms N  --legacy-scheduler  --json FILE  "
              "--trace FILE.gmtrace  --chrome FILE  --occupancy FILE\n"
              "fault SPECs: nth:N  prob:P[:SEED]  budget:BYTES  "
              "(optional suffix ,delay=K)\n"
+             "resilience SPECs: retries=N,backoff=B,seed=S,reserve=PCT,"
+             "breaker=N,decay=N (any subset)\n"
              "stack SPECs: '>'-separated stages outermost first from "
-             "{trace, fault, validate, warpagg}, optionally ending in a "
-             "base allocator name (else applied to each -t selection)\n"
+             "{trace, fault, validate, warpagg, resilient}, optionally "
+             "ending in a base allocator name (else applied to each -t "
+             "selection)\n"
              "bench_survey: --deadline-s S  --retries N  --rlimit-mb N  "
              "--quarantine FILE  --retry-quarantined  --hostile  "
-             "--workloads churn,frag,oom\n";
+             "--workloads churn,frag,oom  --soak N  --corpus DIR\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << flag << " (try --help)\n";
@@ -300,12 +325,15 @@ class ManagedDevice {
       }
     }
     heap_bytes_ = args.heap_bytes();
-    auto stack = core::StackBuilder(*device_).fault(args.fault).build(
-        spec, args.heap_bytes());
+    auto stack = core::StackBuilder(*device_)
+                     .fault(args.fault)
+                     .resilience(args.resilience)
+                     .build(spec, args.heap_bytes());
     mgr_ = std::move(stack.manager);
     recorder_ = std::move(stack.recorder);
     validator_ = stack.validator;
     injector_ = stack.injector;
+    resilient_ = stack.resilient;
     name_ = stack.name;
     if (!args.trace.empty()) {
       trace_path_ = args.trace;
@@ -340,6 +368,9 @@ class ManagedDevice {
   core::MemoryManager& mgr() { return *mgr_; }
   [[nodiscard]] core::ValidatingManager* validator() { return validator_; }
   [[nodiscard]] core::FaultInjector* injector() { return injector_; }
+  [[nodiscard]] alloc_core::ResilientManager* resilient() {
+    return resilient_;
+  }
   [[nodiscard]] trace::TraceRecorder* recorder() { return recorder_.get(); }
   [[nodiscard]] const std::string& name() const { return name_; }
 
@@ -389,6 +420,10 @@ class ManagedDevice {
     if (validator_ != nullptr) {
       os << validator_->drain_report(leaks_are_errors).to_string() << "\n";
     }
+    if (resilient_ != nullptr) {
+      os << "[resilient " << resilient_->spec().to_string() << "] "
+         << resilient_->report().to_string() << "\n";
+    }
   }
 
  private:
@@ -397,6 +432,7 @@ class ManagedDevice {
   std::unique_ptr<core::MemoryManager> mgr_;
   core::ValidatingManager* validator_ = nullptr;  ///< owned via mgr_ chain
   core::FaultInjector* injector_ = nullptr;       ///< owned via mgr_
+  alloc_core::ResilientManager* resilient_ = nullptr;  ///< owned via mgr_
   std::string name_;                              ///< effective registry name
   std::size_t heap_bytes_ = 0;
   std::string trace_path_, chrome_path_, occupancy_path_;  ///< --trace et al.

@@ -7,15 +7,25 @@
 //
 //   bench_replay --trace results/churn.gmtrace -t Ouroboros,ScatterAlloc
 //
+// Corpus mode (--corpus DIR) sweeps the adversarial regression corpus
+// instead: every manifest entry is replayed fork-contained under its
+// recorded stack and the measured verdict is compared against the expected
+// one; any drift fails the sweep (the CI regression gate over
+// results/corpus/).
+//
 // Flags: --trace FILE (input, required)  -t TARGETS (default: the trace's
 // source allocator)  --sms N  --mem-mb N (0/default = the trace header's
 // heap)  --chrome FILE / --occupancy FILE (export the *input* trace)
-// --json FILE.
+// --json FILE  --corpus DIR  --deadline-s S  --rlimit-mb N.
 #include <iomanip>
 #include <sstream>
 
 #include "bench_common.h"
 #include "core/json_writer.h"
+#include "core/stub_allocators.h"
+#include "core/survey_runner.h"
+#include "replay_cell.h"
+#include "trace/corpus.h"
 #include "trace/trace_replay.h"
 
 namespace {
@@ -58,10 +68,83 @@ TargetRun run_once(const trace::Trace& src, trace::TraceReplayer& replayer,
   return run;
 }
 
+/// --corpus DIR: verdict-drift sweep over the committed adversarial corpus.
+/// Each entry replays in a SurveyRunner fork (crashes and hangs become
+/// verdicts, not sweep deaths); exit is non-zero on any expected/measured
+/// mismatch or an unreadable trace.
+int run_corpus_sweep(const bench::BenchArgs& args) {
+  // Soak campaigns run with --hostile commit stub-sourced entries; the
+  // sweep must be able to rebuild those stacks.
+  core::register_stub_allocators();
+  std::vector<trace::CorpusEntry> entries;
+  try {
+    entries = trace::load_corpus(args.corpus);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  if (entries.empty()) {
+    std::cerr << "corpus at " << args.corpus
+              << " is empty or missing (seed it with corpus_gen)\n";
+    return 2;
+  }
+
+  core::SurveyRunner runner({.deadline_s = args.deadline_s,
+                             .rlimit_mb = args.rlimit_mb,
+                             .persist_quarantine = false});
+  core::ResultTable table(
+      {"Trace", "Stack", "Source", "Expected", "Measured", "Drift"});
+  core::BenchJson json("corpus");
+  json.meta().str("corpus", args.corpus).num("entries", entries.size());
+
+  unsigned drifted = 0;
+  for (const auto& e : entries) {
+    trace::Trace src;
+    std::string measured;
+    bool drift;
+    try {
+      src = trace::read_trace(args.corpus + "/" + e.file);
+      const auto verdict = runner.probe_cell([&]() -> core::CellOutcome {
+        return bench::replay_verdict_cell(src, e.stack, args.num_sms);
+      });
+      measured = core::to_string(verdict);
+      drift = verdict != e.expected;
+    } catch (const std::exception& ex) {
+      measured = std::string("unreadable: ") + ex.what();
+      drift = true;
+    }
+    if (drift) ++drifted;
+    table.add_row({e.file, e.stack, e.source, core::to_string(e.expected),
+                   measured, drift ? "DRIFT" : "-"});
+    json.add_case()
+        .str("file", e.file)
+        .str("stack", e.stack)
+        .str("source", e.source)
+        .str("note", e.note)
+        .str("expected", core::to_string(e.expected))
+        .str("measured", measured)
+        .boolean("drift", drift);
+  }
+
+  bench::emit(table, args,
+              "Corpus sweep — " + std::to_string(entries.size()) +
+                  " adversarial traces from " + args.corpus);
+  if (!args.json.empty()) json.write(args.json);
+  if (drifted != 0) {
+    std::cerr << "FAIL: " << drifted << " corpus entr"
+              << (drifted == 1 ? "y" : "ies") << " drifted from the pinned "
+              << "verdict\n";
+    return 1;
+  }
+  std::cout << "\nno verdict drift across the corpus\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   auto args = bench::parse_args(argc, argv);
+  if (!args.corpus.empty()) return run_corpus_sweep(args);
   if (args.trace.empty()) {
     std::cerr << "bench_replay needs --trace FILE (a .gmtrace recording; "
                  "record one with any bench's --trace flag)\n";

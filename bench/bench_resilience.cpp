@@ -1,0 +1,184 @@
+// Failure-recovery A/B: every base allocator against its "+R" resilient
+// twin (ResilientManager, DESIGN.md §11) under the warp-agg convergent
+// churn, then once more with a deterministic fault injector stacked between
+// the recovery layer and the base ("resilient>fault>NAME") so the retry /
+// reserve-fallback / circuit-breaker chain demonstrably absorbs failures
+// the base would surface as nullptr.
+//
+// The headline acceptance column is "+R unrecovered": the resilient twin
+// must report ZERO unrecovered allocation failures for every manager, churn
+// and fault rounds alike, and the binary exits non-zero otherwise — this is
+// the robustness contract CI enforces. Emits BENCH_resilience.json.
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "alloc_core/resilient_manager.h"
+#include "bench_common.h"
+#include "core/json_writer.h"
+
+namespace {
+
+using namespace gms;
+
+struct CellResult {
+  double ms = 0;
+  std::uint64_t mallocs = 0;
+  std::uint64_t failed = 0;  ///< nullptrs the kernel saw (base runs)
+  core::ResilienceReport rep;  ///< zeroed for base runs
+  bool resilient = false;
+};
+
+/// One fresh device + stack, one churn launch — the bench_warpagg kernel
+/// shape (same size across the warp per round, malloc/store/free) so the
+/// base_failed numbers line up with BENCH_warpagg.json. Warp-level-only
+/// managers churn through warp_malloc + a per-round warp_free_all instead.
+CellResult run_cell(const bench::BenchArgs& args, const std::string& spec,
+                    unsigned rounds, const core::FaultSpec& fault) {
+  gpu::Device dev(args.heap_bytes() + (8u << 20),
+                  gpu::GpuConfig{.num_sms = args.num_sms,
+                                 .lane_stack_bytes = 32 * 1024,
+                                 .watchdog_ms = args.watchdog_ms});
+  auto stack = core::StackBuilder(dev)
+                   .fault(fault)
+                   .resilience(args.resilience)
+                   .build(spec, args.heap_bytes());
+  dev.launch(args.num_sms * 2, 256, [](gpu::ThreadCtx&) {});  // warm-up
+
+  static constexpr std::size_t kSizes[4] = {32, 64, 128, 256};
+  std::atomic<std::uint64_t> failed{0};
+  core::MemoryManager& mgr = *stack.manager;
+  const bool warp_only = mgr.traits().warp_level_only;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  dev.launch(args.num_sms * 4, 256,
+             [&mgr, &failed, rounds, warp_only](gpu::ThreadCtx& ctx) {
+               for (unsigned r = 0; r < rounds; ++r) {
+                 const std::size_t size = kSizes[r % 4];
+                 void* p = warp_only ? mgr.warp_malloc(ctx, size)
+                                     : mgr.malloc(ctx, size);
+                 if (p == nullptr) {
+                   failed.fetch_add(1, std::memory_order_relaxed);
+                 } else {
+                   *static_cast<std::uint32_t*>(p) = ctx.thread_rank();
+                   if (!warp_only) mgr.free(ctx, p);
+                 }
+                 if (warp_only) mgr.warp_free_all(ctx);
+               }
+             });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  CellResult res;
+  res.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  res.mallocs = static_cast<std::uint64_t>(args.num_sms) * 4 * 256 * rounds;
+  res.failed = failed.load();
+  if (stack.resilient != nullptr) {
+    res.rep = stack.resilient->report();
+    res.resilient = true;
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = bench::parse_args(argc, argv);
+  const unsigned rounds = args.iters != 0 ? args.iters : 16;
+  // The fault round injects a deterministic every-Nth failure below the
+  // recovery layer; the very next (retried) call succeeds, so this isolates
+  // the retry path. --fault overrides the schedule.
+  core::FaultSpec fault = args.fault;
+  if (fault.mode == core::FaultSpec::Mode::kNone) {
+    fault = core::FaultSpec::parse("nth:97");
+  }
+
+  std::vector<std::string> bases;
+  for (const auto& name : args.allocators) {
+    const auto* entry = core::Registry::instance().find(name);
+    if (entry == nullptr || entry->traits.decorated) continue;
+    bases.push_back(name);
+  }
+
+  core::ResultTable table({"Allocator", "base failed", "+R unrecov",
+                           "retries", "retry ok", "fallbacks", "trips",
+                           "fault unrecov", "base ms", "+R ms"});
+  core::BenchJson json("resilience");
+  json.meta()
+      .num("rounds", rounds)
+      .num("num_sms", args.num_sms)
+      .num("heap_bytes", args.heap_bytes())
+      .str("fault", fault.to_string())
+      .str("resilience", args.resilience.to_string());
+
+  std::uint64_t total_unrecovered = 0;
+  for (const auto& name : bases) {
+    CellResult base, res, res_fault;
+    try {
+      base = run_cell(args, name, rounds, {});
+      res = run_cell(args, "resilient>" + name, rounds, {});
+      res_fault = run_cell(args, "resilient>fault>" + name, rounds, fault);
+    } catch (const std::exception& e) {
+      std::cerr << name << ": " << e.what() << "\n";
+      table.add_row(
+          {name, "err", "err", "-", "-", "-", "-", "-", "-", "-"});
+      json.add_case().str("name", name).str("error", e.what());
+      continue;
+    }
+    // The recovery contract: the kernel must never see nullptr from a "+R"
+    // stack, and the layer itself must account every inner failure as
+    // recovered. `failed` (kernel-observed) and `unrecovered` (layer
+    // bookkeeping) must both be zero.
+    const std::uint64_t unrec = res.rep.unrecovered + res.failed +
+                                res_fault.rep.unrecovered + res_fault.failed;
+    total_unrecovered += unrec;
+    table.add_row({name, std::to_string(base.failed),
+                   std::to_string(res.rep.unrecovered + res.failed),
+                   std::to_string(res.rep.retries),
+                   std::to_string(res.rep.retry_successes),
+                   std::to_string(res.rep.fallback_allocs),
+                   std::to_string(res.rep.breaker_trips),
+                   std::to_string(res_fault.rep.unrecovered + res_fault.failed),
+                   core::ResultTable::fmt_ms(base.ms),
+                   core::ResultTable::fmt_ms(res.ms)});
+    json.add_case()
+        .str("name", name)
+        .num("rounds", rounds)
+        .num("mallocs", base.mallocs)
+        .num("base_failed", base.failed)
+        .num("base_ms", base.ms)
+        .num("resilient_ms", res.ms)
+        .num("unrecovered", res.rep.unrecovered)
+        .num("kernel_visible_failures", res.failed)
+        .num("inner_failures", res.rep.inner_failures)
+        .num("retries", res.rep.retries)
+        .num("retry_successes", res.rep.retry_successes)
+        .num("fallback_allocs", res.rep.fallback_allocs)
+        .num("fallback_frees", res.rep.fallback_frees)
+        .num("breaker_trips", res.rep.breaker_trips)
+        .num("breaker_resets", res.rep.breaker_resets)
+        .num("reserve_used_bytes", res.rep.reserve_used_bytes)
+        .num("reserve_capacity", res.rep.reserve_capacity)
+        .num("fault_inner_failures", res_fault.rep.inner_failures)
+        .num("fault_retry_successes", res_fault.rep.retry_successes)
+        .num("fault_fallback_allocs", res_fault.rep.fallback_allocs)
+        .num("fault_unrecovered", res_fault.rep.unrecovered)
+        .num("fault_kernel_visible_failures", res_fault.failed);
+  }
+
+  bench::emit(table, args,
+              "Failure recovery — base vs \"+R\" twin, warp-agg churn + "
+              "fault round (" + fault.to_string() + "), " +
+                  std::to_string(rounds) + " rounds/lane");
+  if (!args.json.empty()) json.write(args.json);
+  if (total_unrecovered != 0) {
+    std::cerr << "FAIL: " << total_unrecovered
+              << " unrecovered allocation failures under the \"+R\" stack\n";
+    return 1;
+  }
+  std::cout << "\nall managers: 0 unrecovered allocation failures under "
+               "\"resilient>\"\n";
+  return 0;
+}

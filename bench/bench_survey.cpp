@@ -13,8 +13,12 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/json_writer.h"
 #include "core/stub_allocators.h"
 #include "core/survey_runner.h"
+#include "replay_cell.h"
+#include "trace/corpus.h"
+#include "trace/trace_minimizer.h"
 #include "workloads/fragmentation.h"
 
 namespace {
@@ -199,6 +203,149 @@ core::CellOutcome oom_cell(const bench::BenchArgs& args,
   });
 }
 
+// ---- soak mode (--soak N): adversarial campaigns + auto-minimization -------
+
+/// Deterministic per-round fault schedule: probabilistic flakes, every-Nth
+/// failures and a byte-budget cliff rotate across rounds, each seeded by the
+/// round index so a failing round can be re-run bit-identically.
+core::FaultSpec soak_fault(unsigned round, std::size_t heap_bytes) {
+  switch (round % 3) {
+    case 0:
+      return core::FaultSpec::parse("prob:0.02:" +
+                                    std::to_string(0x50AC + round));
+    case 1:
+      return core::FaultSpec::parse("nth:" + std::to_string(64 + 32 * round));
+    default:
+      return core::FaultSpec::parse("budget:" +
+                                    std::to_string(heap_bytes / 2));
+  }
+}
+
+core::CellOutcome run_workload_cell(const bench::BenchArgs& args,
+                                    const std::string& workload,
+                                    const std::string& name) {
+  if (workload == "churn") return churn_cell(args, name);
+  if (workload == "frag") return frag_cell(args, name);
+  if (workload == "oom") return oom_cell(args, name);
+  return {2, "unknown workload " + workload};
+}
+
+/// Each (allocator, workload) cell endures `--soak N` rounds under the
+/// rotating fault schedules, every round fork-contained. A non-ok round's
+/// auto-saved .gmtrace is re-probed through the corpus replay oracle (same
+/// fork containment); if the failure reproduces, the trace is greedily
+/// minimized against that oracle and committed to the corpus with its
+/// replay-measured verdict pinned — the artifact CI re-checks for drift.
+/// Failures that only manifest in the live workload (or crashes, whose
+/// traces die with the child) are reported but not committed.
+int run_soak(const bench::BenchArgs& args,
+             const std::vector<std::string>& workloads) {
+  const std::string corpus_dir =
+      args.corpus.empty() ? "results/corpus" : args.corpus;
+  core::SurveyRunner runner({.max_retries = 0,
+                             .deadline_s = args.deadline_s,
+                             .rlimit_mb = args.rlimit_mb,
+                             .persist_quarantine = false});
+  core::ResultTable table(
+      {"Cell", "rounds", "failures", "reproduced", "committed"});
+  core::BenchJson json("soak");
+  json.meta()
+      .num("rounds", args.soak)
+      .str("corpus", corpus_dir)
+      .num("heap_bytes", args.heap_bytes())
+      .num("num_sms", args.num_sms);
+
+  unsigned total_failures = 0, total_committed = 0;
+  for (const auto& name : args.allocators) {
+    for (const auto& workload : workloads) {
+      const std::string key = name + "/" + workload;
+      unsigned failures = 0, reproduced = 0, committed = 0;
+      for (unsigned round = 0; round < args.soak; ++round) {
+        bench::BenchArgs local = args;
+        local.fault = soak_fault(round, args.heap_bytes());
+        local.trace = "results/soak/r" + std::to_string(round) + ".gmtrace";
+        const auto verdict = runner.probe_cell([&]() -> core::CellOutcome {
+          return run_workload_cell(local, workload, name);
+        });
+        if (verdict == core::Verdict::kOk) continue;
+        ++failures;
+        std::cout << key << " r" << round << " ["
+                  << local.fault.to_string()
+                  << "]: " << core::to_string(verdict) << "\n";
+
+        const std::string saved =
+            bench::tagged_path(local.trace, name + "-" + workload);
+        trace::Trace failing;
+        try {
+          failing = trace::read_trace(saved);
+        } catch (const std::exception& e) {
+          // Crashed cells die before the in-child capture can flush.
+          std::cout << "  no trace to minimize (" << e.what() << ")\n";
+          continue;
+        }
+        const std::string stack =
+            (workload == "oom" ? "resilient>" : "resilient>validate>") + name;
+        const auto oracle = [&](const trace::Trace& t) {
+          return runner.probe_cell([&]() -> core::CellOutcome {
+            return bench::replay_verdict_cell(t, stack, args.num_sms);
+          });
+        };
+        // Pin the verdict the REPLAY reproduces, which is what CI can
+        // re-check — it may legitimately differ from the live cell's (an
+        // rlimit oom in the workload resurfaces as failed mallocs here).
+        const auto rv = oracle(failing);
+        if (rv == core::Verdict::kOk) {
+          std::cout << "  not reproducible through replay under " << stack
+                    << " — not committed\n";
+          continue;
+        }
+        ++reproduced;
+        const auto min = trace::minimize_trace(failing, rv, oracle);
+        const std::string file =
+            name + "-" + workload + "-r" + std::to_string(round) + ".gmtrace";
+        trace::write_trace(corpus_dir + "/" + file, min.trace.header,
+                           min.trace.events);
+        trace::CorpusEntry entry;
+        entry.file = file;
+        entry.stack = stack;
+        entry.expected = rv;
+        entry.source = "soak";
+        entry.note = "round " + std::to_string(round) + " fault " +
+                     local.fault.to_string() + ", cell verdict " +
+                     core::to_string(verdict) + ", minimized " +
+                     std::to_string(min.original_ops) + "->" +
+                     std::to_string(min.minimized_ops) + " ops in " +
+                     std::to_string(min.probes) + " probes";
+        trace::corpus_add(corpus_dir, entry);
+        ++committed;
+        std::cout << "  minimized " << min.original_ops << " -> "
+                  << min.minimized_ops << " ops (" << min.probes
+                  << " probes), committed as " << file << " [replay verdict "
+                  << core::to_string(rv) << "]\n";
+      }
+      total_failures += failures;
+      total_committed += committed;
+      table.add_row({key, std::to_string(args.soak),
+                     std::to_string(failures), std::to_string(reproduced),
+                     std::to_string(committed)});
+      json.add_case()
+          .str("name", key)
+          .num("rounds", args.soak)
+          .num("failures", failures)
+          .num("reproduced", reproduced)
+          .num("committed", committed);
+    }
+  }
+
+  bench::emit(table, args,
+              "Soak campaign — " + std::to_string(args.soak) +
+                  " fault-schedule rounds per cell, corpus at " + corpus_dir);
+  if (!args.json.empty()) json.write(args.json);
+  std::cout << "\nsoak: " << total_failures << " failing rounds, "
+            << total_committed << " minimized traces committed\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -230,6 +377,7 @@ int main(int argc, char** argv) {
     std::cerr << "--workloads must name at least one of churn,frag,oom\n";
     return 2;
   }
+  if (args.soak > 0) return run_soak(args, workloads);
 
   core::SurveyRunner runner({.max_retries = args.retries,
                              .deadline_s = args.deadline_s,

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+
+#include "bench_common.h"
+#include "core/stack_builder.h"
+#include "core/survey_runner.h"
+#include "trace/trace_replay.h"
+
+namespace gms::bench {
+
+/// The corpus / minimizer verdict oracle: replays one trace against a full
+/// stack spec ("resilient>validate>Halloc") on a fresh device built from the
+/// trace header, then classifies the outcome with the survey exit-code
+/// protocol. Runs inside a SurveyRunner fork (probe_cell / run_cell), so
+/// crashes and hangs classify themselves; this body only has to map the
+/// survivable outcomes:
+///   - a failed post-replay audit or a dirty validation report -> 40
+///     (leaks are NOT errors: minimized traces drop frees by construction);
+///   - any kernel-visible failed malloc -> 41 (heap or reserve exhausted —
+///     under a "resilient>" stack this means the recovery chain itself ran
+///     dry, the drift CI watches for);
+///   - otherwise ok.
+inline core::CellOutcome replay_verdict_cell(const trace::Trace& trace,
+                                             const std::string& stack_spec,
+                                             unsigned num_sms,
+                                             double watchdog_ms = 8000) {
+  const std::size_t heap = trace.header.heap_bytes != 0
+                               ? trace.header.heap_bytes
+                               : (64u << 20);
+  if (num_sms == 0) {
+    num_sms = trace.header.num_sms != 0 ? trace.header.num_sms : 4;
+  }
+  gpu::Device dev(heap + (8u << 20),
+                  gpu::GpuConfig{.num_sms = num_sms,
+                                 .lane_stack_bytes = 32 * 1024,
+                                 .watchdog_ms = watchdog_ms});
+  auto stack = core::StackBuilder(dev).build(stack_spec, heap);
+  dev.launch(num_sms * 2, 256, [](gpu::ThreadCtx&) {});  // warm-up
+
+  trace::TraceReplayer replayer(trace);
+  const auto r = replayer.replay(dev, *stack.manager);
+
+  const auto audit = stack.manager->audit();
+  if (audit.supported && !audit.ok) {
+    return {core::SurveyRunner::kExitValidation, audit.to_string()};
+  }
+  if (stack.validator != nullptr) {
+    const auto report =
+        stack.validator->drain_report(/*leaks_are_errors=*/false);
+    if (!report.clean()) {
+      return {core::SurveyRunner::kExitValidation, report.to_string()};
+    }
+  }
+  if (r.failed_mallocs > 0) {
+    return {core::SurveyRunner::kExitOom,
+            std::to_string(r.failed_mallocs) + " of " +
+                std::to_string(r.mallocs) + " mallocs failed"};
+  }
+  return {core::SurveyRunner::kExitOk,
+          std::to_string(r.mallocs) + " mallocs, " + std::to_string(r.frees) +
+              " frees replayed clean"};
+}
+
+}  // namespace gms::bench

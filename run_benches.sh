@@ -34,9 +34,10 @@ fi
 BENCHES=(bench_table1 bench_init_registers bench_alloc_size bench_alloc_mixed
          bench_scaling bench_fragmentation bench_oom bench_workgen
          bench_access bench_graph bench_ablation bench_simt bench_survey
-         bench_replay bench_warpagg)
+         bench_replay bench_warpagg bench_resilience)
 if [[ $SMOKE -eq 1 ]]; then
-  BENCHES=(bench_simt bench_alloc_size bench_workgen bench_replay bench_warpagg)
+  BENCHES=(bench_simt bench_alloc_size bench_workgen bench_replay bench_warpagg
+           bench_resilience)
 fi
 missing=0
 for b in "${BENCHES[@]}"; do
@@ -96,6 +97,14 @@ if [[ $SMOKE -eq 1 ]]; then
   # contention point (32 SMs, 32 rounds/lane).
   run "$R"/smoke_warpagg.txt   bench_warpagg -t CUDA,Halloc,ScatterAlloc,Ouro-P-VA \
                                --sms 32 --iters 32 --json BENCH_warpagg.json
+  # Failure-recovery A/B on a representative subset (full matrix in the
+  # non-smoke sweep): base vs "+R" twin plus a fault round; exits non-zero
+  # if any resilient run leaks an unrecovered allocation failure.
+  run "$R"/smoke_resilience.txt bench_resilience -t ScatterAlloc,Halloc,Ouro-P-S \
+                               --sms 8 --iters 8 --json BENCH_resilience.json
+  # Adversarial-corpus regression gate: replay every committed trace under
+  # its pinned stack and fail on any verdict drift.
+  run "$R"/smoke_corpus.txt    bench_replay --corpus results/corpus
   finish
 fi
 
@@ -126,6 +135,13 @@ run "$R"/replay.txt           bench_replay --trace "$R"/reference.ScatterAlloc.g
 # (DESIGN.md §10): wall ms + atomics-per-malloc at the recorded contention
 # point. BENCH_warpagg.json is a perf-trajectory file like BENCH_simt.json.
 run "$R"/warpagg.txt          bench_warpagg --sms 32 --iters 32 --json BENCH_warpagg.json
+# Failure-recovery A/B over every base manager vs its "+R" resilient twin
+# (DESIGN.md §11) at the warp-agg contention point, plus a fault-injected
+# round; BENCH_resilience.json is a perf/recovery trajectory file.
+run "$R"/resilience.txt       bench_resilience --sms 32 --iters 32 --json BENCH_resilience.json
+# Adversarial-corpus regression gate (results/corpus/): replay every
+# committed trace under its pinned stack; any verdict drift fails the sweep.
+run "$R"/corpus_sweep.txt     bench_replay --corpus results/corpus --json results/corpus_sweep.json
 # Crash-contained verdict matrix over the full registry (+ hostile stubs to
 # prove the containment); writes results/survey.json + results/quarantine.json.
 run "$R"/survey.txt           bench_survey --deadline-s 20 --retries 1 --hostile

@@ -1,0 +1,154 @@
+#include "alloc_core/reserve_pool.h"
+
+#include <cassert>
+
+namespace gms::alloc_core {
+
+namespace {
+
+/// Reserve-class ladder: 16 << c for c in [0, 16) — 16 B up to 512 KiB.
+SizeClassMap reserve_classes() {
+  return SizeClassMap::geometric(SizeClassMap::kGranule,
+                                 SizeClassMap::kMaxClasses);
+}
+
+}  // namespace
+
+ReservePool::ReservePool(std::byte* base, std::size_t bytes)
+    : classes_(reserve_classes()), base_(base), bytes_(bytes) {
+  assert(bytes_ >= kHeaderBytes + SizeClassMap::kGranule &&
+         "reserve slice too small for a single block");
+}
+
+void* ReservePool::pop_free(unsigned cls) {
+  auto& head = heads_[cls];
+  std::uint64_t h = head.load(std::memory_order_acquire);
+  while ((h & kOffMask) != 0) {
+    std::byte* block = base_ + ((h & kOffMask) - 1) * SizeClassMap::kGranule;
+    auto* next_word = reinterpret_cast<std::uint64_t*>(block + kHeaderBytes);
+    const std::uint64_t next =
+        std::atomic_ref<std::uint64_t>(*next_word).load(
+            std::memory_order_relaxed);
+    const std::uint64_t nh = ((h + kGenInc) & ~kOffMask) | (next & kOffMask);
+    if (head.compare_exchange_weak(h, nh, std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+      auto* hdr = reinterpret_cast<Header*>(block);
+      std::atomic_ref<std::uint32_t>(hdr->state)
+          .store(kLive, std::memory_order_release);
+      return block + kHeaderBytes;
+    }
+  }
+  return nullptr;
+}
+
+void* ReservePool::bump_carve(unsigned cls) {
+  const std::uint64_t total = kHeaderBytes + classes_.class_bytes(cls);
+  const std::uint64_t off = bump_.fetch_add(total, std::memory_order_relaxed);
+  if (off + total > bytes_) {
+    // The cursor never rewinds: once any carve crosses the end, every later
+    // carve fails too — exhaustion is a deterministic point in the request
+    // stream, and the lost tail fragment is bounded by one block.
+    return nullptr;
+  }
+  std::uint64_t hw = high_water_.load(std::memory_order_relaxed);
+  while (off + total > hw &&
+         !high_water_.compare_exchange_weak(hw, off + total,
+                                            std::memory_order_relaxed)) {
+  }
+  auto* hdr = reinterpret_cast<Header*>(base_ + off);
+  hdr->magic = kMagic;
+  hdr->cls = cls;
+  hdr->pad = 0;
+  std::atomic_ref<std::uint32_t>(hdr->state)
+      .store(kLive, std::memory_order_release);
+  return base_ + off + kHeaderBytes;
+}
+
+void* ReservePool::malloc(gpu::ThreadCtx& /*ctx*/, std::size_t size) {
+  const unsigned cls = classes_.class_for(SizeClassMap::round16(
+      size == 0 ? std::size_t{1} : size));
+  if (cls == SizeClassMap::kNoClass) {
+    rejected_large_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (void* p = pop_free(cls)) return p;
+  if (void* p = bump_carve(cls)) return p;
+  exhausted_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+ReservePool::FreeResult ReservePool::free(gpu::ThreadCtx& /*ctx*/, void* ptr) {
+  auto* p = static_cast<std::byte*>(ptr);
+  if (p < base_ + kHeaderBytes ||
+      (static_cast<std::uint64_t>(p - base_) % SizeClassMap::kGranule) != 0) {
+    invalid_frees_.fetch_add(1, std::memory_order_relaxed);
+    return FreeResult::kInvalid;
+  }
+  auto* hdr = reinterpret_cast<Header*>(p - kHeaderBytes);
+  const std::uint64_t hdr_off = static_cast<std::uint64_t>(
+      reinterpret_cast<std::byte*>(hdr) - base_);
+  if (hdr_off + kHeaderBytes > high_water_.load(std::memory_order_acquire) ||
+      std::atomic_ref<std::uint32_t>(hdr->magic)
+              .load(std::memory_order_relaxed) != kMagic ||
+      hdr->cls >= classes_.num_classes()) {
+    invalid_frees_.fetch_add(1, std::memory_order_relaxed);
+    return FreeResult::kInvalid;
+  }
+  std::uint32_t expect = kLive;
+  if (!std::atomic_ref<std::uint32_t>(hdr->state)
+           .compare_exchange_strong(expect, kFree,
+                                    std::memory_order_acq_rel)) {
+    // Exactly one concurrent (or repeated) free wins the CAS; the rest are
+    // the double frees the conformance suite probes for — absorbed here.
+    double_frees_.fetch_add(1, std::memory_order_relaxed);
+    return FreeResult::kDoubleFree;
+  }
+  const std::uint64_t enc = hdr_off / SizeClassMap::kGranule + 1;
+  auto* next_word = reinterpret_cast<std::uint64_t*>(p);
+  auto& head = heads_[hdr->cls];
+  std::uint64_t h = head.load(std::memory_order_relaxed);
+  std::uint64_t nh;
+  do {
+    std::atomic_ref<std::uint64_t>(*next_word)
+        .store(h & kOffMask, std::memory_order_relaxed);
+    nh = ((h + kGenInc) & ~kOffMask) | enc;
+  } while (!head.compare_exchange_weak(h, nh, std::memory_order_release,
+                                       std::memory_order_relaxed));
+  return FreeResult::kFreed;
+}
+
+core::AuditResult ReservePool::audit() const {
+  core::AuditResult r;
+  r.supported = true;
+  const std::uint64_t end = high_water_.load(std::memory_order_acquire);
+  std::uint64_t off = 0;
+  while (off + kHeaderBytes <= end) {
+    const auto* hdr = reinterpret_cast<const Header*>(base_ + off);
+    const std::uint32_t magic = std::atomic_ref<const std::uint32_t>(hdr->magic)
+                                    .load(std::memory_order_relaxed);
+    const std::uint32_t state = std::atomic_ref<const std::uint32_t>(hdr->state)
+                                    .load(std::memory_order_relaxed);
+    if (magic != kMagic || hdr->cls >= classes_.num_classes()) {
+      r.ok = false;
+      ++r.failures;
+      if (r.detail.empty()) {
+        r.detail = "reserve block header clobbered at offset " +
+                   std::to_string(off);
+      }
+      break;  // block size unknown: the walk cannot continue
+    }
+    if (state != kLive && state != kFree) {
+      r.ok = false;
+      ++r.failures;
+      if (r.detail.empty()) {
+        r.detail = "reserve block state invalid at offset " +
+                   std::to_string(off);
+      }
+    }
+    ++r.structures_walked;
+    off += kHeaderBytes + classes_.class_bytes(hdr->cls);
+  }
+  return r;
+}
+
+}  // namespace gms::alloc_core

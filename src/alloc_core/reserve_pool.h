@@ -1,0 +1,114 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "alloc_core/size_class_map.h"
+#include "core/memory_manager.h"
+#include "gpu/thread_ctx.h"
+
+namespace gms::alloc_core {
+
+/// Last-resort segregated pool backing the ResilientManager's fallback path:
+/// a slice carved off the tail of the wrapped manager's heap, handed out
+/// only after the inner allocator has failed its whole retry budget.
+///
+/// Design constraints, in order:
+///  * *well-defined failure handling* — every block carries a 16-byte header
+///    whose state word is a CAS-guarded live/free machine, so a double free
+///    on a reserve pointer is detected and absorbed (counted, never
+///    corrupting) and free() of a pointer that is in range but not a block
+///    start is rejected rather than interpreted;
+///  * *deterministic exhaustion ordering* — malloc first pops the request's
+///    size-class LIFO free list, then bump-carves fresh space, then fails;
+///    the bump cursor never rewinds, so once carving space is gone only
+///    recycled blocks can serve and the failure point is reproducible;
+///  * *no instrumentation pollution* — bookkeeping uses plain std::atomic /
+///    std::atomic_ref (the ValidatingManager convention), so the recovery
+///    path does not inflate the inner allocator's contention counters.
+///
+/// Requests above the largest class (512 KiB) are not served: the reserve is
+/// an emergency ration, not a second general-purpose heap.
+class ReservePool {
+ public:
+  enum class FreeResult : std::uint8_t {
+    kFreed,       ///< block returned to its class list
+    kDoubleFree,  ///< state word was already kFree — absorbed
+    kInvalid,     ///< in range but no valid block header at ptr - 16
+  };
+
+  static constexpr std::size_t kHeaderBytes = 16;
+
+  ReservePool(std::byte* base, std::size_t bytes);
+
+  /// nullptr when the request exceeds the class ladder or the pool is
+  /// exhausted (both counted separately).
+  [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size);
+  FreeResult free(gpu::ThreadCtx& ctx, void* ptr);
+
+  [[nodiscard]] bool owns(const void* p) const {
+    const auto* b = static_cast<const std::byte*>(p);
+    return b >= base_ && b < base_ + bytes_;
+  }
+  [[nodiscard]] std::uint64_t offset_of(const void* p) const {
+    return static_cast<std::uint64_t>(static_cast<const std::byte*>(p) -
+                                      base_);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return bytes_; }
+  [[nodiscard]] std::uint64_t used_bytes() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rejected_large() const {
+    return rejected_large_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t double_frees() const {
+    return double_frees_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t invalid_frees() const {
+    return invalid_frees_.load(std::memory_order_relaxed);
+  }
+
+  /// Walks every carved block header (they are contiguous under the bump
+  /// cursor): magic intact, state either live or free, class in range.
+  [[nodiscard]] core::AuditResult audit() const;
+
+ private:
+  struct Header {
+    std::uint32_t magic;
+    std::uint32_t state;  ///< kLive / kFree, CASed by free()
+    std::uint32_t cls;    ///< size-class index
+    std::uint32_t pad;
+  };
+  static_assert(sizeof(Header) == kHeaderBytes);
+
+  static constexpr std::uint32_t kMagic = 0x9E5E9ED0u;  // "ReSeRveD"
+  static constexpr std::uint32_t kLive = 1;
+  static constexpr std::uint32_t kFree = 2;
+
+  /// Free-list head encoding: low 48 bits hold (block offset / 16) + 1
+  /// (0 = empty), high 16 bits an ABA generation tag.
+  static constexpr std::uint64_t kOffMask = (std::uint64_t{1} << 48) - 1;
+  static constexpr std::uint64_t kGenInc = std::uint64_t{1} << 48;
+
+  [[nodiscard]] void* pop_free(unsigned cls);
+  [[nodiscard]] void* bump_carve(unsigned cls);
+
+  SizeClassMap classes_;
+  std::byte* base_;
+  std::size_t bytes_;
+
+  std::atomic<std::uint64_t> bump_{0};
+  std::atomic<std::uint64_t> high_water_{0};
+  std::atomic<std::uint64_t> heads_[SizeClassMap::kMaxClasses]{};
+  std::atomic<std::uint64_t> exhausted_{0};
+  std::atomic<std::uint64_t> rejected_large_{0};
+  std::atomic<std::uint64_t> double_frees_{0};
+  std::atomic<std::uint64_t> invalid_frees_{0};
+};
+
+}  // namespace gms::alloc_core

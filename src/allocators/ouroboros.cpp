@@ -628,7 +628,21 @@ void* Ouroboros::malloc_page_based(gpu::ThreadCtx& ctx, std::size_t cls) {
     return pool_.base() + std::size_t{unit} * 16;
   }
   const std::uint32_t chunk = pool_.alloc(ctx);
-  if (chunk == ChunkPool::kInvalid) return nullptr;
+  if (chunk == ChunkPool::kInvalid) {
+    // Pool exhausted. The page queue is still live — racing frees (and the
+    // splits of chunks other lanes just took) refill it continuously, and
+    // the earlier miss may itself have been a transient publish race. Giving
+    // up after that one look reported exhaustion-scale failure counts under
+    // steady-state churn where pages demonstrably exist (EXPERIMENTS.md,
+    // the Ouro-P-S base_failed case): re-poll boundedly before failing.
+    for (unsigned attempt = 0; attempt < kExhaustedRedequeues; ++attempt) {
+      if (queues_[cls]->try_dequeue(ctx, unit)) {
+        return pool_.base() + std::size_t{unit} * 16;
+      }
+      ctx.backoff();
+    }
+    return nullptr;
+  }
   ctx.atomic_store(&meta_[chunk].state,
                    (std::uint64_t{cls + 1} << 32));  // class tag for free()
   const std::size_t ppc = pages_per_chunk(cls);
@@ -658,55 +672,67 @@ void Ouroboros::free_page_based(gpu::ThreadCtx& ctx, std::uint32_t chunk,
 
 void* Ouroboros::malloc_chunk_based(gpu::ThreadCtx& ctx, std::size_t cls) {
   const std::size_t ppc = pages_per_chunk(cls);
-  for (unsigned attempt = 0; attempt < 64; ++attempt) {
-    std::uint32_t chunk = 0;
-    if (!queues_[cls]->try_dequeue(ctx, chunk)) break;
-    ChunkMeta& m = meta_[chunk];
-    // Stage 1: reserve a free page (count in the low half of the state).
-    auto* count = reinterpret_cast<std::uint32_t*>(&m.state);
-    const std::uint32_t prev = ctx.atomic_sub(count, 1u);
-    if (prev == 0 || prev > ppc ||
-        (ctx.atomic_load(&m.state) >> 32) != cls + 1) {
-      ctx.atomic_add(count, 1u);  // stale id (recycled chunk): skip it
+  for (unsigned exhausted_polls = 0;;) {
+    for (unsigned attempt = 0; attempt < 64; ++attempt) {
+      std::uint32_t chunk = 0;
+      if (!queues_[cls]->try_dequeue(ctx, chunk)) break;
+      ChunkMeta& m = meta_[chunk];
+      // Stage 1: reserve a free page (count in the low half of the state).
+      auto* count = reinterpret_cast<std::uint32_t*>(&m.state);
+      const std::uint32_t prev = ctx.atomic_sub(count, 1u);
+      if (prev == 0 || prev > ppc ||
+          (ctx.atomic_load(&m.state) >> 32) != cls + 1) {
+        ctx.atomic_add(count, 1u);  // stale id (recycled chunk): skip it
+        continue;
+      }
+      if (prev >= 2) {
+        // Still has pages: make the chunk findable again.
+        if (!queues_[cls]->try_enqueue(ctx, chunk)) {
+          ctx.atomic_add(leak_counter_, std::uint64_t{1});
+        }
+      }
+      // Stage 2: claim a concrete page bit.
+      for (;;) {
+        for (std::size_t w = 0; w < (ppc + 63) / 64; ++w) {
+          const std::uint64_t seen = ctx.atomic_load(&m.bitmap[w]);
+          std::uint64_t valid = ~0ull;
+          if ((w + 1) * 64 > ppc && ppc % 64 != 0) {
+            valid = (1ull << (ppc % 64)) - 1;
+          }
+          const std::uint64_t free_bits = ~seen & valid;
+          if (free_bits == 0) continue;
+          const unsigned bit =
+              static_cast<unsigned>(std::countr_zero(free_bits));
+          if ((ctx.atomic_or(&m.bitmap[w], std::uint64_t{1} << bit) &
+               (std::uint64_t{1} << bit)) == 0) {
+            return pool_.data(chunk) + (w * 64 + bit) * class_bytes(cls);
+          }
+        }
+        ctx.backoff();  // racing reservation has not set its bit yet
+      }
+    }
+    // Queue empty: split a fresh chunk ("allocate from chunk in queue"
+    // misses).
+    const std::uint32_t chunk = pool_.alloc(ctx);
+    if (chunk == ChunkPool::kInvalid) {
+      // Same bounded re-poll as the page-based path: at exhaustion the
+      // chunk queue keeps being refilled by racing frees, so one missed
+      // pass over it is not proof of an empty heap — loop back into the
+      // dequeue scan.
+      if (exhausted_polls++ >= kExhaustedRedequeues) return nullptr;
+      ctx.backoff();
       continue;
     }
-    if (prev >= 2) {
-      // Still has pages: make the chunk findable again.
-      if (!queues_[cls]->try_enqueue(ctx, chunk)) {
-        ctx.atomic_add(leak_counter_, std::uint64_t{1});
-      }
+    ChunkMeta& m = meta_[chunk];
+    for (auto& w : m.bitmap) ctx.atomic_store(&w, std::uint64_t{0});
+    ctx.atomic_store(&m.bitmap[0], std::uint64_t{1});  // page 0 is ours
+    ctx.atomic_store(&m.state, (std::uint64_t{cls + 1} << 32) |
+                                   static_cast<std::uint32_t>(ppc - 1));
+    if (ppc > 1 && !queues_[cls]->try_enqueue(ctx, chunk)) {
+      ctx.atomic_add(leak_counter_, std::uint64_t{1});
     }
-    // Stage 2: claim a concrete page bit.
-    for (;;) {
-      for (std::size_t w = 0; w < (ppc + 63) / 64; ++w) {
-        const std::uint64_t seen = ctx.atomic_load(&m.bitmap[w]);
-        std::uint64_t valid = ~0ull;
-        if ((w + 1) * 64 > ppc && ppc % 64 != 0) {
-          valid = (1ull << (ppc % 64)) - 1;
-        }
-        const std::uint64_t free_bits = ~seen & valid;
-        if (free_bits == 0) continue;
-        const unsigned bit =
-            static_cast<unsigned>(std::countr_zero(free_bits));
-        if ((ctx.atomic_or(&m.bitmap[w], std::uint64_t{1} << bit) & (std::uint64_t{1} << bit)) == 0) {
-          return pool_.data(chunk) + (w * 64 + bit) * class_bytes(cls);
-        }
-      }
-      ctx.backoff();  // racing reservation has not set its bit yet
-    }
+    return pool_.data(chunk);
   }
-  // Queue empty: split a fresh chunk ("allocate from chunk in queue" misses).
-  const std::uint32_t chunk = pool_.alloc(ctx);
-  if (chunk == ChunkPool::kInvalid) return nullptr;
-  ChunkMeta& m = meta_[chunk];
-  for (auto& w : m.bitmap) ctx.atomic_store(&w, std::uint64_t{0});
-  ctx.atomic_store(&m.bitmap[0], std::uint64_t{1});  // page 0 is ours
-  ctx.atomic_store(&m.state, (std::uint64_t{cls + 1} << 32) |
-                                 static_cast<std::uint32_t>(ppc - 1));
-  if (ppc > 1 && !queues_[cls]->try_enqueue(ctx, chunk)) {
-    ctx.atomic_add(leak_counter_, std::uint64_t{1});
-  }
-  return pool_.data(chunk);
 }
 
 void Ouroboros::free_chunk_based(gpu::ThreadCtx& ctx, std::uint32_t chunk,

@@ -228,6 +228,12 @@ class Ouroboros final : public core::MemoryManager {
   [[nodiscard]] core::AuditResult audit() override;
 
   static constexpr std::size_t kNumClasses = 10;  // 16 B .. 8 KiB
+  /// Bounded page/chunk-queue re-polls after the chunk pool reports
+  /// exhaustion. Racing frees (and the splits other lanes just performed)
+  /// refill the queues continuously, so a single missed dequeue pass is not
+  /// proof of an empty heap; giving up there is what inflated Ouro-P-S
+  /// failures to ~33% in the warp-agg churn (EXPERIMENTS.md).
+  static constexpr unsigned kExhaustedRedequeues = 32;
   static constexpr std::size_t class_bytes(std::size_t c) {
     return std::size_t{16} << c;
   }
@@ -238,6 +244,11 @@ class Ouroboros final : public core::MemoryManager {
   /// accounted, bounded leakage rather than a blocked free.
   [[nodiscard]] std::uint64_t leaked_pages(gpu::ThreadCtx& ctx) {
     return ctx.atomic_load(leak_counter_);
+  }
+  /// Host-side (quiescent) read of the same counter, for benches and tests
+  /// that diagnose pool exhaustion after the kernels have drained.
+  [[nodiscard]] std::uint64_t leaked_pages_host() const {
+    return *leak_counter_;
   }
 
  private:

@@ -1,3 +1,4 @@
+#include "alloc_core/resilient_manager.h"
 #include "alloc_core/warp_aggregator.h"
 #include "allocators/atomic_alloc.h"
 #include "allocators/bulk_alloc.h"
@@ -36,11 +37,12 @@ void add(gpu::Device& probe_dev, char selector, ManagerFactory factory) {
 }
 
 /// Gives every registered variant a "<name>+V" validating twin (selector
-/// 'v') and every general-purpose variant a "<name>+W" warp-aggregated twin
-/// (selector 'w'), both wired through StackBuilder::stage_factory — the
-/// same path --stack specs use. Twin traits are derived from the cached
-/// base traits (no probe construction); twin names are interned in the
-/// registry so the string_views outlive this translation unit.
+/// 'v') and a "<name>+R" failure-recovery twin (selector 'e'), and every
+/// general-purpose variant a "<name>+W" warp-aggregated twin (selector 'w'),
+/// all wired through StackBuilder::stage_factory — the same path --stack
+/// specs use. Twin traits are derived from the cached base traits (no probe
+/// construction); twin names are interned in the registry so the
+/// string_views outlive this translation unit.
 void register_decorated_twins() {
   auto& reg = Registry::instance();
   const std::vector<RegistryEntry> base = reg.entries();  // snapshot
@@ -51,6 +53,14 @@ void register_decorated_twins() {
         .traits = vt,
         .selector = 'v',
         .factory = StackBuilder::stage_factory(StackSpec::Stage::kValidate,
+                                               e.factory)});
+
+    AllocatorTraits rt = alloc_core::ResilientManager::decorate_traits(e.traits);
+    rt.name = reg.intern(std::string(e.traits.name) + "+R");
+    reg.add(RegistryEntry{
+        .traits = rt,
+        .selector = 'e',
+        .factory = StackBuilder::stage_factory(StackSpec::Stage::kResilient,
                                                e.factory)});
 
     if (!e.traits.general_purpose) continue;  // aggregation needs free/thread

@@ -1,0 +1,102 @@
+#include "core/resilience.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace gms::core {
+
+namespace {
+
+std::uint64_t parse_u64(std::string_view key, std::string_view val) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(val.data(), val.data() + val.size(), out);
+  if (ec != std::errc{} || ptr != val.data() + val.size()) {
+    throw std::invalid_argument{"bad resilience value for " + std::string(key) +
+                                ": \"" + std::string(val) + "\""};
+  }
+  return out;
+}
+
+}  // namespace
+
+ResilienceSpec ResilienceSpec::parse(std::string_view spec) {
+  ResilienceSpec out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    auto comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const auto tok = spec.substr(pos, comma - pos);
+    const auto eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 >= tok.size()) {
+      throw std::invalid_argument{"bad resilience token: \"" +
+                                  std::string(tok) +
+                                  "\" (expected key=value)"};
+    }
+    const auto key = tok.substr(0, eq);
+    const auto val = tok.substr(eq + 1);
+    if (key == "retries") {
+      out.retries = static_cast<unsigned>(parse_u64(key, val));
+    } else if (key == "backoff") {
+      out.backoff_base = static_cast<std::uint32_t>(parse_u64(key, val));
+      if (out.backoff_base == 0) {
+        throw std::invalid_argument{"resilience backoff must be >= 1"};
+      }
+    } else if (key == "seed") {
+      out.seed = parse_u64(key, val);
+    } else if (key == "reserve") {
+      out.reserve_percent = static_cast<unsigned>(parse_u64(key, val));
+      if (out.reserve_percent == 0 || out.reserve_percent > 50) {
+        throw std::invalid_argument{"resilience reserve percent out of (0,50]"};
+      }
+    } else if (key == "breaker") {
+      out.breaker_threshold = static_cast<unsigned>(parse_u64(key, val));
+      if (out.breaker_threshold == 0) {
+        throw std::invalid_argument{"resilience breaker threshold must be >= 1"};
+      }
+    } else if (key == "decay") {
+      out.breaker_decay = parse_u64(key, val);
+      if (out.breaker_decay == 0) {
+        throw std::invalid_argument{"resilience decay must be >= 1"};
+      }
+    } else {
+      throw std::invalid_argument{
+          "unknown resilience key: \"" + std::string(key) +
+          "\" (expected retries|backoff|seed|reserve|breaker|decay)"};
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string ResilienceSpec::to_string() const {
+  return "retries=" + std::to_string(retries) +
+         ",backoff=" + std::to_string(backoff_base) +
+         ",seed=" + std::to_string(seed) +
+         ",reserve=" + std::to_string(reserve_percent) +
+         ",breaker=" + std::to_string(breaker_threshold) +
+         ",decay=" + std::to_string(breaker_decay);
+}
+
+std::string ResilienceReport::to_string() const {
+  std::string s = "[resilience] inner_failures=" +
+                  std::to_string(inner_failures) +
+                  " retries=" + std::to_string(retries) +
+                  " retry_successes=" + std::to_string(retry_successes) +
+                  " fallback_allocs=" + std::to_string(fallback_allocs) +
+                  " fallback_frees=" + std::to_string(fallback_frees) +
+                  " breaker_trips=" + std::to_string(breaker_trips) +
+                  " breaker_resets=" + std::to_string(breaker_resets) +
+                  " unrecovered=" + std::to_string(unrecovered);
+  s += " reserve_used=" + std::to_string(reserve_used_bytes) + "/" +
+       std::to_string(reserve_capacity);
+  if (reserve_double_frees > 0) {
+    s += " double_frees=" + std::to_string(reserve_double_frees);
+  }
+  if (reserve_invalid_frees > 0) {
+    s += " invalid_frees=" + std::to_string(reserve_invalid_frees);
+  }
+  return s;
+}
+
+}  // namespace gms::core

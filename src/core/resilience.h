@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "gpu/thread_ctx.h"
+
+namespace gms::core {
+
+/// Parsed form of a `--resilience=` spec: the policy knobs of the "+R"
+/// failure-recovery layer (alloc_core::ResilientManager). Every knob is
+/// deterministic — retry backoff is a seeded hash of (lane, attempt), the
+/// circuit breaker counts calls rather than wall clock — so a recorded trace
+/// replays to the same escalation decisions.
+struct ResilienceSpec {
+  /// Extra in-kernel malloc attempts after the first failure, each preceded
+  /// by a deterministic per-lane backoff. 0 disables retry (straight to the
+  /// reserve pool).
+  unsigned retries = 3;
+  /// Backoff growth base: attempt k spins `base << (k-1)` rounds plus a
+  /// seeded per-lane jitter in [0, base) — the in-kernel analogue of the
+  /// survey runner's exponential-plus-jitter schedule.
+  std::uint32_t backoff_base = 4;
+  std::uint64_t seed = 0x5EED;
+  /// Percent of the manager's heap carved off the tail as the reserve pool
+  /// (clamped to at least 64 KiB).
+  unsigned reserve_percent = 8;
+  /// Consecutive inner-manager failures at one site (size class) before the
+  /// site's circuit breaker trips and parks it on the fallback path.
+  unsigned breaker_threshold = 16;
+  /// While a breaker is open, every `breaker_decay`-th call at the site
+  /// probes the inner manager again (half-open); a successful probe closes
+  /// the breaker. Count-based, never wall clock, so replays agree.
+  std::uint64_t breaker_decay = 256;
+
+  /// Parses e.g. "retries=2,reserve=10,breaker=8,decay=64,backoff=4,seed=7".
+  /// Unknown keys throw std::invalid_argument; omitted keys keep defaults.
+  static ResilienceSpec parse(std::string_view spec);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One step of the recovery escalation chain, reported through the
+/// ResilienceObserver seam (and from there into the trace stream).
+enum class EscalationKind : std::uint8_t {
+  kRetrySuccess,   ///< inner malloc succeeded on a retry attempt
+  kFallbackAlloc,  ///< reserve pool served the request
+  kFallbackFree,   ///< a reserve-pool block was returned
+  kBreakerTrip,    ///< a site crossed breaker_threshold consecutive failures
+  kBreakerReset,   ///< a half-open probe succeeded; site back on the inner
+  kUnrecovered,    ///< retry and reserve both failed; caller saw nullptr
+};
+
+[[nodiscard]] constexpr const char* to_string(EscalationKind k) {
+  switch (k) {
+    case EscalationKind::kRetrySuccess: return "retry-success";
+    case EscalationKind::kFallbackAlloc: return "fallback-alloc";
+    case EscalationKind::kFallbackFree: return "fallback-free";
+    case EscalationKind::kBreakerTrip: return "breaker-trip";
+    case EscalationKind::kBreakerReset: return "breaker-reset";
+    case EscalationKind::kUnrecovered: return "unrecovered";
+  }
+  return "?";
+}
+
+/// Seam between the resilience layer (alloc_core) and the trace layer
+/// (which alloc_core cannot see — gms_trace links gms_alloc_core, not the
+/// other way round). The StackBuilder installs a recorder-backed
+/// implementation whenever a stack has both a trace and a resilient stage,
+/// so Chrome export and replay tooling see recovery traffic as first-class
+/// events. Called from simulated device lanes: implementations must be
+/// thread-safe and must not allocate.
+class ResilienceObserver {
+ public:
+  virtual ~ResilienceObserver() = default;
+  /// `detail` is kind-specific: attempts for kRetrySuccess, the arena offset
+  /// for fallback alloc/free, the consecutive-failure count for breaker
+  /// transitions, 0 for kUnrecovered.
+  virtual void on_escalation(gpu::ThreadCtx& ctx, EscalationKind kind,
+                             std::uint64_t size, std::uint64_t detail) = 0;
+};
+
+/// Host-side snapshot of the "+R" layer's bookkeeping — what
+/// bench_resilience prints per manager and what the acceptance criterion
+/// ("0 unrecovered failures") is asserted against.
+struct ResilienceReport {
+  std::uint64_t inner_failures = 0;   ///< first-attempt nullptr returns
+  std::uint64_t retries = 0;          ///< retry attempts issued
+  std::uint64_t retry_successes = 0;  ///< requests rescued by retry alone
+  std::uint64_t fallback_allocs = 0;  ///< requests served by the reserve pool
+  std::uint64_t fallback_frees = 0;   ///< reserve blocks returned
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_resets = 0;
+  std::uint64_t breaker_served = 0;   ///< calls short-circuited while open
+  std::uint64_t unrecovered = 0;      ///< nullptr escaped to the caller
+  std::uint64_t reserve_exhausted = 0;   ///< reserve had no block to give
+  std::uint64_t reserve_double_frees = 0;///< detected + absorbed, never UB
+  std::uint64_t reserve_invalid_frees = 0;///< in-range but not a block start
+  std::uint64_t reserve_used_bytes = 0;  ///< bump high-water mark
+  std::uint64_t reserve_capacity = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace gms::core

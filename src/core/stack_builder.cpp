@@ -6,6 +6,7 @@
 
 #include <stdexcept>
 
+#include "alloc_core/resilient_manager.h"
 #include "alloc_core/warp_aggregator.h"
 #include "core/validating_manager.h"
 #include "trace/trace_recorder.h"
@@ -16,7 +17,56 @@ namespace gms::core {
 namespace {
 
 constexpr std::string_view kStageNames[] = {"trace", "fault", "validate",
-                                            "warpagg"};
+                                            "warpagg", "resilient"};
+constexpr std::uint8_t kNumStages =
+    static_cast<std::uint8_t>(std::size(kStageNames));
+
+/// ResilienceObserver that forwards "+R" escalations into the stack's
+/// TraceRecorder as recovery-marker events — the bridge the alloc_core
+/// layer cannot build itself (it sits below gms_trace). Owned by the
+/// ResilientManager, so it cannot outlive-dangle: the BuiltStack contract
+/// already keeps the recorder alive as long as the manager.
+class RecorderEscalationSink final : public ResilienceObserver {
+ public:
+  explicit RecorderEscalationSink(trace::TraceRecorder& rec) : rec_(rec) {}
+
+  void on_escalation(gpu::ThreadCtx& ctx, EscalationKind kind,
+                     std::uint64_t size, std::uint64_t detail) override {
+    if (!rec_.enabled()) return;
+    trace::TraceEvent ev;
+    ev.kind = static_cast<std::uint8_t>(map(kind));
+    ev.t_ns = rec_.now_ns();
+    ev.size = size;
+    ev.offset = detail;
+    ev.thread_rank = ctx.thread_rank();
+    ev.block = ctx.block_idx();
+    ev.smid = static_cast<std::uint8_t>(ctx.smid());
+    ev.lane = static_cast<std::uint8_t>(ctx.lane_id());
+    ev.warp = static_cast<std::uint8_t>(ctx.warp_in_block());
+    rec_.record(ctx.smid(), ev);
+  }
+
+ private:
+  static trace::EventKind map(EscalationKind k) {
+    switch (k) {
+      case EscalationKind::kRetrySuccess:
+        return trace::EventKind::kRetrySuccess;
+      case EscalationKind::kFallbackAlloc:
+        return trace::EventKind::kFallbackAlloc;
+      case EscalationKind::kFallbackFree:
+        return trace::EventKind::kFallbackFree;
+      case EscalationKind::kBreakerTrip:
+        return trace::EventKind::kBreakerTrip;
+      case EscalationKind::kBreakerReset:
+        return trace::EventKind::kBreakerReset;
+      case EscalationKind::kUnrecovered:
+        return trace::EventKind::kUnrecovered;
+    }
+    return trace::EventKind::kUnrecovered;
+  }
+
+  trace::TraceRecorder& rec_;
+};
 
 }  // namespace
 
@@ -52,7 +102,7 @@ StackSpec StackSpec::parse(std::string_view spec) {
                                   std::string(spec) + "\""};
     }
     bool is_stage = false;
-    for (std::uint8_t i = 0; i < 4; ++i) {
+    for (std::uint8_t i = 0; i < kNumStages; ++i) {
       if (tok == kStageNames[i]) {
         const auto stage = static_cast<Stage>(i);
         if (out.has(stage)) {
@@ -68,7 +118,7 @@ StackSpec StackSpec::parse(std::string_view spec) {
       if (!last) {
         throw std::invalid_argument{
             "unknown stack stage: " + std::string(tok) +
-            " (expected trace|fault|validate|warpagg)"};
+            " (expected trace|fault|validate|warpagg|resilient)"};
       }
       out.base = std::string(tok);
     }
@@ -79,9 +129,16 @@ StackSpec StackSpec::parse(std::string_view spec) {
 }
 
 ManagerFactory StackBuilder::stage_factory(StackSpec::Stage stage,
-                                           ManagerFactory base,
-                                           FaultSpec fault) {
+                                           ManagerFactory base, FaultSpec fault,
+                                           ResilienceSpec resilience) {
   switch (stage) {
+    case StackSpec::Stage::kResilient:
+      return [base = std::move(base), resilience](gpu::Device& dev,
+                                                  std::size_t heap) {
+        return std::unique_ptr<MemoryManager>(
+            std::make_unique<alloc_core::ResilientManager>(dev, heap, base,
+                                                           resilience));
+      };
     case StackSpec::Stage::kValidate:
       return [base = std::move(base)](gpu::Device& dev, std::size_t heap) {
         return std::unique_ptr<MemoryManager>(
@@ -137,7 +194,7 @@ BuiltStack StackBuilder::build(const StackSpec& spec,
                                                     dev.arena()));
       };
     } else {
-      f = stage_factory(*it, std::move(f), fault_);
+      f = stage_factory(*it, std::move(f), fault_, resilience_);
     }
   }
 
@@ -162,6 +219,10 @@ BuiltStack StackBuilder::build(const StackSpec& spec,
       if (out.aggregator == nullptr) out.aggregator = w;
       if (out.name.empty()) out.name = std::string(w->traits().name);
       m = &w->inner();
+    } else if (auto* r = dynamic_cast<alloc_core::ResilientManager*>(m)) {
+      if (out.resilient == nullptr) out.resilient = r;
+      if (out.name.empty()) out.name = std::string(r->traits().name);
+      m = &r->inner();
     } else {
       break;
     }
@@ -170,6 +231,13 @@ BuiltStack StackBuilder::build(const StackSpec& spec,
 
   if (out.recorder != nullptr) {
     dev_->set_launch_observer(out.recorder.get());
+    // A traced resilient stage reports its escalations into the recording:
+    // recovery traffic becomes first-class trace events (Chrome export's
+    // "resilience" category) without the digest ever seeing them.
+    if (out.resilient != nullptr) {
+      out.resilient->set_observer(
+          std::make_unique<RecorderEscalationSink>(*out.recorder));
+    }
   }
   return out;
 }

@@ -9,6 +9,7 @@
 #include "core/fault_inject.h"
 #include "core/memory_manager.h"
 #include "core/registry.h"
+#include "core/resilience.h"
 #include "gpu/device.h"
 
 namespace gms::trace {
@@ -17,6 +18,7 @@ class TracingManager;
 }  // namespace gms::trace
 
 namespace gms::alloc_core {
+class ResilientManager;
 class WarpAggregator;
 }  // namespace gms::alloc_core
 
@@ -28,12 +30,19 @@ class ValidatingManager;
 /// then the base allocator's registry name — "trace>fault>validate>Halloc"
 /// builds TracingManager(FaultInjector(ValidatingManager(Halloc))).
 struct StackSpec {
-  enum class Stage : std::uint8_t { kTrace, kFault, kValidate, kWarpAgg };
+  enum class Stage : std::uint8_t {
+    kTrace,
+    kFault,
+    kValidate,
+    kWarpAgg,
+    kResilient,
+  };
 
   std::vector<Stage> stages;  ///< outermost first, as written
   std::string base;           ///< registry name; empty for a stage-only spec
 
-  /// Stage tokens: "trace", "fault", "validate", "warpagg". The last
+  /// Stage tokens: "trace", "fault", "validate", "warpagg", "resilient".
+  /// The last
   /// '>'-separated token that is not a stage name becomes the base; a spec
   /// of stages only ("trace>validate") leaves base empty so one --stack
   /// stage list can apply across a whole -t selection. Throws
@@ -56,6 +65,7 @@ struct BuiltStack {
   FaultInjector* injector = nullptr;
   trace::TracingManager* tracer = nullptr;
   alloc_core::WarpAggregator* aggregator = nullptr;
+  alloc_core::ResilientManager* resilient = nullptr;
   std::unique_ptr<trace::TraceRecorder> recorder;  ///< set iff a trace stage
 
   /// Identity of the stack: the name of the outermost layer that is not a
@@ -81,6 +91,12 @@ class StackBuilder {
     return *this;
   }
 
+  /// Policy knobs consumed by a "resilient" stage (ignored without one).
+  StackBuilder& resilience(const ResilienceSpec& spec) {
+    resilience_ = spec;
+    return *this;
+  }
+
   /// Builds the stack over a freshly cleared arena (Registry::make
   /// semantics: throws on unknown base or a heap larger than the arena).
   [[nodiscard]] BuiltStack build(const StackSpec& spec,
@@ -93,12 +109,13 @@ class StackBuilder {
   /// trace stage needs a live recorder and cannot be a standalone factory;
   /// passing kTrace throws std::invalid_argument.
   static ManagerFactory stage_factory(StackSpec::Stage stage,
-                                      ManagerFactory base,
-                                      FaultSpec fault = {});
+                                      ManagerFactory base, FaultSpec fault = {},
+                                      ResilienceSpec resilience = {});
 
  private:
   gpu::Device* dev_;
   FaultSpec fault_{};
+  ResilienceSpec resilience_{};
 };
 
 }  // namespace gms::core

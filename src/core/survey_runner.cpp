@@ -318,6 +318,11 @@ CellResult SurveyRunner::run_cell(const std::string& key,
   return res;
 }
 
+Verdict SurveyRunner::probe_cell(
+    const std::function<CellOutcome()>& body) const {
+  return run_attempt(body).verdict;
+}
+
 std::size_t SurveyRunner::load_quarantine() {
   quarantine_.clear();
   std::ifstream in(opts_.quarantine_path);

@@ -107,6 +107,12 @@ class SurveyRunner {
   CellResult run_cell(const std::string& key,
                       const std::function<CellOutcome()>& body);
 
+  /// One contained fork/classify cycle with no retries, no results()
+  /// recording and no quarantine bookkeeping — the verdict oracle the trace
+  /// minimizer and the corpus sweep invoke many times per cell. Same body
+  /// contract as run_cell.
+  [[nodiscard]] Verdict probe_cell(const std::function<CellOutcome()>& body) const;
+
   [[nodiscard]] const std::vector<CellResult>& results() const {
     return results_;
   }

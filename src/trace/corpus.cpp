@@ -1,0 +1,100 @@
+#include "trace/corpus.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace gms::trace {
+
+namespace {
+
+/// Same minimal line-parser contract as the quarantine file: string fields
+/// must stay quote-free (save side sanitizes).
+std::string extract_string(const std::string& line, std::string_view field) {
+  const std::string needle = "\"" + std::string(field) + "\": \"";
+  auto pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  pos += needle.size();
+  auto end = line.find('"', pos);
+  if (end == std::string::npos) return {};
+  return line.substr(pos, end - pos);
+}
+
+std::string sanitize(std::string s) {
+  for (char& c : s) {
+    if (c == '"' || c == '\\') c = '\'';
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> load_corpus(const std::string& dir) {
+  const auto path = std::filesystem::path(dir) / kCorpusManifest;
+  std::ifstream in(path);
+  if (!in) return {};
+  std::vector<CorpusEntry> out;
+  std::string line;
+  bool saw_entries = false;
+  while (std::getline(in, line)) {
+    if (line.find("\"entries\"") != std::string::npos) saw_entries = true;
+    const auto file = extract_string(line, "file");
+    if (file.empty()) continue;
+    CorpusEntry e;
+    e.file = file;
+    e.stack = extract_string(line, "stack");
+    e.expected = core::verdict_from_string(extract_string(line, "expected"));
+    e.source = extract_string(line, "source");
+    e.note = extract_string(line, "note");
+    if (e.stack.empty()) {
+      throw std::runtime_error{"corpus entry missing stack: " + file};
+    }
+    out.push_back(std::move(e));
+  }
+  if (!saw_entries) {
+    throw std::runtime_error{"malformed corpus manifest: " + path.string()};
+  }
+  return out;
+}
+
+void save_corpus(const std::string& dir,
+                 const std::vector<CorpusEntry>& entries) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const auto path = std::filesystem::path(dir) / kCorpusManifest;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error{"cannot write " + path.string()};
+  }
+  out << "{\n  \"version\": 1,\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    out << "    {\"file\": \"" << sanitize(e.file) << "\", \"stack\": \""
+        << sanitize(e.stack) << "\", \"expected\": \""
+        << core::to_string(e.expected) << "\", \"source\": \""
+        << sanitize(e.source) << "\", \"note\": \"" << sanitize(e.note)
+        << "\"}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out.good()) {
+    throw std::runtime_error{"write failed: " + path.string()};
+  }
+}
+
+std::size_t corpus_add(const std::string& dir, const CorpusEntry& entry) {
+  auto entries = load_corpus(dir);
+  bool replaced = false;
+  for (auto& e : entries) {
+    if (e.file == entry.file) {
+      e = entry;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) entries.push_back(entry);
+  save_corpus(dir, entries);
+  return entries.size();
+}
+
+}  // namespace gms::trace

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/survey_runner.h"
+
+namespace gms::trace {
+
+/// One entry of the adversarial regression corpus (`results/corpus/`): a
+/// committed .gmtrace plus the stack to replay it under and the verdict CI
+/// must reproduce. Hand-built seeds and minimized soak failures share the
+/// format; `bench_replay --corpus DIR` sweeps the whole directory and fails
+/// on any verdict drift.
+struct CorpusEntry {
+  std::string file;   ///< trace filename, relative to the corpus directory
+  std::string stack;  ///< full StackSpec string incl. base ("resilient>validate>Halloc")
+  core::Verdict expected = core::Verdict::kOk;
+  std::string source;  ///< "handbuilt" | "soak"
+  std::string note;    ///< one line: what the trace stresses
+};
+
+inline constexpr const char* kCorpusManifest = "corpus.json";
+
+/// Reads `dir`/corpus.json. A missing manifest is an empty corpus; a
+/// malformed one throws std::runtime_error (CI must not silently sweep
+/// nothing).
+[[nodiscard]] std::vector<CorpusEntry> load_corpus(const std::string& dir);
+
+/// Rewrites `dir`/corpus.json (creating the directory), entries in the
+/// given order, one JSON object per line — the quarantine-file idiom, so
+/// the read side stays a minimal line parser and diffs stay reviewable.
+void save_corpus(const std::string& dir,
+                 const std::vector<CorpusEntry>& entries);
+
+/// Load-modify-save: replaces any entry with the same file name, else
+/// appends. Returns the new corpus size.
+std::size_t corpus_add(const std::string& dir, const CorpusEntry& entry);
+
+}  // namespace gms::trace

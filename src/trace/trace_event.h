@@ -19,6 +19,17 @@ enum class EventKind : std::uint8_t {
   kKernelEnd = 17,       ///< size = 1 when the launch was cancelled
   kWatchdogCancel = 18,  ///< watchdog raised the cancellation flag
   kBarrier = 19,         ///< one block-wide barrier released on this SM
+
+  // Recovery markers emitted by the "+R" resilient stage. Markers, not
+  // allocation events: they ride along in exports and replay tooling but
+  // stay outside canonical_bytes, so recovery traffic never perturbs the
+  // replay-determinism digest.
+  kRetrySuccess = 24,   ///< size = request; offset = winning attempt ordinal
+  kFallbackAlloc = 25,  ///< reserve pool served; offset = arena offset
+  kFallbackFree = 26,   ///< reserve block returned; offset = arena offset
+  kBreakerTrip = 27,    ///< offset = consecutive failures at the trip
+  kBreakerReset = 28,   ///< a half-open probe succeeded
+  kUnrecovered = 29,    ///< escalation exhausted; the caller saw nullptr
 };
 
 [[nodiscard]] constexpr bool is_alloc_event(EventKind k) {
@@ -35,8 +46,19 @@ enum class EventKind : std::uint8_t {
     case EventKind::kKernelEnd: return "kernel_end";
     case EventKind::kWatchdogCancel: return "watchdog_cancel";
     case EventKind::kBarrier: return "barrier";
+    case EventKind::kRetrySuccess: return "retry_success";
+    case EventKind::kFallbackAlloc: return "fallback_alloc";
+    case EventKind::kFallbackFree: return "fallback_free";
+    case EventKind::kBreakerTrip: return "breaker_trip";
+    case EventKind::kBreakerReset: return "breaker_reset";
+    case EventKind::kUnrecovered: return "unrecovered";
   }
   return "?";
+}
+
+/// The "+R" recovery-marker range (trace subtype of the escalation chain).
+[[nodiscard]] constexpr bool is_resilience_event(EventKind k) {
+  return k >= EventKind::kRetrySuccess && k <= EventKind::kUnrecovered;
 }
 
 /// `offset` value for "no pointer": failed mallocs and null frees.

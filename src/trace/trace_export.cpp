@@ -155,6 +155,23 @@ void write_chrome_trace(const std::string& path, const Trace& trace) {
             "\"ts\":%.3f}",
             ev.block, static_cast<unsigned>(ev.smid), us(ev.t_ns));
         break;
+      case EventKind::kRetrySuccess:
+      case EventKind::kFallbackAlloc:
+      case EventKind::kFallbackFree:
+      case EventKind::kBreakerTrip:
+      case EventKind::kBreakerReset:
+      case EventKind::kUnrecovered:
+        // Recovery traffic from the "+R" stage: thread-scoped instants on
+        // the SM that escalated, with the request size and the kind-specific
+        // detail (attempt / arena offset / failure streak) as args.
+        f.printf(
+            ",\n{\"ph\":\"i\",\"name\":\"%s\",\"s\":\"t\","
+            "\"cat\":\"resilience\",\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+            "\"args\":{\"rank\":%" PRIu32 ",\"size\":%" PRIu64
+            ",\"detail\":%" PRIu64 "}}",
+            to_string(kind), static_cast<unsigned>(ev.smid), us(ev.t_ns),
+            ev.thread_rank, ev.size, ev.offset);
+        break;
     }
   }
   f.printf("\n]}\n");

@@ -1,0 +1,111 @@
+#include "trace/trace_minimizer.h"
+
+#include <vector>
+
+namespace gms::trace {
+
+namespace {
+
+/// Candidate = all marker events + the alloc events in [front, back) of the
+/// alloc-index list, original order preserved.
+Trace make_candidate(const Trace& input,
+                     const std::vector<std::size_t>& alloc_idx,
+                     std::size_t front, std::size_t back) {
+  Trace out;
+  out.header = input.header;
+  out.events.reserve(input.events.size());
+  std::size_t next_alloc = 0;  // position within alloc_idx
+  for (std::size_t i = 0; i < input.events.size(); ++i) {
+    const bool is_alloc = next_alloc < alloc_idx.size() &&
+                          alloc_idx[next_alloc] == i;
+    if (is_alloc) {
+      if (next_alloc >= front && next_alloc < back) {
+        out.events.push_back(input.events[i]);
+      }
+      ++next_alloc;
+    } else {
+      out.events.push_back(input.events[i]);
+    }
+  }
+  out.header.event_count = out.events.size();
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult minimize_trace(const Trace& input, core::Verdict expected,
+                              const VerdictProbe& probe,
+                              const MinimizeOptions& opts) {
+  MinimizeResult res;
+  std::vector<std::size_t> alloc_idx;
+  for (std::size_t i = 0; i < input.events.size(); ++i) {
+    if (is_alloc_event(input.events[i].event_kind())) alloc_idx.push_back(i);
+  }
+  res.original_ops = alloc_idx.size();
+
+  auto reproduces = [&](std::size_t front, std::size_t back) {
+    ++res.probes;
+    return probe(make_candidate(input, alloc_idx, front, back)) == expected;
+  };
+  auto budget_left = [&] { return res.probes < opts.max_probes; };
+
+  // The oracle must agree on the unmodified input before any reduction —
+  // a flaky verdict would let the search "minimize" to noise.
+  res.reproduced = reproduces(0, alloc_idx.size());
+  if (!res.reproduced || alloc_idx.empty()) {
+    res.trace = input;
+    res.minimized_ops = res.original_ops;
+    return res;
+  }
+
+  // Pass 1 — shortest reproducing prefix: binary-search the first op count
+  // at which the verdict manifests. Non-monotone oracles cannot break
+  // soundness (the final candidate is re-verified below); they only cost
+  // optimality.
+  std::size_t lo = 0, hi = alloc_idx.size();
+  while (lo < hi && budget_left()) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (reproduces(0, mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::size_t back = hi;
+
+  // Pass 2 — drop the longest front: greedy halving chunks of leading setup
+  // ops, keeping every removal that still reproduces.
+  std::size_t front = 0;
+  std::size_t chunk = (back - front) / 2;
+  while (chunk >= 1 && budget_left()) {
+    if (front + chunk < back && reproduces(front + chunk, back)) {
+      front += chunk;
+    } else {
+      chunk /= 2;
+    }
+  }
+
+  // Final verification: the exact candidate we hand back must reproduce.
+  // (The binary searches each verified their accepted half-ranges, but
+  // verify the combined [front, back) window once more to be airtight.)
+  while (front > 0 || back < alloc_idx.size()) {
+    ++res.probes;
+    if (probe(make_candidate(input, alloc_idx, front, back)) == expected) {
+      break;
+    }
+    // Combined window regressed (non-monotone oracle): give back the
+    // verified pass-1 prefix, or the full trace as the last resort.
+    if (front > 0) {
+      front = 0;
+    } else {
+      back = alloc_idx.size();
+    }
+  }
+
+  res.trace = make_candidate(input, alloc_idx, front, back);
+  res.minimized_ops = back - front;
+  res.reduced = res.minimized_ops < res.original_ops;
+  return res;
+}
+
+}  // namespace gms::trace

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/survey_runner.h"
+#include "trace/trace_format.h"
+
+namespace gms::trace {
+
+/// Verdict oracle for the minimizer: replays a candidate trace (callers
+/// fork-contain it, usually via SurveyRunner::probe_cell) and reports how it
+/// ended. The minimizer only compares the result against the expected
+/// verdict; it never interprets it.
+using VerdictProbe = std::function<core::Verdict(const Trace&)>;
+
+struct MinimizeOptions {
+  /// Probe budget: the minimizer converges greedily and stops (keeping the
+  /// best verified candidate so far) once this many probes ran.
+  unsigned max_probes = 48;
+};
+
+struct MinimizeResult {
+  Trace trace;           ///< best verified reproducing candidate
+  bool reproduced = false;  ///< the input itself reproduced the verdict
+  bool reduced = false;     ///< minimized below the input's event count
+  unsigned probes = 0;
+  std::uint64_t original_ops = 0;   ///< allocation events in the input
+  std::uint64_t minimized_ops = 0;  ///< allocation events in `trace`
+};
+
+/// Greedy op-range reduction over a failing trace (DESIGN.md §11): keeps
+/// marker events untouched and shrinks the allocation-event span with two
+/// binary-search passes — first the shortest reproducing prefix (where does
+/// the failure first manifest), then the longest droppable front (what
+/// setup is actually needed). Every accepted candidate is verified against
+/// `expected` through the probe, so the returned trace always reproduces the
+/// verdict — if even the unmodified input does not (flaky failure), the
+/// input is returned with reproduced=false.
+///
+/// Dangling frees created by dropping a malloc are harmless: TraceReplayer
+/// counts them as unmatched and skips the op.
+[[nodiscard]] MinimizeResult minimize_trace(const Trace& input,
+                                            core::Verdict expected,
+                                            const VerdictProbe& probe,
+                                            const MinimizeOptions& opts = {});
+
+}  // namespace gms::trace
