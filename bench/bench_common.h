@@ -55,6 +55,20 @@ struct BenchArgs {
   /// --resilience=SPEC: policy knobs for any "resilient" stage
   /// ("retries=3,reserve=8,breaker=16,decay=256,backoff=4,seed=S").
   core::ResilienceSpec resilience;
+  /// --warpagg=SPEC: policy knobs for any "warpagg" stage / "+W" twin
+  /// ("adaptive|always|never[,enter=N,exit=N,dwell=N,sample=N,probe=N,"
+  /// "slab=KB]").
+  core::WarpAggSpec warpagg;
+  /// --smoke: bench-specific quick mode (bench_warpagg: one rep, fewer
+  /// rounds, implies the CI speedup gate).
+  bool smoke = false;
+  /// --min-speedup X: bench_warpagg exits non-zero when any manager's
+  /// adaptive "+W" convergent-churn speedup falls below X (0 = no gate).
+  double min_speedup = 0;
+  /// --reps N: paired A/B repetitions per cell (0 = bench default). The
+  /// speedup estimator is the median of per-rep ratios, so odd counts
+  /// give a true middle element.
+  unsigned reps = 0;
   /// --watchdog-ms=N: cancel a launch after N ms without scheduler progress
   /// (0 = off). Surfaces as the paper's "timed out / unstable" outcome.
   double watchdog_ms = 0;
@@ -198,6 +212,19 @@ inline BenchArgs parse_args(int argc, char** argv,
         std::cerr << e.what() << "\n";
         std::exit(2);
       }
+    } else if (flag == "--warpagg") {
+      try {
+        args.warpagg = core::WarpAggSpec::parse(need(i));
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        std::exit(2);
+      }
+    } else if (flag == "--smoke") {
+      args.smoke = true;
+    } else if (flag == "--min-speedup") {
+      args.min_speedup = std::stod(need(i));
+    } else if (flag == "--reps") {
+      args.reps = static_cast<unsigned>(std::stoul(need(i)));
     } else if (flag == "--soak") {
       args.soak = static_cast<unsigned>(std::stoul(need(i)));
     } else if (flag == "--corpus") {
@@ -243,6 +270,10 @@ inline BenchArgs parse_args(int argc, char** argv,
              "(optional suffix ,delay=K)\n"
              "resilience SPECs: retries=N,backoff=B,seed=S,reserve=PCT,"
              "breaker=N,decay=N (any subset)\n"
+             "warpagg SPECs: adaptive|always|never followed by any of "
+             "enter=N,exit=N,dwell=N,sample=N,probe=N,slab=KB\n"
+             "bench_warpagg: --smoke (quick CI gate)  --min-speedup X  "
+             "--reps N\n"
              "stack SPECs: '>'-separated stages outermost first from "
              "{trace, fault, validate, warpagg, resilient}, optionally "
              "ending in a base allocator name (else applied to each -t "
@@ -328,6 +359,7 @@ class ManagedDevice {
     auto stack = core::StackBuilder(*device_)
                      .fault(args.fault)
                      .resilience(args.resilience)
+                     .warpagg(args.warpagg)
                      .build(spec, args.heap_bytes());
     mgr_ = std::move(stack.manager);
     recorder_ = std::move(stack.recorder);

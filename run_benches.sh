@@ -94,9 +94,13 @@ if [[ $SMOKE -eq 1 ]]; then
                                --chrome "$R"/reference.chrome.json
   # Warp-aggregation A/B on a representative subset (the full matrix runs in
   # the non-smoke sweep); refreshes BENCH_warpagg.json at the recorded
-  # contention point (32 SMs, 32 rounds/lane).
+  # contention point (32 SMs, 32 rounds/lane). --smoke also arms the
+  # adaptive regression gate: a never-switched convergent cell must add
+  # zero collectives (the no-tax contract, checked on a deterministic
+  # counter because wall clock is stall-noisy on a throttled host), and a
+  # storm cell whose "+W" speedup drops under 0.75x exits non-zero.
   run "$R"/smoke_warpagg.txt   bench_warpagg -t CUDA,Halloc,ScatterAlloc,Ouro-P-VA \
-                               --sms 32 --iters 32 --json BENCH_warpagg.json
+                               --smoke --sms 32 --iters 32 --json BENCH_warpagg.json
   # Failure-recovery A/B on a representative subset (full matrix in the
   # non-smoke sweep): base vs "+R" twin plus a fault round; exits non-zero
   # if any resilient run leaks an unrecovered allocation failure.
@@ -132,9 +136,12 @@ run "$R"/replay.txt           bench_replay --trace "$R"/reference.ScatterAlloc.g
                               -t ScatterAlloc,Ouro-P-VA,Halloc,XMalloc --json BENCH_replay.json \
                               --chrome "$R"/reference.chrome.json --occupancy "$R"/reference.occupancy.csv
 # Warp-aggregation A/B over every general-purpose base vs its "+W" twin
-# (DESIGN.md §10): wall ms + atomics-per-malloc at the recorded contention
+# (DESIGN.md §12): wall ms + atomics-per-malloc at the recorded contention
 # point. BENCH_warpagg.json is a perf-trajectory file like BENCH_simt.json.
-run "$R"/warpagg.txt          bench_warpagg --sms 32 --iters 32 --json BENCH_warpagg.json
+# 9 reps: the speedup is the median of per-rep A/B ratios, and on a
+# quota-throttled 1-core host the per-rep spread is wide enough that 5
+# reps still let stall-struck tails through (EXPERIMENTS.md).
+run "$R"/warpagg.txt          bench_warpagg --sms 32 --iters 32 --reps 9 --json BENCH_warpagg.json
 # Failure-recovery A/B over every base manager vs its "+R" resilient twin
 # (DESIGN.md §11) at the warp-agg contention point, plus a fault-injected
 # round; BENCH_resilience.json is a perf/recovery trajectory file.

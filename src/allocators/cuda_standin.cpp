@@ -76,31 +76,49 @@ unsigned CudaStandin::region_for(std::size_t payload) const {
 
 std::size_t CudaStandin::Region::claim(gpu::ThreadCtx& ctx, std::size_t k) {
   DeviceLockGuard guard(DeviceSpinLock{lock}, ctx);
-  const std::size_t start = static_cast<std::size_t>(*hint) % num_units;
+  const std::size_t start =
+      static_cast<std::size_t>(ctx.atomic_load(hint)) % num_units;
   std::size_t run = 0;
   std::size_t run_start = 0;
-  // First-fit from the rotating hint, wrapping once over the region.
+  std::uint64_t word = 0;
+  std::size_t word_idx = ~std::size_t{0};
+  // First-fit from the rotating hint, wrapping once over the region. One
+  // device load per bitmap word probed: the scan length IS this manager's
+  // fill-dependent cost, and routing it through the instrumented accessors
+  // (like every other manager's search loop) makes it visible to counters.
   for (std::size_t step = 0; step < num_units + k; ++step) {
     const std::size_t i = (start + step) % num_units;
     if (i == 0 || step == 0) run = 0;  // runs must not wrap the region end
     if (run == 0) run_start = i;
-    const bool used = (bitmap[i / 64] >> (i % 64)) & 1ull;
+    if (i / 64 != word_idx) {
+      word_idx = i / 64;
+      word = ctx.atomic_load(&bitmap[word_idx]);
+    }
+    const bool used = (word >> (i % 64)) & 1ull;
     run = used ? 0 : run + 1;
     if (run == k) {
-      for (std::size_t u = run_start; u < run_start + k; ++u) {
-        bitmap[u / 64] |= 1ull << (u % 64);
-      }
-      *hint = run_start + k;
+      flip(ctx, run_start, k, /*set=*/true);
+      ctx.atomic_store(hint, static_cast<std::uint64_t>(run_start + k));
       return run_start;
     }
   }
   return ~std::size_t{0};
 }
 
-void CudaStandin::Region::release(std::size_t first_unit, std::size_t k) {
-  for (std::size_t u = first_unit; u < first_unit + k; ++u) {
-    bitmap[u / 64] &= ~(1ull << (u % 64));
+void CudaStandin::Region::flip(gpu::ThreadCtx& ctx, std::size_t first_unit,
+                               std::size_t k, bool set) {
+  for (std::size_t u = first_unit; u < first_unit + k;) {
+    const std::size_t w = u / 64;
+    std::uint64_t mask = 0;
+    for (; u < first_unit + k && u / 64 == w; ++u) mask |= 1ull << (u % 64);
+    // Under the region lock, so plain read + instrumented store suffices.
+    ctx.atomic_store(&bitmap[w], set ? bitmap[w] | mask : bitmap[w] & ~mask);
   }
+}
+
+void CudaStandin::Region::release(gpu::ThreadCtx& ctx, std::size_t first_unit,
+                                  std::size_t k) {
+  flip(ctx, first_unit, k, /*set=*/false);
 }
 
 void* CudaStandin::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
@@ -137,7 +155,7 @@ void CudaStandin::free(gpu::ThreadCtx& ctx, void* ptr) {
     assert((side >> 32) == kMagic && "free of a foreign/corrupt pointer");
     ctx.atomic_store(&large.side_headers[first], std::uint64_t{0});
     DeviceLockGuard guard(DeviceSpinLock{large.lock}, ctx);
-    large.release(first, static_cast<std::size_t>(side & 0xFFFFFFFFu));
+    large.release(ctx, first, static_cast<std::size_t>(side & 0xFFFFFFFFu));
     return;
   }
   auto* header = static_cast<Header*>(ptr) - 1;
@@ -145,7 +163,7 @@ void CudaStandin::free(gpu::ThreadCtx& ctx, void* ptr) {
   Region& reg = regions_[header->region];
   header->magic = 0;
   DeviceLockGuard guard(DeviceSpinLock{reg.lock}, ctx);
-  reg.release(header->first_unit, header->unit_count);
+  reg.release(ctx, header->first_unit, header->unit_count);
 }
 
 }  // namespace gms::alloc

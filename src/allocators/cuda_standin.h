@@ -50,8 +50,17 @@ class CudaStandin final : public core::MemoryManager {
     std::size_t num_units = 0;
 
     /// Finds and claims `k` contiguous units; returns unit index or ~0.
+    /// The bitmap scan and bit flips go through the instrumented device
+    /// accessors — the walk is device-memory traffic, and its length is the
+    /// observable that makes this manager's fill-dependent slowdown visible
+    /// to counter-based samplers the same way the other managers' search
+    /// loops are.
     std::size_t claim(gpu::ThreadCtx& ctx, std::size_t k);
-    void release(std::size_t first_unit, std::size_t k);
+    void release(gpu::ThreadCtx& ctx, std::size_t first_unit, std::size_t k);
+    /// Flips `k` bits starting at `first_unit` (set or clear), one
+    /// instrumented store per touched bitmap word.
+    void flip(gpu::ThreadCtx& ctx, std::size_t first_unit, std::size_t k,
+              bool set);
   };
 
   struct Header {

@@ -15,6 +15,7 @@ constexpr core::AllocatorTraits kTraits{
     .warp_level_only = true,
     .supports_free = true,    // collectively, per warp
     .individual_free = false,
+    .bulk_free_capable = true,  // warp_free_all sweeps the warp's whole heap
     .max_direct_size = 8192,  // warp totals beyond one SuperBlock relay
     .relays_large_to_system = true,
     .its_safe = false,

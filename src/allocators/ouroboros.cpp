@@ -677,14 +677,25 @@ void* Ouroboros::malloc_chunk_based(gpu::ThreadCtx& ctx, std::size_t cls) {
       std::uint32_t chunk = 0;
       if (!queues_[cls]->try_dequeue(ctx, chunk)) break;
       ChunkMeta& m = meta_[chunk];
-      // Stage 1: reserve a free page (count in the low half of the state).
-      auto* count = reinterpret_cast<std::uint32_t*>(&m.state);
-      const std::uint32_t prev = ctx.atomic_sub(count, 1u);
-      if (prev == 0 || prev > ppc ||
-          (ctx.atomic_load(&m.state) >> 32) != cls + 1) {
-        ctx.atomic_add(count, 1u);  // stale id (recycled chunk): skip it
-        continue;
+      // Stage 1: reserve a free page with ONE 64-bit CAS over the whole
+      // {class tag : count} state, so the tag is validated in the same
+      // atomic step that debits the count. The previous fetch_sub +
+      // blind-undo scheme had a recycling race: a sub landing on a retired
+      // id (state 0, stale queue entry) was "undone" with a plain add that
+      // could arrive AFTER a splitter re-initialised the chunk for a new
+      // generation — inflating the fresh count by one, letting the chunk
+      // retire with a page still live, and sending that page's eventual
+      // free through a zero class tag ((state >> 32) - 1 underflows and
+      // class_bytes() shifts by SIZE_MAX).
+      std::uint32_t prev = 0;
+      for (std::uint64_t cur = ctx.atomic_load(&m.state); prev == 0;) {
+        const auto cnt = static_cast<std::uint32_t>(cur);
+        if ((cur >> 32) != cls + 1 || cnt == 0 || cnt > ppc) break;
+        const std::uint64_t got = ctx.atomic_cas(&m.state, cur, cur - 1);
+        if (got == cur) prev = cnt;
+        cur = got;
       }
+      if (prev == 0) continue;  // stale id (retired/recycled chunk): skip
       if (prev >= 2) {
         // Still has pages: make the chunk findable again.
         if (!queues_[cls]->try_enqueue(ctx, chunk)) {
@@ -739,7 +750,16 @@ void Ouroboros::free_chunk_based(gpu::ThreadCtx& ctx, std::uint32_t chunk,
                                  std::size_t off_in_chunk) {
   ChunkMeta& m = meta_[chunk];
   const std::uint64_t state = ctx.atomic_load(&m.state);
-  const std::size_t cls = (state >> 32) - 1;
+  const std::size_t tag = state >> 32;
+  if (tag == 0 || tag > kNumClasses) {
+    // No generation to return into (the chunk was retired — an application
+    // double free, or a page lost to a cancelled kernel whose chunk has
+    // since been recycled): account it as leakage instead of deriving a
+    // class from an empty tag (the -1 underflow would shift by SIZE_MAX).
+    ctx.atomic_add(leak_counter_, std::uint64_t{1});
+    return;
+  }
+  const std::size_t cls = tag - 1;
   const std::size_t ppc = pages_per_chunk(cls);
   const std::size_t page = off_in_chunk / class_bytes(cls);
   ctx.atomic_and(&m.bitmap[page / 64],

@@ -60,6 +60,11 @@ struct AllocatorTraits {
   bool warp_level_only = false;  ///< FDGMalloc: allocation only per warp
   bool supports_free = true;     ///< Atomic baseline: no deallocation at all
   bool individual_free = true;   ///< FDGMalloc: only frees a warp's entire heap
+  /// FDGMalloc shape: warp_free_all reclaims every outstanding allocation in
+  /// bulk. With this bit (and no individual_free) the "+W" aggregation layer
+  /// drops per-block refcounting entirely — header-free slabs whose backing
+  /// blocks are swept wholesale instead of freed one lane at a time.
+  bool bulk_free_capable = false;
   /// Requests above this size are relayed to the system (CUDA) allocator
   /// stand-in (Halloc > 3 KiB, FDGMalloc > max superblock, Ouroboros > largest
   /// page), or rejected if no relay exists.

@@ -68,6 +68,47 @@ class RecorderEscalationSink final : public ResilienceObserver {
   trace::TraceRecorder& rec_;
 };
 
+/// AggregationObserver that forwards "+W" mode switches and slab refills
+/// into the stack's TraceRecorder as aggregation-marker events — the same
+/// bridge as RecorderEscalationSink, one layer over. Owned by the
+/// WarpAggregator; the BuiltStack contract keeps the recorder alive as long
+/// as the manager.
+class RecorderAggSink final : public AggregationObserver {
+ public:
+  explicit RecorderAggSink(trace::TraceRecorder& rec) : rec_(rec) {}
+
+  void on_agg_event(gpu::ThreadCtx& ctx, AggEventKind kind, std::uint64_t size,
+                    std::uint64_t detail) override {
+    if (!rec_.enabled()) return;
+    trace::TraceEvent ev;
+    ev.kind = static_cast<std::uint8_t>(map(kind));
+    ev.t_ns = rec_.now_ns();
+    ev.size = size;
+    ev.offset = detail;
+    ev.thread_rank = ctx.thread_rank();
+    ev.block = ctx.block_idx();
+    ev.smid = static_cast<std::uint8_t>(ctx.smid());
+    ev.lane = static_cast<std::uint8_t>(ctx.lane_id());
+    ev.warp = static_cast<std::uint8_t>(ctx.warp_in_block());
+    rec_.record(ctx.smid(), ev);
+  }
+
+ private:
+  static trace::EventKind map(AggEventKind k) {
+    switch (k) {
+      case AggEventKind::kModeAggregated:
+        return trace::EventKind::kAggModeAggregated;
+      case AggEventKind::kModePassthrough:
+        return trace::EventKind::kAggModePassthrough;
+      case AggEventKind::kSlabRefill:
+        return trace::EventKind::kAggSlabRefill;
+    }
+    return trace::EventKind::kAggSlabRefill;
+  }
+
+  trace::TraceRecorder& rec_;
+};
+
 }  // namespace
 
 std::string_view StackSpec::stage_name(Stage s) {
@@ -130,7 +171,8 @@ StackSpec StackSpec::parse(std::string_view spec) {
 
 ManagerFactory StackBuilder::stage_factory(StackSpec::Stage stage,
                                            ManagerFactory base, FaultSpec fault,
-                                           ResilienceSpec resilience) {
+                                           ResilienceSpec resilience,
+                                           WarpAggSpec warpagg) {
   switch (stage) {
     case StackSpec::Stage::kResilient:
       return [base = std::move(base), resilience](gpu::Device& dev,
@@ -151,9 +193,11 @@ ManagerFactory StackBuilder::stage_factory(StackSpec::Stage stage,
             std::make_unique<FaultInjector>(base(dev, heap), fault));
       };
     case StackSpec::Stage::kWarpAgg:
-      return [base = std::move(base)](gpu::Device& dev, std::size_t heap) {
+      return [base = std::move(base), warpagg](gpu::Device& dev,
+                                               std::size_t heap) {
         return std::unique_ptr<MemoryManager>(
-            std::make_unique<alloc_core::WarpAggregator>(base(dev, heap)));
+            std::make_unique<alloc_core::WarpAggregator>(base(dev, heap),
+                                                         warpagg, dev));
       };
     case StackSpec::Stage::kTrace:
       break;
@@ -194,7 +238,7 @@ BuiltStack StackBuilder::build(const StackSpec& spec,
                                                     dev.arena()));
       };
     } else {
-      f = stage_factory(*it, std::move(f), fault_, resilience_);
+      f = stage_factory(*it, std::move(f), fault_, resilience_, warpagg_);
     }
   }
 
@@ -237,6 +281,12 @@ BuiltStack StackBuilder::build(const StackSpec& spec,
     if (out.resilient != nullptr) {
       out.resilient->set_observer(
           std::make_unique<RecorderEscalationSink>(*out.recorder));
+    }
+    // Likewise for a traced warpagg stage: mode switches and slab refills
+    // become "warpagg"-category trace markers, outside the digest.
+    if (out.aggregator != nullptr) {
+      out.aggregator->set_observer(
+          std::make_unique<RecorderAggSink>(*out.recorder));
     }
   }
   return out;

@@ -10,6 +10,7 @@
 #include "core/memory_manager.h"
 #include "core/registry.h"
 #include "core/resilience.h"
+#include "core/warpagg.h"
 #include "gpu/device.h"
 
 namespace gms::trace {
@@ -97,6 +98,13 @@ class StackBuilder {
     return *this;
   }
 
+  /// Policy knobs consumed by a "warpagg" stage (ignored without one). The
+  /// default WarpAggSpec{} is the adaptive policy with stock thresholds.
+  StackBuilder& warpagg(const WarpAggSpec& spec) {
+    warpagg_ = spec;
+    return *this;
+  }
+
   /// Builds the stack over a freshly cleared arena (Registry::make
   /// semantics: throws on unknown base or a heap larger than the arena).
   [[nodiscard]] BuiltStack build(const StackSpec& spec,
@@ -110,12 +118,14 @@ class StackBuilder {
   /// passing kTrace throws std::invalid_argument.
   static ManagerFactory stage_factory(StackSpec::Stage stage,
                                       ManagerFactory base, FaultSpec fault = {},
-                                      ResilienceSpec resilience = {});
+                                      ResilienceSpec resilience = {},
+                                      WarpAggSpec warpagg = {});
 
  private:
   gpu::Device* dev_;
   FaultSpec fault_{};
   ResilienceSpec resilience_{};
+  WarpAggSpec warpagg_{};
 };
 
 }  // namespace gms::core

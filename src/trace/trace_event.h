@@ -30,6 +30,14 @@ enum class EventKind : std::uint8_t {
   kBreakerTrip = 27,    ///< offset = consecutive failures at the trip
   kBreakerReset = 28,   ///< a half-open probe succeeded
   kUnrecovered = 29,    ///< escalation exhausted; the caller saw nullptr
+
+  // Adaptive warp-aggregation markers emitted by the "+W" stage (same
+  // marker contract as 24-29: exported and replayed alongside allocation
+  // events but outside canonical_bytes, so path switching never perturbs
+  // the replay-determinism digest).
+  kAggModeAggregated = 32,   ///< size = site class bytes; offset = EMA (fp)
+  kAggModePassthrough = 33,  ///< size = site class bytes; offset = EMA (fp)
+  kAggSlabRefill = 34,       ///< size = refill bytes; offset = slab offset
 };
 
 [[nodiscard]] constexpr bool is_alloc_event(EventKind k) {
@@ -52,6 +60,9 @@ enum class EventKind : std::uint8_t {
     case EventKind::kBreakerTrip: return "breaker_trip";
     case EventKind::kBreakerReset: return "breaker_reset";
     case EventKind::kUnrecovered: return "unrecovered";
+    case EventKind::kAggModeAggregated: return "agg_mode_aggregated";
+    case EventKind::kAggModePassthrough: return "agg_mode_passthrough";
+    case EventKind::kAggSlabRefill: return "agg_slab_refill";
   }
   return "?";
 }
@@ -59,6 +70,12 @@ enum class EventKind : std::uint8_t {
 /// The "+R" recovery-marker range (trace subtype of the escalation chain).
 [[nodiscard]] constexpr bool is_resilience_event(EventKind k) {
   return k >= EventKind::kRetrySuccess && k <= EventKind::kUnrecovered;
+}
+
+/// The "+W" adaptive-aggregation marker range.
+[[nodiscard]] constexpr bool is_aggregation_event(EventKind k) {
+  return k >= EventKind::kAggModeAggregated &&
+         k <= EventKind::kAggSlabRefill;
 }
 
 /// `offset` value for "no pointer": failed mallocs and null frees.

@@ -172,6 +172,19 @@ void write_chrome_trace(const std::string& path, const Trace& trace) {
             to_string(kind), static_cast<unsigned>(ev.smid), us(ev.t_ns),
             ev.thread_rank, ev.size, ev.offset);
         break;
+      case EventKind::kAggModeAggregated:
+      case EventKind::kAggModePassthrough:
+      case EventKind::kAggSlabRefill:
+        // Adaptive warp-aggregation markers from the "+W" stage: the site's
+        // size class (or refill bytes) and the EMA / slab offset as detail.
+        f.printf(
+            ",\n{\"ph\":\"i\",\"name\":\"%s\",\"s\":\"t\","
+            "\"cat\":\"warpagg\",\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+            "\"args\":{\"rank\":%" PRIu32 ",\"size\":%" PRIu64
+            ",\"detail\":%" PRIu64 "}}",
+            to_string(kind), static_cast<unsigned>(ev.smid), us(ev.t_ns),
+            ev.thread_rank, ev.size, ev.offset);
+        break;
     }
   }
   f.printf("\n]}\n");

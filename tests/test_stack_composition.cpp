@@ -149,16 +149,49 @@ TEST_P(StackCompositionTest, WarpAggStack) {
     GTEST_SKIP() << GetParam() << " is not general purpose";
   }
   Device dev(kArenaBytes, GpuConfig{.num_sms = kNumSms});
-  auto stack = StackBuilder(dev).build("warpagg>" + GetParam(), kHeapBytes);
+  // Pin the aggregated path: the adaptive default would keep an uncontended
+  // churn on passthrough (that regime has its own tests in test_warpagg).
+  auto stack = StackBuilder(dev)
+                   .warpagg(core::WarpAggSpec::parse("always"))
+                   .build("warpagg>" + GetParam(), kHeapBytes);
   ASSERT_NE(stack.aggregator, nullptr);
   EXPECT_EQ(stack.validator, nullptr);
   EXPECT_TRUE(stack.manager->traits().decorated);
   EXPECT_EQ(stack.name, GetParam() + "+W");
 
   churn(dev, *stack.manager, base().traits);
-  EXPECT_GT(stack.aggregator->lanes_served(), 0u);
-  // Whole warps allocating together must have combined into shared blocks.
-  EXPECT_GT(stack.aggregator->groups_combined(), 0u);
+  const auto report = stack.aggregator->report();
+  if (stack.aggregator->inner().traits().max_direct_size >= 32u * 1024) {
+    // Slab-capable inner: whole warps allocating together must have been
+    // combined into single bump-carved spans.
+    EXPECT_GT(report.lanes_served, 0u);
+    EXPECT_GT(report.groups_combined, 0u);
+    EXPECT_GT(report.slab_refills, 0u);
+  } else {
+    // Too small a direct-service ceiling for a slab window (Halloc,
+    // Ouroboros): the aggregated path must degrade per-lane, not combine.
+    EXPECT_EQ(report.groups_combined, 0u);
+    EXPECT_GT(report.solo_fallbacks, 0u);
+  }
+}
+
+TEST_P(StackCompositionTest, WarpAggAdaptiveDefaultStaysPassthroughWhenCalm) {
+  if (!base().traits.general_purpose) {
+    GTEST_SKIP() << GetParam() << " is not general purpose";
+  }
+  if (GetParam().find("CUDA") != std::string::npos) {
+    // The stand-in's spin lock is the contended regime the adaptive policy
+    // exists to catch; its switching behaviour is covered in test_warpagg.
+    GTEST_SKIP() << GetParam() << " is deliberately contended";
+  }
+  Device dev(kArenaBytes, GpuConfig{.num_sms = kNumSms});
+  auto stack = StackBuilder(dev).build("warpagg>" + GetParam(), kHeapBytes);
+  ASSERT_NE(stack.aggregator, nullptr);
+  churn(dev, *stack.manager, base().traits);
+  const auto report = stack.aggregator->report();
+  // A short uncontended churn must be served on the per-lane path.
+  EXPECT_GT(report.passthrough_calls, 0u);
+  EXPECT_EQ(report.switches_to_agg, 0u) << report.to_string();
 }
 
 TEST_P(StackCompositionTest, RelayContractSurvivesValidation) {
