@@ -120,6 +120,16 @@ struct BenchArgs {
   /// --corpus DIR: the adversarial regression corpus. bench_survey soak
   /// writes minimized failures here; bench_replay --corpus sweeps it.
   std::string corpus;
+  // ---- bench_service (multi-device AllocService) flags -----------------
+  /// --devices N: device shards in the service fleet.
+  unsigned devices = 2;
+  /// --tenants N: tenant streams (priority = tenant id).
+  unsigned tenants = 4;
+  /// --quota SPEC: per-tenant admission defaults + round budget
+  /// ("bytes=N,ops=N,bucket=N,refill=N,budget=N"; parsed by the service).
+  std::string quota;
+  /// --shed-policy hash|rr: deterministic tenant→shard placement.
+  std::string shed_policy = "hash";
 
   [[nodiscard]] std::size_t heap_bytes() const { return mem_mb << 20; }
 };
@@ -257,6 +267,14 @@ inline BenchArgs parse_args(int argc, char** argv,
       args.hostile = true;
     } else if (flag == "--workloads") {
       args.workloads = need(i);
+    } else if (flag == "--devices") {
+      args.devices = static_cast<unsigned>(std::stoul(need(i)));
+    } else if (flag == "--tenants") {
+      args.tenants = static_cast<unsigned>(std::stoul(need(i)));
+    } else if (flag == "--quota") {
+      args.quota = need(i);
+    } else if (flag == "--shed-policy") {
+      args.shed_policy = need(i);
     } else if (flag == "-h" || flag == "--help") {
       std::cout
           << "common flags: -t o+s+h+c+r+x | name,name  --mem-mb N  "
@@ -280,7 +298,10 @@ inline BenchArgs parse_args(int argc, char** argv,
              "selection)\n"
              "bench_survey: --deadline-s S  --retries N  --rlimit-mb N  "
              "--quarantine FILE  --retry-quarantined  --hostile  "
-             "--workloads churn,frag,oom  --soak N  --corpus DIR\n";
+             "--workloads churn,frag,oom  --soak N  --corpus DIR\n"
+             "bench_service: --devices N  --tenants N  "
+             "--quota bytes=N,ops=N,bucket=N,refill=N,budget=N  "
+             "--shed-policy hash|rr\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << flag << " (try --help)\n";

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "alloc_core/resilient_manager.h"
+#include "allocators/ouroboros.h"
 #include "bench_common.h"
 #include "core/json_writer.h"
 
@@ -30,6 +31,10 @@ struct CellResult {
   std::uint64_t failed = 0;  ///< nullptrs the kernel saw (base runs)
   core::ResilienceReport rep;  ///< zeroed for base runs
   bool resilient = false;
+  /// Ouroboros page-queue leakage (leaked_pages_host) after the churn
+  /// drained; -1 for non-Ouroboros bases. The virtualized -VA/-VL variants
+  /// must report 0 (the PR-7 exhaustion fix) and CI gates on it.
+  std::int64_t leaked_pages = -1;
 };
 
 /// One fresh device + stack, one churn launch — the bench_warpagg kernel
@@ -78,6 +83,16 @@ CellResult run_cell(const bench::BenchArgs& args, const std::string& spec,
   if (stack.resilient != nullptr) {
     res.rep = stack.resilient->report();
     res.resilient = true;
+  }
+  // Unwrap to the base allocator (resilient and fault layers both expose
+  // inner()) for the Ouroboros page-leak audit.
+  core::MemoryManager* base_mgr = stack.manager.get();
+  if (stack.resilient != nullptr) base_mgr = &stack.resilient->inner();
+  if (auto* fi = dynamic_cast<core::FaultInjector*>(base_mgr)) {
+    base_mgr = &fi->inner();
+  }
+  if (auto* ouro = dynamic_cast<alloc::Ouroboros*>(base_mgr)) {
+    res.leaked_pages = static_cast<std::int64_t>(ouro->leaked_pages_host());
   }
   return res;
 }
@@ -164,8 +179,26 @@ int main(int argc, char** argv) {
         .num("fault_inner_failures", res_fault.rep.inner_failures)
         .num("fault_retry_successes", res_fault.rep.retry_successes)
         .num("fault_fallback_allocs", res_fault.rep.fallback_allocs)
+        .num("fault_fallback_frees", res_fault.rep.fallback_frees)
         .num("fault_unrecovered", res_fault.rep.unrecovered)
-        .num("fault_kernel_visible_failures", res_fault.failed);
+        .num("fault_kernel_visible_failures", res_fault.failed)
+        .num("base_leaked_pages", base.leaked_pages)
+        .num("resilient_leaked_pages", res.leaked_pages)
+        .num("fault_leaked_pages", res_fault.leaked_pages);
+    // The virtualized Ouroboros queues (-VA/-VL) re-virtualize exhausted
+    // pages instead of leaking them; any leak there is a regression of the
+    // exhaustion fix and fails the bench like an unrecovered alloc.
+    if (name.find("-VA") != std::string::npos ||
+        name.find("-VL") != std::string::npos) {
+      for (const auto leaked :
+           {base.leaked_pages, res.leaked_pages, res_fault.leaked_pages}) {
+        if (leaked > 0) {
+          std::cerr << name << ": " << leaked
+                    << " leaked pages on a virtualized queue variant\n";
+          ++total_unrecovered;
+        }
+      }
+    }
   }
 
   bench::emit(table, args,
@@ -175,10 +208,11 @@ int main(int argc, char** argv) {
   if (!args.json.empty()) json.write(args.json);
   if (total_unrecovered != 0) {
     std::cerr << "FAIL: " << total_unrecovered
-              << " unrecovered allocation failures under the \"+R\" stack\n";
+              << " unrecovered allocation failures / leaked-page "
+                 "regressions under the \"+R\" stack\n";
     return 1;
   }
   std::cout << "\nall managers: 0 unrecovered allocation failures under "
-               "\"resilient>\"\n";
+               "\"resilient>\", 0 leaked pages on virtualized Ouroboros\n";
   return 0;
 }

@@ -212,6 +212,38 @@ trace::Trace null_zero_storm(std::size_t heap) {
   return b.finish();
 }
 
+/// Multi-tenant quota-exhaustion wave: rank groups stand in for tenants (64
+/// ranks each, the AllocService convention of tenant-major rank blocks).
+/// Tenant 0 floods — repeated 16KB bursts at quota-exhaustion scale, held
+/// live across the burst and only released at round end — while the other
+/// three tenants run small steady malloc/free pairs that must complete
+/// unaffected. The service sheds this flood at admission (test_service's
+/// token-bucket case); this seed pins the allocator-level interleave
+/// underneath the shed: the flood's live set fits the heap, so any verdict
+/// other than ok means the burst pattern itself broke the manager.
+trace::Trace quota_wave(std::size_t heap) {
+  TraceBuilder b(heap, 4);
+  constexpr std::uint32_t kTenantLanes = 64;  // 4 tenants x 64 ranks
+  b.begin_kernel(kThreads);
+  for (unsigned round = 0; round < 6; ++round) {
+    std::vector<std::uint64_t> flood;
+    for (unsigned burst = 0; burst < 8; ++burst) {
+      for (std::uint32_t r = 0; r < kTenantLanes; ++r) {
+        flood.push_back(b.malloc_op(r, 16 * 1024));  // tenant 0: the flood
+      }
+      for (std::uint32_t r = kTenantLanes; r < kThreads; ++r) {
+        const auto off = b.malloc_op(r, 64 + (burst % 4) * 32);
+        b.free_op(r, off);  // tenants 1-3: unaffected steady churn
+      }
+    }
+    for (std::size_t i = 0; i < flood.size(); ++i) {
+      b.free_op(static_cast<std::uint32_t>(i % kTenantLanes), flood[i]);
+    }
+  }
+  b.end_kernel();
+  return b.finish();
+}
+
 /// Exhaustion wave over a deliberately small heap: no frees, demand well
 /// past capacity. The pinned verdict is oom — the one corpus entry whose
 /// expected verdict is a *failure*, proving the sweep detects drift in both
@@ -262,6 +294,15 @@ int main(int argc, char** argv) {
   seeds.push_back({"null_zero_storm.gmtrace", null_zero_storm(heap),
                    "resilient>validate>XMalloc",
                    "free(nullptr) + zero/one-byte allocation storm"});
+  // The quota wave is pinned twice — bare and "+R" — because the service
+  // path (ISSUE 8) runs tenants over both kinds of stack and the flood
+  // interleave must stay clean under each.
+  seeds.push_back({"quota_wave.gmtrace", quota_wave(heap),
+                   "validate>ScatterAlloc",
+                   "multi-tenant quota-exhaustion flood, bare stack"});
+  seeds.push_back({"quota_wave_resilient.gmtrace", quota_wave(heap),
+                   "resilient>validate>ScatterAlloc",
+                   "multi-tenant quota-exhaustion flood under +R"});
   seeds.push_back({"oom_wave.gmtrace", oom_wave(), "validate>ScatterAlloc",
                    "exhaustion wave, 2x heap demand, no frees"});
   seeds.push_back({"oom_wave_resilient.gmtrace", oom_wave(),

@@ -34,10 +34,10 @@ fi
 BENCHES=(bench_table1 bench_init_registers bench_alloc_size bench_alloc_mixed
          bench_scaling bench_fragmentation bench_oom bench_workgen
          bench_access bench_graph bench_ablation bench_simt bench_survey
-         bench_replay bench_warpagg bench_resilience)
+         bench_replay bench_warpagg bench_resilience bench_service)
 if [[ $SMOKE -eq 1 ]]; then
   BENCHES=(bench_simt bench_alloc_size bench_workgen bench_replay bench_warpagg
-           bench_resilience)
+           bench_resilience bench_service)
 fi
 missing=0
 for b in "${BENCHES[@]}"; do
@@ -109,6 +109,13 @@ if [[ $SMOKE -eq 1 ]]; then
   # Adversarial-corpus regression gate: replay every committed trace under
   # its pinned stack and fail on any verdict drift.
   run "$R"/smoke_corpus.txt    bench_replay --corpus results/corpus
+  # AllocService smoke (DESIGN.md §13): one 2-device x 4-tenant sweep cell
+  # plus the SIGKILL-one-device failover gate — exits non-zero on silent
+  # truncation, a missed kill, unrecovered batches, or a same-seed
+  # determinism break. The marker log is the failover telemetry CI archives.
+  run "$R"/smoke_service.txt   bench_service --smoke --devices 2 --tenants 4 \
+                               --json BENCH_service.json \
+                               --trace "$R"/failover_markers.gmtrace
   finish
 fi
 
@@ -149,6 +156,12 @@ run "$R"/resilience.txt       bench_resilience --sms 32 --iters 32 --json BENCH_
 # Adversarial-corpus regression gate (results/corpus/): replay every
 # committed trace under its pinned stack; any verdict drift fails the sweep.
 run "$R"/corpus_sweep.txt     bench_replay --corpus results/corpus --json results/corpus_sweep.json
+# Multi-device AllocService (DESIGN.md §13): devices x tenants throughput
+# sweep plus the forked SIGKILL failover gate (accounting, re-shard, and
+# same-seed marker-digest determinism); the surviving marker log lands next
+# to the JSON as the archived failover story.
+run "$R"/service.txt          bench_service --json BENCH_service.json \
+                              --trace "$R"/failover_markers.gmtrace
 # Crash-contained verdict matrix over the full registry (+ hostile stubs to
 # prove the containment); writes results/survey.json + results/quarantine.json.
 run "$R"/survey.txt           bench_survey --deadline-s 20 --retries 1 --hostile

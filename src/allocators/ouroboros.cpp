@@ -484,6 +484,13 @@ Ouroboros::Ouroboros(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
   leak_counter_ = carver.take<std::uint64_t>(1, alignof(std::uint64_t),
                                              "leak-counter");
   *leak_counter_ = 0;
+  // Per-class spill-stack tops for the virtualized page-based variants
+  // (carved unconditionally — 80 bytes — so the layout does not depend on
+  // the queue kind). 0 = empty.
+  spill_tops_ = carver.take<std::uint64_t>(kNumClasses,
+                                           alignof(std::uint64_t),
+                                           "spill-tops");
+  for (std::size_t c = 0; c < kNumClasses; ++c) spill_tops_[c] = 0;
 
   // Upper bound on chunk count (metadata sized before the exact data region
   // is known; the carver take_rest below fixes the final count).
@@ -622,9 +629,52 @@ core::AuditResult Ouroboros::audit() {
   return result;
 }
 
+void Ouroboros::spill_push(gpu::ThreadCtx& ctx, std::size_t cls,
+                           std::uint32_t unit) {
+  // The page is free and exclusively ours, so its first 8 bytes can carry
+  // the link (pages are >= 16 bytes and 16-aligned in the pool).
+  auto* next_word =
+      reinterpret_cast<std::uint64_t*>(pool_.base() + std::size_t{unit} * 16);
+  for (std::uint64_t cur = ctx.atomic_load(&spill_tops_[cls]);;) {
+    ctx.atomic_store(next_word, cur);
+    const std::uint64_t fresh =
+        (((cur >> 32) + 1) << 32) | (std::uint64_t{unit} + 1);
+    const std::uint64_t got = ctx.atomic_cas(&spill_tops_[cls], cur, fresh);
+    if (got == cur) return;
+    cur = got;
+    ctx.backoff();
+  }
+}
+
+bool Ouroboros::spill_pop(gpu::ThreadCtx& ctx, std::size_t cls,
+                          std::uint32_t& unit) {
+  for (std::uint64_t cur = ctx.atomic_load(&spill_tops_[cls]);;) {
+    const auto packed = static_cast<std::uint32_t>(cur);
+    if (packed == 0) return false;  // empty
+    auto* next_word = reinterpret_cast<std::uint64_t*>(
+        pool_.base() + std::size_t{packed - 1} * 16);
+    // If the top page was popped and reallocated concurrently this read is
+    // application garbage — harmless, because the tag half of `cur` changed
+    // with that pop and our CAS below fails without installing it.
+    const std::uint64_t next = ctx.atomic_load(next_word);
+    const std::uint64_t fresh =
+        (((cur >> 32) + 1) << 32) | (next & 0xFFFFFFFFull);
+    const std::uint64_t got = ctx.atomic_cas(&spill_tops_[cls], cur, fresh);
+    if (got == cur) {
+      unit = packed - 1;
+      return true;
+    }
+    cur = got;
+    ctx.backoff();
+  }
+}
+
 void* Ouroboros::malloc_page_based(gpu::ThreadCtx& ctx, std::size_t cls) {
   std::uint32_t unit = 0;
   if (queues_[cls]->try_dequeue(ctx, unit)) {
+    return pool_.base() + std::size_t{unit} * 16;
+  }
+  if (virtualized() && spill_pop(ctx, cls, unit)) {
     return pool_.base() + std::size_t{unit} * 16;
   }
   const std::uint32_t chunk = pool_.alloc(ctx);
@@ -639,6 +689,9 @@ void* Ouroboros::malloc_page_based(gpu::ThreadCtx& ctx, std::size_t cls) {
       if (queues_[cls]->try_dequeue(ctx, unit)) {
         return pool_.base() + std::size_t{unit} * 16;
       }
+      if (virtualized() && spill_pop(ctx, cls, unit)) {
+        return pool_.base() + std::size_t{unit} * 16;
+      }
       ctx.backoff();
     }
     return nullptr;
@@ -650,9 +703,13 @@ void* Ouroboros::malloc_page_based(gpu::ThreadCtx& ctx, std::size_t cls) {
   const std::size_t chunk_unit =
       (pool_.data(chunk) - pool_.base()) / 16;
   for (std::size_t p = 1; p < ppc; ++p) {
-    if (!queues_[cls]->try_enqueue(
-            ctx, static_cast<std::uint32_t>(chunk_unit + p * page_units))) {
-      ctx.atomic_add(leak_counter_, std::uint64_t{1});
+    const auto u = static_cast<std::uint32_t>(chunk_unit + p * page_units);
+    if (!queues_[cls]->try_enqueue(ctx, u)) {
+      if (virtualized()) {
+        spill_push(ctx, cls, u);
+      } else {
+        ctx.atomic_add(leak_counter_, std::uint64_t{1});
+      }
     }
   }
   return pool_.data(chunk);
@@ -666,8 +723,60 @@ void Ouroboros::free_page_based(gpu::ThreadCtx& ctx, std::uint32_t chunk,
   const std::size_t unit =
       (pool_.data(chunk) - pool_.base()) / 16 + page * (class_bytes(cls) / 16);
   if (!queues_[cls]->try_enqueue(ctx, static_cast<std::uint32_t>(unit))) {
-    ctx.atomic_add(leak_counter_, std::uint64_t{1});
+    if (virtualized()) {
+      spill_push(ctx, cls, static_cast<std::uint32_t>(unit));
+    } else {
+      ctx.atomic_add(leak_counter_, std::uint64_t{1});
+    }
   }
+}
+
+void* Ouroboros::claim_page_bit(gpu::ThreadCtx& ctx, std::uint32_t chunk,
+                                std::size_t cls) {
+  const std::size_t ppc = pages_per_chunk(cls);
+  ChunkMeta& m = meta_[chunk];
+  for (;;) {
+    for (std::size_t w = 0; w < (ppc + 63) / 64; ++w) {
+      const std::uint64_t seen = ctx.atomic_load(&m.bitmap[w]);
+      std::uint64_t valid = ~0ull;
+      if ((w + 1) * 64 > ppc && ppc % 64 != 0) {
+        valid = (1ull << (ppc % 64)) - 1;
+      }
+      const std::uint64_t free_bits = ~seen & valid;
+      if (free_bits == 0) continue;
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(free_bits));
+      if ((ctx.atomic_or(&m.bitmap[w], std::uint64_t{1} << bit) &
+           (std::uint64_t{1} << bit)) == 0) {
+        return pool_.data(chunk) + (w * 64 + bit) * class_bytes(cls);
+      }
+    }
+    ctx.backoff();  // racing reservation has not set its bit yet
+  }
+}
+
+void* Ouroboros::scavenge_chunk_page(gpu::ThreadCtx& ctx, std::size_t cls) {
+  const std::size_t ppc = pages_per_chunk(cls);
+  for (std::uint32_t c = 0; c < pool_.num_chunks(); ++c) {
+    ChunkMeta& m = meta_[c];
+    // Same single-CAS tag-validated debit as the queue path: a retired or
+    // recycled chunk fails the tag check and is skipped.
+    std::uint32_t prev = 0;
+    for (std::uint64_t cur = ctx.atomic_load(&m.state); prev == 0;) {
+      const auto cnt = static_cast<std::uint32_t>(cur);
+      if ((cur >> 32) != cls + 1 || cnt == 0 || cnt > ppc) break;
+      const std::uint64_t got = ctx.atomic_cas(&m.state, cur, cur - 1);
+      if (got == cur) prev = cnt;
+      cur = got;
+    }
+    if (prev == 0) continue;
+    if (prev >= 2) {
+      // Best-effort re-advertise; a failed enqueue stays rediscoverable by
+      // the next scavenge, so it is not a leak here.
+      queues_[cls]->try_enqueue(ctx, c);
+    }
+    return claim_page_bit(ctx, c, cls);
+  }
+  return nullptr;
 }
 
 void* Ouroboros::malloc_chunk_based(gpu::ThreadCtx& ctx, std::size_t cls) {
@@ -697,35 +806,25 @@ void* Ouroboros::malloc_chunk_based(gpu::ThreadCtx& ctx, std::size_t cls) {
       }
       if (prev == 0) continue;  // stale id (retired/recycled chunk): skip
       if (prev >= 2) {
-        // Still has pages: make the chunk findable again.
-        if (!queues_[cls]->try_enqueue(ctx, chunk)) {
+        // Still has pages: make the chunk findable again. On -VA/-VL a
+        // failed enqueue is not a loss — the state word still carries the
+        // class tag and count, so the exhaustion scavenger rediscovers it.
+        if (!queues_[cls]->try_enqueue(ctx, chunk) && !virtualized()) {
           ctx.atomic_add(leak_counter_, std::uint64_t{1});
         }
       }
       // Stage 2: claim a concrete page bit.
-      for (;;) {
-        for (std::size_t w = 0; w < (ppc + 63) / 64; ++w) {
-          const std::uint64_t seen = ctx.atomic_load(&m.bitmap[w]);
-          std::uint64_t valid = ~0ull;
-          if ((w + 1) * 64 > ppc && ppc % 64 != 0) {
-            valid = (1ull << (ppc % 64)) - 1;
-          }
-          const std::uint64_t free_bits = ~seen & valid;
-          if (free_bits == 0) continue;
-          const unsigned bit =
-              static_cast<unsigned>(std::countr_zero(free_bits));
-          if ((ctx.atomic_or(&m.bitmap[w], std::uint64_t{1} << bit) &
-               (std::uint64_t{1} << bit)) == 0) {
-            return pool_.data(chunk) + (w * 64 + bit) * class_bytes(cls);
-          }
-        }
-        ctx.backoff();  // racing reservation has not set its bit yet
-      }
+      return claim_page_bit(ctx, chunk, cls);
     }
     // Queue empty: split a fresh chunk ("allocate from chunk in queue"
     // misses).
     const std::uint32_t chunk = pool_.alloc(ctx);
     if (chunk == ChunkPool::kInvalid) {
+      // The virtualized variants promise zero leakage: before conceding
+      // OOM, rediscover any chunk whose advertise-enqueue failed.
+      if (virtualized()) {
+        if (void* p = scavenge_chunk_page(ctx, cls)) return p;
+      }
       // Same bounded re-poll as the page-based path: at exhaustion the
       // chunk queue keeps being refilled by racing frees, so one missed
       // pass over it is not proof of an empty heap — loop back into the
@@ -739,7 +838,7 @@ void* Ouroboros::malloc_chunk_based(gpu::ThreadCtx& ctx, std::size_t cls) {
     ctx.atomic_store(&m.bitmap[0], std::uint64_t{1});  // page 0 is ours
     ctx.atomic_store(&m.state, (std::uint64_t{cls + 1} << 32) |
                                    static_cast<std::uint32_t>(ppc - 1));
-    if (ppc > 1 && !queues_[cls]->try_enqueue(ctx, chunk)) {
+    if (ppc > 1 && !queues_[cls]->try_enqueue(ctx, chunk) && !virtualized()) {
       ctx.atomic_add(leak_counter_, std::uint64_t{1});
     }
     return pool_.data(chunk);
@@ -767,8 +866,9 @@ void Ouroboros::free_chunk_based(gpu::ThreadCtx& ctx, std::uint32_t chunk,
   auto* count = reinterpret_cast<std::uint32_t*>(&m.state);
   const std::uint32_t prev = ctx.atomic_add(count, 1u);
   if (prev == 0) {
-    // Chunk went from exhausted to usable: advertise it again.
-    if (!queues_[cls]->try_enqueue(ctx, chunk)) {
+    // Chunk went from exhausted to usable: advertise it again (on the
+    // virtualized variants a failed advertise stays scavengeable).
+    if (!queues_[cls]->try_enqueue(ctx, chunk) && !virtualized()) {
       ctx.atomic_add(leak_counter_, std::uint64_t{1});
     }
   } else if (prev + 1 == ppc) {

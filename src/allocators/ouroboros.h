@@ -241,7 +241,14 @@ class Ouroboros final : public core::MemoryManager {
   static const alloc_core::SizeClassMap& page_classes();
 
   /// Pages a freed value could not be queued back for (capacity overflow) —
-  /// accounted, bounded leakage rather than a blocked free.
+  /// accounted, bounded leakage rather than a blocked free. Only the
+  /// standard (-S) queues can leak this way: the virtualized variants
+  /// re-virtualize what their queues cannot hold (page-based: an intrusive
+  /// per-class spill stack threaded through the free pages themselves;
+  /// chunk-based: an exhaustion-time meta scan that rediscovers chunks the
+  /// queue failed to advertise), so -VA/-VL report 0 here by contract —
+  /// bench_resilience gates CI on it. The counter still moves for
+  /// application-level double frees against retired chunks.
   [[nodiscard]] std::uint64_t leaked_pages(gpu::ThreadCtx& ctx) {
     return ctx.atomic_load(leak_counter_);
   }
@@ -267,12 +274,35 @@ class Ouroboros final : public core::MemoryManager {
   void free_chunk_based(gpu::ThreadCtx& ctx, std::uint32_t chunk,
                         std::size_t off_in_chunk);
 
+  /// True for -VA/-VL: queue overflow must never lose a page.
+  [[nodiscard]] bool virtualized() const {
+    return cfg_.queue != QueueKind::kStandard;
+  }
+  /// Intrusive per-class Treiber spill stack for page-based virtualized
+  /// variants: a page the queue could not take stores its successor in its
+  /// own first 8 bytes. Tagged top word ({aba tag : 32, unit+1 : 32})
+  /// makes the pop CAS ABA-safe; a garbage next read from a page that was
+  /// popped concurrently is discarded when the CAS fails.
+  void spill_push(gpu::ThreadCtx& ctx, std::size_t cls, std::uint32_t unit);
+  bool spill_pop(gpu::ThreadCtx& ctx, std::size_t cls, std::uint32_t& unit);
+  /// Stage-2 of the chunk-based claim: pin one free page bit of a chunk
+  /// whose counter was already debited. Shared by the queue path and the
+  /// exhaustion-time scavenger.
+  void* claim_page_bit(gpu::ThreadCtx& ctx, std::uint32_t chunk,
+                       std::size_t cls);
+  /// Exhaustion-time rediscovery scan for chunk-based virtualized
+  /// variants: walks the chunk metas for a matching-class chunk with free
+  /// pages (one the queue failed to advertise) and claims from it — the
+  /// reason an advertise-enqueue failure is not a leak on -VA/-VL.
+  void* scavenge_chunk_page(gpu::ThreadCtx& ctx, std::size_t cls);
+
   Config cfg_;
   core::AllocatorTraits traits_{};
   ChunkPool pool_;
   ChunkMeta* meta_ = nullptr;
   std::array<std::unique_ptr<OuroQueue>, kNumClasses> queues_;
   std::uint64_t* leak_counter_ = nullptr;
+  std::uint64_t* spill_tops_ = nullptr;  ///< [kNumClasses] tagged stack tops
   alloc_core::LargeRequestRelay relay_;
 };
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -79,6 +80,81 @@ class ResilienceObserver {
   /// transitions, 0 for kUnrecovered.
   virtual void on_escalation(gpu::ThreadCtx& ctx, EscalationKind kind,
                              std::uint64_t size, std::uint64_t detail) = 0;
+};
+
+/// The "+R" per-site breaker state machine, extracted as a host-callable,
+/// thread-safe primitive so the service layer's per-device health tracking
+/// (DESIGN.md §13) runs the exact semantics the in-kernel Site breakers use:
+/// `threshold` CONSECUTIVE failures trip the breaker open; while open, every
+/// `decay`-th poll offers exactly one half-open probe slot; a recorded
+/// success closes it again. All transitions are count-based (never wall
+/// clock), so concurrent feeders — SM lanes there, host verdict threads
+/// here — reach the same trip/reset sequence as a serial replay would.
+///
+/// Concurrency contract: record_failure returns true for exactly one caller
+/// per closed->open transition, record_success for exactly one caller per
+/// open->closed transition, and probe_ticket() hands out exactly one ticket
+/// per `decay` polls — the properties test_resilience drives from racing
+/// host threads.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(unsigned threshold, std::uint64_t decay)
+      : threshold_(threshold == 0 ? 1 : threshold),
+        decay_(decay == 0 ? 1 : decay) {}
+
+  /// Records one failed probe/call. Returns true iff THIS call tripped the
+  /// breaker (consecutive count crossed the threshold while closed).
+  bool record_failure() {
+    const auto c = consecutive_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (c >= threshold_ && open_.exchange(1, std::memory_order_acq_rel) == 0) {
+      trips_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Records one successful call. Returns true iff THIS call reset an open
+  /// breaker (the half-open probe that won).
+  bool record_success() {
+    consecutive_.store(0, std::memory_order_release);
+    if (open_.exchange(0, std::memory_order_acq_rel) == 1) {
+      resets_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// While open, polls take a ticket; every `decay`-th ticket elects its
+  /// holder to run a half-open probe (true). Closed breakers never elect.
+  bool probe_ticket() {
+    if (!open()) return false;
+    const auto n = open_polls_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    return n % decay_ == 0;
+  }
+
+  [[nodiscard]] bool open() const {
+    return open_.load(std::memory_order_acquire) != 0;
+  }
+  [[nodiscard]] std::uint32_t consecutive_failures() const {
+    return consecutive_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t trips() const {
+    return trips_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t resets() const {
+    return resets_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] unsigned threshold() const { return threshold_; }
+  [[nodiscard]] std::uint64_t decay() const { return decay_; }
+
+ private:
+  unsigned threshold_;
+  std::uint64_t decay_;
+  std::atomic<std::uint32_t> consecutive_{0};
+  std::atomic<std::uint32_t> open_{0};
+  std::atomic<std::uint64_t> open_polls_{0};
+  std::atomic<std::uint64_t> trips_{0};
+  std::atomic<std::uint64_t> resets_{0};
 };
 
 /// Host-side snapshot of the "+R" layer's bookkeeping — what

@@ -93,12 +93,18 @@ class Device {
     return session_launches_;
   }
 
+  /// Watchdog heartbeat export seam: the sum of every SM's progress
+  /// heartbeat. Monotonic across the device's lifetime; a host-side health
+  /// poller (the AllocService shard health tracker) compares two snapshots
+  /// to decide whether a device made scheduling progress between them —
+  /// the same signal the in-launch watchdog stalls on, exported so
+  /// liveness is observable without waiting for a LaunchTimeout.
+  [[nodiscard]] std::uint64_t heartbeat_sum() const;
+
  private:
   LaunchStats launch_erased(unsigned grid_dim, unsigned block_dim,
                             std::size_t shared_bytes, KernelRef kernel);
   void worker_main(unsigned smid, const std::stop_token& stop);
-  /// Sum of the per-SM progress heartbeats (watchdog poll).
-  [[nodiscard]] std::uint64_t heartbeat_sum() const;
 
   GpuConfig cfg_;
   DeviceArena arena_;

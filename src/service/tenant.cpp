@@ -1,0 +1,85 @@
+#include "service/tenant.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace gms::service {
+
+namespace {
+
+std::uint64_t parse_u64(std::string_view key, std::string_view val) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(val.data(), val.data() + val.size(), out);
+  if (ec != std::errc{} || ptr != val.data() + val.size()) {
+    throw std::invalid_argument{"bad quota value for " + std::string(key) +
+                                ": \"" + std::string(val) + "\""};
+  }
+  return out;
+}
+
+}  // namespace
+
+QuotaSpec QuotaSpec::parse(std::string_view spec) {
+  QuotaSpec out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    auto comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const auto tok = spec.substr(pos, comma - pos);
+    const auto eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 >= tok.size()) {
+      throw std::invalid_argument{"bad quota token: \"" + std::string(tok) +
+                                  "\" (expected key=value)"};
+    }
+    const auto key = tok.substr(0, eq);
+    const auto val = tok.substr(eq + 1);
+    if (key == "bytes") {
+      out.byte_quota = parse_u64(key, val);
+    } else if (key == "ops") {
+      out.op_quota = parse_u64(key, val);
+    } else if (key == "bucket") {
+      out.bucket_capacity = parse_u64(key, val);
+    } else if (key == "refill") {
+      out.bucket_refill = parse_u64(key, val);
+    } else if (key == "budget") {
+      out.round_budget_ops = parse_u64(key, val);
+    } else {
+      throw std::invalid_argument{
+          "unknown quota key: \"" + std::string(key) +
+          "\" (expected bytes|ops|bucket|refill|budget)"};
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string QuotaSpec::to_string() const {
+  return "bytes=" + std::to_string(byte_quota) +
+         ",ops=" + std::to_string(op_quota) +
+         ",bucket=" + std::to_string(bucket_capacity) +
+         ",refill=" + std::to_string(bucket_refill) +
+         ",budget=" + std::to_string(round_budget_ops);
+}
+
+std::string TenantReport::to_string() const {
+  std::string s = "tenant " + std::to_string(tenant) + ": submitted=" +
+                  std::to_string(submitted_batches) +
+                  " completed=" + std::to_string(completed_batches) +
+                  " shed=" + std::to_string(shed_batches) +
+                  " quota_rejected=" + std::to_string(quota_rejected_batches) +
+                  " unrecovered=" + std::to_string(unrecovered_batches) +
+                  " ops_ok=" + std::to_string(ops_ok) +
+                  " ops_failed=" + std::to_string(ops_failed);
+  if (orphaned_frees > 0) {
+    s += " orphaned_frees=" + std::to_string(orphaned_frees);
+  }
+  if (retries > 0) s += " retries=" + std::to_string(retries);
+  if (reshards > 0) s += " reshards=" + std::to_string(reshards);
+  s += " outstanding=" + std::to_string(outstanding_bytes);
+  if (lost_bytes > 0) s += " lost=" + std::to_string(lost_bytes);
+  if (!accounted()) s += " [UNACCOUNTED]";
+  return s;
+}
+
+}  // namespace gms::service

@@ -38,6 +38,19 @@ enum class EventKind : std::uint8_t {
   kAggModeAggregated = 32,   ///< size = site class bytes; offset = EMA (fp)
   kAggModePassthrough = 33,  ///< size = site class bytes; offset = EMA (fp)
   kAggSlabRefill = 34,       ///< size = refill bytes; offset = slab offset
+
+  // Multi-device AllocService markers (DESIGN.md §13). Per-tenant records:
+  // thread_rank carries the tenant id, block the shard id, kernel_seq the
+  // service round. Markers like 24-34 — exported, rolled up per tenant by
+  // trace::tenant_rollup, never part of the canonical digest — so the
+  // failover acceptance gate can hash exactly this sequence.
+  kTenantShed = 40,        ///< size = ops shed; offset = tokens left
+  kQuotaReject = 41,       ///< size = bytes asked; offset = outstanding bytes
+  kShardHealthTrip = 42,   ///< offset = consecutive failed batches
+  kShardHealthReset = 43,  ///< offset = probe round
+  kTenantReshard = 44,     ///< offset = old shard << 32 | new shard
+  kBatchRetry = 45,        ///< size = attempt ordinal; offset = batch seq
+  kQuarantineEngage = 46,  ///< all shards sick: fork-contained fallback
 };
 
 [[nodiscard]] constexpr bool is_alloc_event(EventKind k) {
@@ -63,6 +76,13 @@ enum class EventKind : std::uint8_t {
     case EventKind::kAggModeAggregated: return "agg_mode_aggregated";
     case EventKind::kAggModePassthrough: return "agg_mode_passthrough";
     case EventKind::kAggSlabRefill: return "agg_slab_refill";
+    case EventKind::kTenantShed: return "tenant_shed";
+    case EventKind::kQuotaReject: return "quota_reject";
+    case EventKind::kShardHealthTrip: return "shard_health_trip";
+    case EventKind::kShardHealthReset: return "shard_health_reset";
+    case EventKind::kTenantReshard: return "tenant_reshard";
+    case EventKind::kBatchRetry: return "batch_retry";
+    case EventKind::kQuarantineEngage: return "quarantine_engage";
   }
   return "?";
 }
@@ -76,6 +96,11 @@ enum class EventKind : std::uint8_t {
 [[nodiscard]] constexpr bool is_aggregation_event(EventKind k) {
   return k >= EventKind::kAggModeAggregated &&
          k <= EventKind::kAggSlabRefill;
+}
+
+/// The AllocService marker range (shed / quota / health / failover).
+[[nodiscard]] constexpr bool is_service_event(EventKind k) {
+  return k >= EventKind::kTenantShed && k <= EventKind::kQuarantineEngage;
 }
 
 /// `offset` value for "no pointer": failed mallocs and null frees.

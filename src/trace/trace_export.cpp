@@ -172,6 +172,25 @@ void write_chrome_trace(const std::string& path, const Trace& trace) {
             to_string(kind), static_cast<unsigned>(ev.smid), us(ev.t_ns),
             ev.thread_rank, ev.size, ev.offset);
         break;
+      case EventKind::kTenantShed:
+      case EventKind::kQuotaReject:
+      case EventKind::kShardHealthTrip:
+      case EventKind::kShardHealthReset:
+      case EventKind::kTenantReshard:
+      case EventKind::kBatchRetry:
+      case EventKind::kQuarantineEngage:
+        // AllocService markers: host-track instants keyed by tenant
+        // (thread_rank) and shard (block), with the service round as the
+        // kernel ordinal.
+        f.printf(
+            ",\n{\"ph\":\"i\",\"name\":\"%s\",\"s\":\"p\","
+            "\"cat\":\"service\",\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+            "\"args\":{\"tenant\":%" PRIu32 ",\"shard\":%" PRIu32
+            ",\"round\":%" PRIu32 ",\"size\":%" PRIu64
+            ",\"detail\":%" PRIu64 "}}",
+            to_string(kind), host_tid, us(ev.t_ns), ev.thread_rank, ev.block,
+            ev.kernel_seq, ev.size, ev.offset);
+        break;
       case EventKind::kAggModeAggregated:
       case EventKind::kAggModePassthrough:
       case EventKind::kAggSlabRefill:

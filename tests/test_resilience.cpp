@@ -7,8 +7,10 @@
 // minimizer's convergence against a synthetic verdict oracle.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "alloc_core/reserve_pool.h"
@@ -235,6 +237,126 @@ TEST(CircuitBreaker, TripsParksAndResetsThroughHalfOpenProbes) {
     EXPECT_FALSE(mgr.reserve().owns(p));
   }
   EXPECT_EQ(mgr.report().fallback_allocs, fallbacks_after_reset);
+}
+
+// ---- breaker reuse from host threads (the service health path) -----------
+//
+// The AllocService (DESIGN.md §13) drives the same CircuitBreaker from
+// plain host threads feeding shard verdicts, not from in-kernel lanes. The
+// single-trip / single-reset exchange semantics and the probe-ticket cadence
+// must hold under genuine std::thread races.
+
+TEST(CircuitBreakerConcurrent, ExactlyOneThreadObservesTheTrip) {
+  for (unsigned iter = 0; iter < 16; ++iter) {
+    core::CircuitBreaker breaker(/*threshold=*/3, /*decay=*/4);
+    std::atomic<unsigned> tripped{0};
+    std::vector<std::thread> feeders;
+    feeders.reserve(8);
+    for (unsigned t = 0; t < 8; ++t) {
+      feeders.emplace_back([&] {
+        for (unsigned i = 0; i < 64; ++i) {
+          if (breaker.record_failure()) tripped.fetch_add(1);
+        }
+      });
+    }
+    for (auto& th : feeders) th.join();
+    // 512 racing failures, but record_failure's open exchange elects
+    // exactly one winner: one observed trip, one accounted trip.
+    EXPECT_EQ(tripped.load(), 1u);
+    EXPECT_EQ(breaker.trips(), 1u);
+    EXPECT_TRUE(breaker.open());
+    EXPECT_EQ(breaker.consecutive_failures(), 512u);
+  }
+}
+
+TEST(CircuitBreakerConcurrent, ExactlyOneThreadObservesTheReset) {
+  for (unsigned iter = 0; iter < 16; ++iter) {
+    core::CircuitBreaker breaker(/*threshold=*/1, /*decay=*/4);
+    ASSERT_TRUE(breaker.record_failure());
+    std::atomic<unsigned> resets{0};
+    std::vector<std::thread> healers;
+    healers.reserve(8);
+    for (unsigned t = 0; t < 8; ++t) {
+      healers.emplace_back([&] {
+        for (unsigned i = 0; i < 64; ++i) {
+          if (breaker.record_success()) resets.fetch_add(1);
+        }
+      });
+    }
+    for (auto& th : healers) th.join();
+    EXPECT_EQ(resets.load(), 1u);
+    EXPECT_EQ(breaker.resets(), 1u);
+    EXPECT_FALSE(breaker.open());
+    EXPECT_EQ(breaker.consecutive_failures(), 0u);
+  }
+}
+
+TEST(CircuitBreakerConcurrent, ProbeTicketCadenceHoldsAcrossRacingPolls) {
+  constexpr std::uint64_t kDecay = 8;
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kPollsPerThread = 200;
+  core::CircuitBreaker breaker(/*threshold=*/1, kDecay);
+  ASSERT_TRUE(breaker.record_failure());
+  std::atomic<std::uint64_t> elected{0};
+  std::vector<std::thread> pollers;
+  pollers.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pollers.emplace_back([&] {
+      for (unsigned i = 0; i < kPollsPerThread; ++i) {
+        if (breaker.probe_ticket()) elected.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : pollers) th.join();
+  // Ticketed fetch_add: the election count is exactly polls/decay, no
+  // double elections and no skipped windows, however the threads interleave.
+  EXPECT_EQ(elected.load(), kThreads * kPollsPerThread / kDecay);
+
+  // A closed breaker elects nobody, even under the same contention.
+  ASSERT_TRUE(breaker.record_success());
+  std::atomic<std::uint64_t> closed_elections{0};
+  std::vector<std::thread> closed_pollers;
+  closed_pollers.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    closed_pollers.emplace_back([&] {
+      for (unsigned i = 0; i < kPollsPerThread; ++i) {
+        if (breaker.probe_ticket()) closed_elections.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : closed_pollers) th.join();
+  EXPECT_EQ(closed_elections.load(), 0u);
+}
+
+TEST(CircuitBreakerConcurrent, TripResetCyclesStayBalancedUnderMixedFeeds) {
+  // Alternating failure and success storms from different threads — the
+  // shape of a flapping device under the service's health tracker. Trips
+  // and resets must stay balanced (every trip has at most one reset, and
+  // the final state matches the last storm).
+  core::CircuitBreaker breaker(/*threshold=*/2, /*decay=*/4);
+  for (unsigned cycle = 0; cycle < 8; ++cycle) {
+    std::vector<std::thread> feeders;
+    feeders.reserve(4);
+    for (unsigned t = 0; t < 4; ++t) {
+      feeders.emplace_back([&] {
+        for (unsigned i = 0; i < 16; ++i) breaker.record_failure();
+      });
+    }
+    for (auto& th : feeders) th.join();
+    EXPECT_TRUE(breaker.open());
+    EXPECT_EQ(breaker.trips(), cycle + 1);
+
+    std::vector<std::thread> healers;
+    healers.reserve(4);
+    for (unsigned t = 0; t < 4; ++t) {
+      healers.emplace_back([&] {
+        for (unsigned i = 0; i < 16; ++i) breaker.record_success();
+      });
+    }
+    for (auto& th : healers) th.join();
+    EXPECT_FALSE(breaker.open());
+    EXPECT_EQ(breaker.resets(), cycle + 1);
+  }
 }
 
 // ---- reserve pool contracts ----------------------------------------------
