@@ -8,10 +8,19 @@
 // tested real CUDA builds, we test the reimplementations — which is exactly
 // why both columns are shown.
 #include "bench_common.h"
+#include "core/json_writer.h"
 #include "gpu/watchdog.h"
 #include "workloads/alloc_perf.h"
 
 namespace {
+
+/// The survey's placement column: where the allocation *decision* runs.
+/// Device-side managers plan on the GPU inside the kernel; the host-based
+/// family (src/hostalloc) plans in host data structures behind a device
+/// lock word.
+const char* placement_of(const gms::core::AllocatorTraits& t) {
+  return t.host_based ? "host-based" : "device-side";
+}
 
 int measure_stability(const gms::bench::BenchArgs& args) {
   using namespace gms;
@@ -57,16 +66,19 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
   if (args.measure_stability) return measure_stability(args);
 
-  core::ResultTable table({"Short Name", "Year", "Family", "Ref.",
+  core::ResultTable table({"Short Name", "Year", "Family", "Placement", "Ref.",
                            "General Purpose", "Individual Free",
                            "Warp-Level", "Relays Large", "Max Direct (B)",
                            "Resizable", "ITS-safe", "Stable", "In Paper Eval"});
+  core::BenchJson json("table1");
+  json.meta().num("managers", args.allocators.size());
   for (const auto& name : args.allocators) {
     const auto* entry = core::Registry::instance().find(name);
     const auto& t = entry->traits;
     auto yn = [](bool b) { return std::string(b ? "yes" : "no"); };
     table.add_row({std::string(t.name), std::to_string(t.year),
-                   std::string(t.family), std::string(t.paper_ref),
+                   std::string(t.family), placement_of(t),
+                   std::string(t.paper_ref),
                    yn(t.general_purpose), yn(t.individual_free),
                    yn(t.warp_level_only), yn(t.relays_large_to_system),
                    t.max_direct_size == std::numeric_limits<std::size_t>::max()
@@ -74,7 +86,21 @@ int main(int argc, char** argv) {
                        : std::to_string(t.max_direct_size),
                    yn(t.resizable), yn(t.its_safe), yn(t.stable),
                    yn(!t.extension)});
+    json.add_case()
+        .str("name", t.name)
+        .str("family", t.family)
+        .str("placement", placement_of(t))
+        .num("year", t.year)
+        .boolean("general_purpose", t.general_purpose)
+        .boolean("individual_free", t.individual_free)
+        .boolean("resizable", t.resizable)
+        .boolean("its_safe", t.its_safe)
+        .boolean("stable", t.stable)
+        .boolean("in_paper_eval", !t.extension)
+        .num("malloc_state_bytes", t.malloc_state_bytes)
+        .num("free_state_bytes", t.free_state_bytes);
   }
   bench::emit(table, args, "Table 1 — memory managers on the GPU (simulated)");
+  if (!args.json.empty()) json.write(args.json);
   return 0;
 }

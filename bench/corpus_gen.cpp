@@ -244,6 +244,50 @@ trace::Trace quota_wave(std::size_t heap) {
   return b.finish();
 }
 
+/// Host-based extent fragmentation: carve/coalesce churn aimed at the
+/// hostalloc family's free-extent map. Each round carves runs of varied
+/// sizes, punches alternating holes (so the host map fills with
+/// non-adjacent free extents), then demands blocks larger than any single
+/// hole — satisfiable only once neighbouring holes coalesce on free. The
+/// round then drains completely, so best-fit split bookkeeping, buddy
+/// merge chains, and StreamPool deferred-list drains all run back to a
+/// single spanning extent before the next round re-fragments.
+trace::Trace extent_frag(std::size_t heap) {
+  TraceBuilder b(heap, 4);
+  b.begin_kernel(kThreads);
+  for (unsigned round = 0; round < 4; ++round) {
+    // Carve: varied sizes so the extent map holds mixed-width extents.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> carved;
+    for (std::uint32_t r = 0; r < kThreads; ++r) {
+      for (unsigned i = 0; i < 8; ++i) {
+        const std::uint64_t size = 96 + ((i + round) % 5) * 160;
+        carved.emplace_back(r, b.malloc_op(r, size));
+      }
+    }
+    // Punch: free every other carve, leaving alternating live/free holes.
+    for (std::size_t i = 1; i < carved.size(); i += 2) {
+      b.free_op(carved[i].first, carved[i].second);
+    }
+    // Re-carve: blocks wider than any punched hole, forcing the allocator
+    // to place them in still-contiguous space or coalesced spans.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> wide;
+    for (std::uint32_t r = 0; r < kThreads; ++r) {
+      wide.emplace_back(r, b.malloc_op(r, 2048 + (round % 3) * 1024));
+    }
+    // Drain: release the surviving evens, then the wide blocks, so every
+    // coalesce path (left, right, both neighbours) fires before the next
+    // round starts from one spanning extent.
+    for (std::size_t i = 0; i < carved.size(); i += 2) {
+      b.free_op(carved[i].first, carved[i].second);
+    }
+    for (const auto& [r, off] : wide) {
+      b.free_op(r, off);
+    }
+  }
+  b.end_kernel();
+  return b.finish();
+}
+
 /// Exhaustion wave over a deliberately small heap: no frees, demand well
 /// past capacity. The pinned verdict is oom — the one corpus entry whose
 /// expected verdict is a *failure*, proving the sweep detects drift in both
@@ -303,6 +347,16 @@ int main(int argc, char** argv) {
   seeds.push_back({"quota_wave_resilient.gmtrace", quota_wave(heap),
                    "resilient>validate>ScatterAlloc",
                    "multi-tenant quota-exhaustion flood under +R"});
+  // The extent-fragmentation churn is pinned on two host-based stacks: the
+  // bare "+V" extent map (carve/coalesce accounting under the validator)
+  // and the stream-ordered pool under "+R", whose deferred free lists turn
+  // every drain phase into a reclaim-at-sync stress.
+  seeds.push_back({"extent_frag.gmtrace", extent_frag(heap),
+                   "validate>HostExtent",
+                   "host-based extent carve/coalesce churn"});
+  seeds.push_back({"extent_frag_stream.gmtrace", extent_frag(heap),
+                   "resilient>validate>StreamPool",
+                   "extent churn over stream-ordered deferred reclaim"});
   seeds.push_back({"oom_wave.gmtrace", oom_wave(), "validate>ScatterAlloc",
                    "exhaustion wave, 2x heap demand, no frees"});
   seeds.push_back({"oom_wave_resilient.gmtrace", oom_wave(),

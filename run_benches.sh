@@ -85,12 +85,13 @@ if [[ $SMOKE -eq 1 ]]; then
   run "$R"/simt.txt            bench_simt       --json BENCH_simt.json
   run "$R"/smoke_thread_10k.txt bench_alloc_size --threads 10000 --iters 2
   # Record→replay round trip: capture a small reference trace, then replay
-  # it against the source allocator plus two strangers. bench_replay exits
-  # non-zero if any replay is non-deterministic.
+  # it against the source allocator plus strangers — including a host-based
+  # one, so the smoke sweep crosses the placement column. bench_replay
+  # exits non-zero if any replay is non-deterministic.
   run "$R"/smoke_trace.txt     bench_workgen -t ScatterAlloc --max-exp 8 --iters 1 --mem-mb 64 \
                                --trace "$R"/reference.gmtrace
   run "$R"/smoke_replay.txt    bench_replay --trace "$R"/reference.ScatterAlloc.gmtrace \
-                               -t ScatterAlloc,Ouro-P-VA,Halloc --json BENCH_replay.json \
+                               -t ScatterAlloc,Ouro-P-VA,Halloc,HostExtent --json BENCH_replay.json \
                                --chrome "$R"/reference.chrome.json
   # Warp-aggregation A/B on a representative subset (the full matrix runs in
   # the non-smoke sweep); refreshes BENCH_warpagg.json at the recorded
@@ -140,7 +141,8 @@ run "$R"/simt.txt             bench_simt --json BENCH_simt.json
 run "$R"/trace_ref.txt        bench_workgen -t ScatterAlloc --max-exp 10 --iters 1 --mem-mb 64 \
                               --trace "$R"/reference.gmtrace
 run "$R"/replay.txt           bench_replay --trace "$R"/reference.ScatterAlloc.gmtrace \
-                              -t ScatterAlloc,Ouro-P-VA,Halloc,XMalloc --json BENCH_replay.json \
+                              -t ScatterAlloc,Ouro-P-VA,Halloc,XMalloc,HostExtent,HostBuddy,StreamPool \
+                              --json BENCH_replay.json \
                               --chrome "$R"/reference.chrome.json --occupancy "$R"/reference.occupancy.csv
 # Warp-aggregation A/B over every general-purpose base vs its "+W" twin
 # (DESIGN.md §12): wall ms + atomics-per-malloc at the recorded contention

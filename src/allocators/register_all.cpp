@@ -12,6 +12,9 @@
 #include "core/registry.h"
 #include "core/stack_builder.h"
 #include "core/validating_manager.h"
+#include "hostalloc/extent_best_fit.h"
+#include "hostalloc/host_buddy.h"
+#include "hostalloc/stream_pool.h"
 
 namespace gms::core {
 
@@ -122,6 +125,16 @@ void register_all_allocators() {
   // Extension beyond the paper's evaluated population (§2.9 had no public
   // version): our BulkAllocator rebuild, selector 'b'.
   add(probe_dev, 'b', make_factory<alloc::BulkAlloc>(alloc::BulkAlloc::Config{}));
+
+  // The host-based family (src/hostalloc, DESIGN.md §14), selector 'm':
+  // the survey column the paper's device-side population omits — the host
+  // plans every placement, the device only consumes.
+  add(probe_dev, 'm',
+      make_factory<hostalloc::ExtentBestFit>(hostalloc::ExtentBestFit::Config{}));
+  add(probe_dev, 'm',
+      make_factory<hostalloc::HostBuddy>(hostalloc::HostBuddy::Config{}));
+  add(probe_dev, 'm',
+      make_factory<hostalloc::StreamPool>(hostalloc::StreamPool::Config{}));
 
   register_decorated_twins();
 }

@@ -1,5 +1,7 @@
 #include "allocators/xmalloc.h"
 
+#include <algorithm>
+
 #include "alloc_core/sub_arena.h"
 
 namespace gms::alloc {
@@ -24,8 +26,18 @@ constexpr core::AllocatorTraits kTraits{
 XMalloc::XMalloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
     : cfg_(cfg) {
   core::Stopwatch timer;
+  cfg_.num_classes = std::clamp<std::size_t>(
+      cfg_.num_classes, 1, alloc_core::SizeClassMap::kMaxClasses);
+  cfg_.blocks_per_super = std::clamp(cfg_.blocks_per_super, 1u, 32u);
+  classes_ = alloc_core::SizeClassMap::geometric(
+      cfg_.class_base, static_cast<unsigned>(cfg_.num_classes));
+  full_mask_ = cfg_.blocks_per_super == 32
+                   ? 0xFFFFFFFFu
+                   : (1u << cfg_.blocks_per_super) - 1;
+  fifo1_.resize(cfg_.num_classes);
+  fifo2_.resize(cfg_.num_classes);
   alloc_core::SubArena carver(dev, heap_bytes);
-  for (std::size_t c = 0; c < kNumClasses; ++c) {
+  for (std::size_t c = 0; c < cfg_.num_classes; ++c) {
     auto* s1 = carver.take<std::uint64_t>(
         BoundedTicketQueue::layout_words(cfg_.fifo1_capacity),
         alignof(std::uint64_t), "fifo1");
@@ -49,12 +61,6 @@ XMalloc::XMalloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
 }
 
 const core::AllocatorTraits& XMalloc::traits() const { return kTraits; }
-
-const alloc_core::SizeClassMap& XMalloc::payload_classes() {
-  static const alloc_core::SizeClassMap map =
-      alloc_core::SizeClassMap::geometric(16, kNumClasses);
-  return map;
-}
 
 core::AuditResult XMalloc::audit() {
   core::AuditResult result;
@@ -81,7 +87,7 @@ void* XMalloc::take_from_superblock(gpu::ThreadCtx& ctx,
   ctx.atomic_store(&sb->returned_mask, 0u);
   auto* blocks = reinterpret_cast<std::byte*>(sb + 1);
   const std::size_t stride = basic_bytes(cls);
-  for (unsigned i = 0; i < kBlocksPerSuper; ++i) {
+  for (unsigned i = 0; i < cfg_.blocks_per_super; ++i) {
     auto* hdr = reinterpret_cast<BasicHeader*>(blocks + i * stride);
     hdr->magic = kBasicMagic;
     hdr->cls = cls;
@@ -129,7 +135,7 @@ void* XMalloc::malloc_large(gpu::ThreadCtx& ctx, std::size_t size) {
 
 void* XMalloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
   if (size == 0) size = 1;
-  const unsigned c = payload_classes().class_for(size);
+  const unsigned c = classes_.class_for(size);
   if (c != alloc_core::SizeClassMap::kNoClass) {
     return malloc_small(ctx, c);
   }
@@ -155,11 +161,11 @@ void XMalloc::free(gpu::ThreadCtx& ctx, void* ptr) {
                                             std::size_t{hdr->sb_unit} * 16);
   const std::uint32_t bit = 1u << hdr->index;
   const std::uint32_t before = ctx.atomic_or(&sb->returned_mask, bit);
-  if ((before | bit) != 0xFFFFFFFFu) return;
+  if ((before | bit) != full_mask_) return;
 
-  // All 32 Basicblocks are home again: recycle the Superblock. The CAS picks
+  // All Basicblocks are home again: recycle the Superblock. The CAS picks
   // exactly one reclaimer among racing final freers.
-  if (ctx.atomic_cas(&sb->returned_mask, 0xFFFFFFFFu, 0u) != 0xFFFFFFFFu) {
+  if (ctx.atomic_cas(&sb->returned_mask, full_mask_, 0u) != full_mask_) {
     return;
   }
   if (!fifo2_[cls].try_enqueue(ctx, hdr->sb_unit)) {

@@ -1,6 +1,6 @@
 #pragma once
 
-#include <array>
+#include <vector>
 
 #include "alloc_core/size_class_map.h"
 #include "allocators/common.h"
@@ -31,9 +31,22 @@ namespace gms::alloc {
 /// footprint are faithfully present.
 class XMalloc final : public core::MemoryManager {
  public:
+  /// Runtime tuning surface (the seed of the ROADMAP tuner refactor): what
+  /// used to be compile-time constants — the size-class ladder geometry and
+  /// the superblock shape — are now per-instance parameters. The defaults
+  /// reproduce the paper's geometry exactly; recorded traces replay
+  /// byte-identically against a default-config instance (checked in
+  /// tests/test_trace.cpp).
   struct Config {
     std::size_t fifo1_capacity = 4096;  ///< basicblock slots per class
     std::size_t fifo2_capacity = 1024;  ///< superblock slots per class
+    std::size_t class_base = 16;        ///< smallest payload class (bytes)
+    /// Geometric ladder length: payloads class_base << c, c in [0, n).
+    /// Clamped to SizeClassMap::kMaxClasses.
+    std::size_t num_classes = 9;  // 16 B ... 4096 B payloads
+    /// Basicblocks carved per Superblock (Fig. 1 uses 32). Clamped to
+    /// [1, 32]: returned_mask is one 32-bit word.
+    unsigned blocks_per_super = 32;
   };
 
   XMalloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
@@ -48,12 +61,11 @@ class XMalloc final : public core::MemoryManager {
   /// list is exactly the structure a stray write corrupts first.
   [[nodiscard]] core::AuditResult audit() override;
 
-  static constexpr std::size_t kNumClasses = 9;  // 16 B ... 4096 B payloads
-  static constexpr std::size_t class_payload(std::size_t c) {
-    return std::size_t{16} << c;
+  /// This instance's payload ladder (request-side lookup geometry).
+  [[nodiscard]] const alloc_core::SizeClassMap& payload_classes() const {
+    return classes_;
   }
-  /// The same geometry as a shared SizeClassMap (request-side lookup).
-  static const alloc_core::SizeClassMap& payload_classes();
+  [[nodiscard]] const Config& config() const { return cfg_; }
 
  private:
   struct BasicHeader {
@@ -72,13 +84,15 @@ class XMalloc final : public core::MemoryManager {
   static constexpr std::uint32_t kBasicMagic = 0x8A51Cu;
   static constexpr std::uint32_t kSuperMagic = 0x50B10Cu;
   static constexpr std::uint32_t kLargeClass = 0xFFFFFFFFu;
-  static constexpr unsigned kBlocksPerSuper = 32;
 
-  [[nodiscard]] static std::size_t basic_bytes(std::size_t c) {
+  [[nodiscard]] std::size_t class_payload(std::size_t c) const {
+    return cfg_.class_base << c;
+  }
+  [[nodiscard]] std::size_t basic_bytes(std::size_t c) const {
     return sizeof(BasicHeader) + class_payload(c);
   }
-  [[nodiscard]] static std::size_t super_bytes(std::size_t c) {
-    return sizeof(SuperHeader) + kBlocksPerSuper * basic_bytes(c);
+  [[nodiscard]] std::size_t super_bytes(std::size_t c) const {
+    return sizeof(SuperHeader) + cfg_.blocks_per_super * basic_bytes(c);
   }
 
   void* take_from_superblock(gpu::ThreadCtx& ctx, std::uint32_t sb_unit,
@@ -87,9 +101,11 @@ class XMalloc final : public core::MemoryManager {
   void* malloc_large(gpu::ThreadCtx& ctx, std::size_t size);
 
   Config cfg_;
+  alloc_core::SizeClassMap classes_;  ///< this instance's payload ladder
+  std::uint32_t full_mask_ = 0;       ///< all blocks_per_super bits set
   ListHeap heap_;
-  std::array<BoundedTicketQueue, kNumClasses> fifo1_;
-  std::array<BoundedTicketQueue, kNumClasses> fifo2_;
+  std::vector<BoundedTicketQueue> fifo1_;
+  std::vector<BoundedTicketQueue> fifo2_;
   std::byte* pool_base_ = nullptr;  // == heap pool base, for unit math
 };
 

@@ -85,6 +85,11 @@ struct AllocatorTraits {
   /// populations don't silently double; selected explicitly by name, by the
   /// 'v' selector letter, or via --validate.
   bool decorated = false;
+  /// True for the host-based family (src/hostalloc): placement is planned on
+  /// the host and the device only consumes — the survey column the paper's
+  /// device-side population omits. Benches report it as the "placement"
+  /// dimension of every table.
+  bool host_based = false;
 
   /// §4.1 resource-footprint proxy: the paper reports register counts, which
   /// have no host equivalent; we document the per-call live-state footprint

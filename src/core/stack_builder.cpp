@@ -9,6 +9,7 @@
 #include "alloc_core/resilient_manager.h"
 #include "alloc_core/warp_aggregator.h"
 #include "core/validating_manager.h"
+#include "hostalloc/host_manager.h"
 #include "trace/trace_recorder.h"
 #include "trace/tracing_manager.h"
 
@@ -104,6 +105,50 @@ class RecorderAggSink final : public AggregationObserver {
         return trace::EventKind::kAggSlabRefill;
     }
     return trace::EventKind::kAggSlabRefill;
+  }
+
+  trace::TraceRecorder& rec_;
+};
+
+/// HostPlacementObserver that forwards host-based placement decisions into
+/// the stack's TraceRecorder as host-placement markers (EventKind 48-51) —
+/// the same bridge as the sinks above, for the hostalloc layer. Owned by
+/// the HostManagerBase; the BuiltStack contract keeps the recorder alive
+/// as long as the manager.
+class RecorderHostSink final : public hostalloc::HostPlacementObserver {
+ public:
+  explicit RecorderHostSink(trace::TraceRecorder& rec) : rec_(rec) {}
+
+  void on_placement_event(gpu::ThreadCtx& ctx,
+                          hostalloc::PlacementEventKind kind,
+                          std::uint64_t size, std::uint64_t detail) override {
+    if (!rec_.enabled()) return;
+    trace::TraceEvent ev;
+    ev.kind = static_cast<std::uint8_t>(map(kind));
+    ev.t_ns = rec_.now_ns();
+    ev.size = size;
+    ev.offset = detail;
+    ev.thread_rank = ctx.thread_rank();
+    ev.block = ctx.block_idx();
+    ev.smid = static_cast<std::uint8_t>(ctx.smid());
+    ev.lane = static_cast<std::uint8_t>(ctx.lane_id());
+    ev.warp = static_cast<std::uint8_t>(ctx.warp_in_block());
+    rec_.record(ctx.smid(), ev);
+  }
+
+ private:
+  static trace::EventKind map(hostalloc::PlacementEventKind k) {
+    switch (k) {
+      case hostalloc::PlacementEventKind::kCarve:
+        return trace::EventKind::kHostCarve;
+      case hostalloc::PlacementEventKind::kCoalesce:
+        return trace::EventKind::kHostCoalesce;
+      case hostalloc::PlacementEventKind::kStreamSync:
+        return trace::EventKind::kHostStreamSync;
+      case hostalloc::PlacementEventKind::kTrim:
+        return trace::EventKind::kHostTrim;
+    }
+    return trace::EventKind::kHostCarve;
   }
 
   trace::TraceRecorder& rec_;
@@ -268,6 +313,8 @@ BuiltStack StackBuilder::build(const StackSpec& spec,
       if (out.name.empty()) out.name = std::string(r->traits().name);
       m = &r->inner();
     } else {
+      // `m` is the base manager; note host-based bases for the trace sink.
+      out.host = dynamic_cast<hostalloc::HostManagerBase*>(m);
       break;
     }
   }
@@ -287,6 +334,13 @@ BuiltStack StackBuilder::build(const StackSpec& spec,
     if (out.aggregator != nullptr) {
       out.aggregator->set_observer(
           std::make_unique<RecorderAggSink>(*out.recorder));
+    }
+    // A traced host-based base reports its placement decisions (carves,
+    // coalesces, stream syncs/trims) as "hostalloc"-category markers,
+    // outside the digest.
+    if (out.host != nullptr) {
+      out.host->set_observer(
+          std::make_unique<RecorderHostSink>(*out.recorder));
     }
   }
   return out;

@@ -23,6 +23,10 @@ class ResilientManager;
 class WarpAggregator;
 }  // namespace gms::alloc_core
 
+namespace gms::hostalloc {
+class HostManagerBase;
+}  // namespace gms::hostalloc
+
 namespace gms::core {
 
 class ValidatingManager;
@@ -67,6 +71,9 @@ struct BuiltStack {
   trace::TracingManager* tracer = nullptr;
   alloc_core::WarpAggregator* aggregator = nullptr;
   alloc_core::ResilientManager* resilient = nullptr;
+  /// The base manager when it belongs to the host-based family (nullptr for
+  /// device-side bases): the seam for the host-placement trace sink.
+  hostalloc::HostManagerBase* host = nullptr;
   std::unique_ptr<trace::TraceRecorder> recorder;  ///< set iff a trace stage
 
   /// Identity of the stack: the name of the outermost layer that is not a

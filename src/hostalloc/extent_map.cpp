@@ -1,0 +1,123 @@
+#include "hostalloc/extent_map.h"
+
+namespace gms::hostalloc {
+
+void ExtentMap::reset(std::uint64_t offset, std::uint64_t bytes) {
+  by_offset_.clear();
+  by_size_.clear();
+  free_bytes_ = 0;
+  if (bytes == 0) return;
+  by_offset_.emplace(offset, bytes);
+  by_size_.emplace(bytes, offset);
+  free_bytes_ = bytes;
+}
+
+void ExtentMap::index_erase(std::uint64_t bytes, std::uint64_t offset) {
+  by_size_.erase({bytes, offset});
+}
+
+bool ExtentMap::carve(std::uint64_t bytes, std::uint64_t& out_offset) {
+  if (bytes == 0 || bytes > free_bytes_) return false;
+  // The binary-search best fit: smallest extent >= bytes, lowest offset
+  // among equals (the GpuMemoryManager idiom).
+  const auto it = by_size_.lower_bound({bytes, 0});
+  if (it == by_size_.end()) return false;
+  const auto [ext_bytes, ext_off] = *it;
+  by_size_.erase(it);
+  by_offset_.erase(ext_off);
+  out_offset = ext_off;
+  if (ext_bytes > bytes) {  // the tail remainder stays free
+    by_offset_.emplace(ext_off + bytes, ext_bytes - bytes);
+    by_size_.emplace(ext_bytes - bytes, ext_off + bytes);
+  }
+  free_bytes_ -= bytes;
+  return true;
+}
+
+unsigned ExtentMap::insert(std::uint64_t offset, std::uint64_t bytes) {
+  if (bytes == 0) return 0;
+  const std::uint64_t added = bytes;  // merged neighbours are already counted
+  unsigned merges = 0;
+  // Coalesce with the predecessor: the free extent ending exactly at
+  // `offset` absorbs the insertion.
+  auto next = by_offset_.lower_bound(offset);
+  if (next != by_offset_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == offset) {
+      offset = prev->first;
+      bytes += prev->second;
+      index_erase(prev->second, prev->first);
+      by_offset_.erase(prev);
+      ++merges;
+    }
+  }
+  // Coalesce with the successor starting exactly at the (possibly grown)
+  // extent's end.
+  next = by_offset_.lower_bound(offset + 1);
+  if (next != by_offset_.end() && offset + bytes == next->first) {
+    bytes += next->second;
+    index_erase(next->second, next->first);
+    by_offset_.erase(next);
+    ++merges;
+  }
+  by_offset_.emplace(offset, bytes);
+  by_size_.emplace(bytes, offset);
+  free_bytes_ += added;
+  return merges;
+}
+
+std::uint64_t ExtentMap::largest_free() const {
+  if (by_size_.empty()) return 0;
+  return std::prev(by_size_.end())->first;
+}
+
+bool ExtentMap::check(std::uint64_t pool_offset, std::uint64_t pool_bytes,
+                      std::uint64_t& walked, std::string& why) const {
+  std::uint64_t sum = 0;
+  std::uint64_t prev_end = 0;
+  bool first = true;
+  for (const auto& [off, bytes] : by_offset_) {
+    ++walked;
+    if (bytes == 0) {
+      why = "empty free extent at offset " + std::to_string(off);
+      return false;
+    }
+    if (off < pool_offset || off + bytes > pool_offset + pool_bytes) {
+      why = "free extent outside the pool: [" + std::to_string(off) + ", " +
+            std::to_string(off + bytes) + ")";
+      return false;
+    }
+    if (!first) {
+      if (off < prev_end) {
+        why = "overlapping free extents at offset " + std::to_string(off);
+        return false;
+      }
+      if (off == prev_end) {
+        why = "uncoalesced adjacent free extents at offset " +
+              std::to_string(off);
+        return false;
+      }
+    }
+    if (by_size_.count({bytes, off}) == 0) {
+      why = "size index missing extent (" + std::to_string(bytes) + " B @ " +
+            std::to_string(off) + ")";
+      return false;
+    }
+    prev_end = off + bytes;
+    first = false;
+    sum += bytes;
+  }
+  if (by_size_.size() != by_offset_.size()) {
+    why = "size index has " + std::to_string(by_size_.size()) +
+          " entries for " + std::to_string(by_offset_.size()) + " extents";
+    return false;
+  }
+  if (sum != free_bytes_) {
+    why = "free-byte accounting drift: counter " +
+          std::to_string(free_bytes_) + ", walked " + std::to_string(sum);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace gms::hostalloc

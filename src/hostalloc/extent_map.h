@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace gms::hostalloc {
+
+/// Host-side sorted free-extent map — the core planning structure of the
+/// host-based allocator family (DESIGN.md §14). Mirrors the SNIPPETS.md
+/// `GpuMemoryManager` exemplar: all free device memory lives in a sorted
+/// set of extents, carving binary-searches the size index for the best fit,
+/// and frees coalesce with both neighbours via the offset index. The device
+/// never sees any of this — placement is decided entirely on the host.
+///
+/// Not thread-safe on its own: owners serialize access (the managers guard
+/// it with the arena spin lock, modelling the host-RPC serialization that
+/// is this family's honest cost).
+class ExtentMap {
+ public:
+  /// Resets to a single spanning free extent [offset, offset + bytes).
+  void reset(std::uint64_t offset, std::uint64_t bytes);
+
+  /// Best-fit carve: the smallest free extent >= bytes (ties: lowest
+  /// offset, for deterministic placement). On success sets `out_offset`
+  /// and returns true; the extent's tail remainder stays free.
+  bool carve(std::uint64_t bytes, std::uint64_t& out_offset);
+
+  /// Returns an extent to the map, coalescing with adjacent free
+  /// neighbours. Returns the number of merges performed (0..2).
+  unsigned insert(std::uint64_t offset, std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t free_bytes() const { return free_bytes_; }
+  [[nodiscard]] std::uint64_t largest_free() const;
+  [[nodiscard]] std::size_t extent_count() const { return by_offset_.size(); }
+
+  /// Audit walk: extents strictly ascending, non-overlapping, non-adjacent
+  /// (coalescing invariant), non-empty, inside [pool_offset, pool_offset +
+  /// pool_bytes), and the size index exactly mirrors the offset map. Adds
+  /// the structures examined to `walked`; on the first violation fills
+  /// `why` and returns false.
+  bool check(std::uint64_t pool_offset, std::uint64_t pool_bytes,
+             std::uint64_t& walked, std::string& why) const;
+
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& by_offset()
+      const {
+    return by_offset_;
+  }
+
+ private:
+  void index_erase(std::uint64_t bytes, std::uint64_t offset);
+
+  std::map<std::uint64_t, std::uint64_t> by_offset_;  ///< offset -> bytes
+  /// Size index for the binary-search best fit: (bytes, offset), ordered, so
+  /// lower_bound({bytes, 0}) is the smallest sufficient extent.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> by_size_;
+  std::uint64_t free_bytes_ = 0;
+};
+
+}  // namespace gms::hostalloc

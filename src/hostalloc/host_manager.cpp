@@ -1,0 +1,47 @@
+#include "hostalloc/host_manager.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace gms::hostalloc {
+
+namespace {
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<HostIntrospection*>& registry_storage() {
+  static std::vector<HostIntrospection*> v;
+  return v;
+}
+
+}  // namespace
+
+void register_host_manager(HostIntrospection* mgr) {
+  std::lock_guard guard(registry_mutex());
+  registry_storage().push_back(mgr);
+}
+
+void unregister_host_manager(HostIntrospection* mgr) {
+  std::lock_guard guard(registry_mutex());
+  auto& v = registry_storage();
+  v.erase(std::remove(v.begin(), v.end(), mgr), v.end());
+}
+
+std::vector<HostIntrospection*> active_host_managers() {
+  std::lock_guard guard(registry_mutex());
+  return registry_storage();
+}
+
+HostManagerBase::HostManagerBase(gpu::Device& dev, std::size_t heap_bytes)
+    : dev_(&dev), arena_(dev, heap_bytes) {
+  lock_word_ = arena_.take<std::uint32_t>(1, 64, "host planner lock");
+  *lock_word_ = 0;
+  register_host_manager(this);
+}
+
+HostManagerBase::~HostManagerBase() { unregister_host_manager(this); }
+
+}  // namespace gms::hostalloc

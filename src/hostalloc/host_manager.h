@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alloc_core/sub_arena.h"
+#include "allocators/common.h"
+#include "core/memory_manager.h"
+#include "gpu/device.h"
+#include "gpu/thread_ctx.h"
+
+namespace gms::hostalloc {
+
+/// Host-placement event taxonomy for the hostalloc observer seam — the
+/// family's equivalent of core::EscalationKind. The StackBuilder bridges
+/// these into trace markers (EventKind 48-51) when a trace stage is present,
+/// exactly like the "+R" escalation sink; the markers stay outside the
+/// canonical replay digest.
+enum class PlacementEventKind : std::uint8_t {
+  kCarve,       ///< host planner carved an extent; size = bytes, detail = off
+  kCoalesce,    ///< free merged neighbours; size = merged bytes, detail = #merges
+  kStreamSync,  ///< stream-ordered pool drained deferred frees at a sync point
+  kTrim,        ///< cached pool memory released back to the global extent map
+};
+
+[[nodiscard]] constexpr const char* to_string(PlacementEventKind k) {
+  switch (k) {
+    case PlacementEventKind::kCarve: return "carve";
+    case PlacementEventKind::kCoalesce: return "coalesce";
+    case PlacementEventKind::kStreamSync: return "stream_sync";
+    case PlacementEventKind::kTrim: return "trim";
+  }
+  return "?";
+}
+
+/// Observer seam for host-placement decisions. The hostalloc layer sits
+/// below gms_trace, so it cannot record trace events itself; StackBuilder
+/// installs a recorder-backed sink when the stack has a trace stage.
+class HostPlacementObserver {
+ public:
+  virtual ~HostPlacementObserver() = default;
+  virtual void on_placement_event(gpu::ThreadCtx& ctx, PlacementEventKind kind,
+                                  std::uint64_t size, std::uint64_t detail) = 0;
+};
+
+/// Uniform debug/introspection surface across the host-based family, in the
+/// ppsspp `GPUMemoryManager` idiom (SNIPPETS.md snippet 3): a name, a
+/// fixed-buffer debug string, and a process-wide registry of the managers
+/// currently alive so tooling can enumerate them without owning them.
+class HostIntrospection {
+ public:
+  virtual ~HostIntrospection() = default;
+
+  [[nodiscard]] virtual const char* host_name() const = 0;
+
+  /// Writes a single-line, NUL-terminated utilization summary into `buffer`
+  /// (truncated to `buf_size`). Quiescent-only, like audit().
+  virtual void get_debug_string(char* buffer, std::size_t buf_size) const = 0;
+};
+
+/// Registry of live host-based managers (mutex-guarded; registration happens
+/// in HostManagerBase's ctor/dtor, enumeration from tests and tooling).
+void register_host_manager(HostIntrospection* mgr);
+void unregister_host_manager(HostIntrospection* mgr);
+[[nodiscard]] std::vector<HostIntrospection*> active_host_managers();
+
+/// Common substrate of the host-based allocator family (DESIGN.md §14):
+/// a SubArena slice of the device heap, one arena-resident spin-lock word
+/// serializing host planning (the family's honest RPC-serialization cost),
+/// the placement-observer seam, and automatic introspection registration.
+///
+/// Cancellation safety: the planning structures are ordinary host-side
+/// containers, but every mutation happens inside a DeviceSpinLock critical
+/// section containing only host code and instrumented atomics — no
+/// collectives, no backoff() — so a watchdog-cancelled lane either never
+/// acquired the lock or ran the section to completion. Unlike the
+/// device-side managers, a cancelled kernel therefore loses *nothing*:
+/// audits check strict byte accounting, not merely structural soundness.
+class HostManagerBase : public core::MemoryManager, public HostIntrospection {
+ public:
+  ~HostManagerBase() override;
+
+  HostManagerBase(const HostManagerBase&) = delete;
+  HostManagerBase& operator=(const HostManagerBase&) = delete;
+
+  /// Installs the placement-event sink (StackBuilder wiring; may be null).
+  void set_observer(std::unique_ptr<HostPlacementObserver> obs) {
+    observer_ = std::move(obs);
+  }
+
+ protected:
+  HostManagerBase(gpu::Device& dev, std::size_t heap_bytes);
+
+  void notify(gpu::ThreadCtx& ctx, PlacementEventKind kind, std::uint64_t size,
+              std::uint64_t detail) {
+    if (observer_ != nullptr) {
+      observer_->on_placement_event(ctx, kind, size, detail);
+    }
+  }
+
+  [[nodiscard]] alloc::DeviceSpinLock planner_lock() const {
+    return alloc::DeviceSpinLock{lock_word_};
+  }
+
+  gpu::Device* dev_;
+  alloc_core::SubArena arena_;
+  std::uint32_t* lock_word_ = nullptr;  ///< serializes all host planning
+
+ private:
+  std::unique_ptr<HostPlacementObserver> observer_;
+};
+
+}  // namespace gms::hostalloc

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hostalloc/extent_map.h"
+#include "hostalloc/host_manager.h"
+
+namespace gms::hostalloc {
+
+/// Host-based stream-ordered pool — the third column of the host-based
+/// family (DESIGN.md §14), modelled on cudaMallocAsync: frees are *deferred*
+/// onto the freeing stream's reuse list and become globally visible only at
+/// the next synchronization point. Until then the bytes are immediately
+/// reusable by the same stream (stream-ordered semantics) but invisible to
+/// every other stream — so a pool can honestly exhaust while another
+/// stream sits on deferred memory.
+///
+/// Streams are modelled as smid % streams (the simulator has no stream
+/// handles; SM affinity is the stable per-lane identity). Synchronization
+/// points are kernel boundaries, detected lazily: the first malloc/free of
+/// a new launch generation (Device::session_launches()) drains every
+/// stream's deferred list into the global extent map, retaining up to
+/// `release_threshold` bytes per stream as a warm cache — exactly
+/// cudaMemPoolAttrReleaseThreshold semantics.
+class StreamPool final : public HostManagerBase {
+ public:
+  struct Config {
+    unsigned streams = 4;
+    std::uint64_t granule = 256;  ///< placement granularity (bytes, pow2)
+    /// Bytes each stream may keep cached across a sync point (0 = release
+    /// everything, the cudaMallocAsync default).
+    std::uint64_t release_threshold = 0;
+  };
+
+  StreamPool(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
+  StreamPool(gpu::Device& dev, std::size_t heap_bytes)
+      : StreamPool(dev, heap_bytes, Config{}) {}
+
+  [[nodiscard]] const core::AllocatorTraits& traits() const override;
+  [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
+  void free(gpu::ThreadCtx& ctx, void* ptr) override;
+  [[nodiscard]] core::AuditResult audit() override;
+
+  // ---- HostIntrospection ------------------------------------------------
+  [[nodiscard]] const char* host_name() const override { return "StreamPool"; }
+  void get_debug_string(char* buffer, std::size_t buf_size) const override;
+
+  // ---- device-visible stream ops ----------------------------------------
+  /// Immediately publishes the calling stream's deferred + cached bytes to
+  /// the global map (cudaMemPoolTrimTo(0) for one stream). Emits a kTrim
+  /// placement event when anything was released.
+  void trim(gpu::ThreadCtx& ctx);
+
+  // ---- host-side control (quiescent, between launches) -------------------
+  /// Drains every stream's deferred list into the global map, ignoring the
+  /// release threshold — the explicit cudaDeviceSynchronize analogue.
+  void synchronize_all();
+
+  [[nodiscard]] unsigned streams() const { return cfg_.streams; }
+  [[nodiscard]] std::uint64_t free_bytes() const { return extents_.free_bytes(); }
+  [[nodiscard]] std::uint64_t pool_bytes() const { return pool_bytes_; }
+  [[nodiscard]] std::size_t live_count() const { return live_.size(); }
+  /// Bytes sitting on `stream`'s deferred list (invisible to other streams).
+  [[nodiscard]] std::uint64_t deferred_bytes(unsigned stream) const;
+  [[nodiscard]] std::uint64_t stream_reuse_count() const { return reuses_; }
+  [[nodiscard]] std::uint64_t sync_count() const { return syncs_; }
+  /// Mallocs that failed while another stream's deferred list could have
+  /// satisfied them — the family's "exhaustion before sync" signature.
+  [[nodiscard]] std::uint64_t starved_by_deferral() const { return starved_; }
+
+ private:
+  struct Deferred {
+    std::uint64_t offset;
+    std::uint64_t bytes;
+  };
+  struct StreamState {
+    std::vector<Deferred> deferred;  ///< reusable by this stream only
+    std::uint64_t deferred_bytes = 0;
+  };
+
+  [[nodiscard]] unsigned stream_of(const gpu::ThreadCtx& ctx) const {
+    return ctx.smid() % cfg_.streams;
+  }
+  /// Kernel-boundary detection; call with the planner lock held. Returns
+  /// the per-stream bytes released so the caller can emit markers.
+  void sync_if_new_launch_locked(gpu::ThreadCtx& ctx);
+  /// Releases `st`'s deferred entries down to `keep_bytes` into the global
+  /// map; returns the bytes released. Lock held.
+  std::uint64_t drain_stream_locked(StreamState& st, std::uint64_t keep_bytes);
+
+  Config cfg_;
+  std::uint64_t pool_offset_ = 0;
+  std::uint64_t pool_bytes_ = 0;
+
+  // Host-side planning state, mutated only under the planner lock.
+  ExtentMap extents_;  ///< globally visible free memory
+  std::map<std::uint64_t, std::pair<std::uint64_t, unsigned>>
+      live_;  ///< offset -> (bytes, owning stream)
+  std::vector<StreamState> streams_;
+  std::uint64_t synced_gen_ = 0;  ///< session_launches() last drained at
+  std::uint64_t reuses_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::uint64_t starved_ = 0;
+  std::uint64_t invalid_frees_ = 0;
+};
+
+}  // namespace gms::hostalloc

@@ -51,6 +51,16 @@ enum class EventKind : std::uint8_t {
   kTenantReshard = 44,     ///< offset = old shard << 32 | new shard
   kBatchRetry = 45,        ///< size = attempt ordinal; offset = batch seq
   kQuarantineEngage = 46,  ///< all shards sick: fork-contained fallback
+
+  // Host-placement markers emitted by the host-based allocator family
+  // (src/hostalloc, DESIGN.md §14) via the HostPlacementObserver seam.
+  // Markers like 24-46: exported and replayed alongside allocation events
+  // but outside canonical_bytes, so host planning detail never perturbs
+  // the replay-determinism digest.
+  kHostCarve = 48,       ///< size = carved bytes; offset = arena offset
+  kHostCoalesce = 49,    ///< size = merged bytes; offset = merges performed
+  kHostStreamSync = 50,  ///< size = bytes made global; offset = stream id
+  kHostTrim = 51,        ///< size = bytes released; offset = stream id
 };
 
 [[nodiscard]] constexpr bool is_alloc_event(EventKind k) {
@@ -83,6 +93,10 @@ enum class EventKind : std::uint8_t {
     case EventKind::kTenantReshard: return "tenant_reshard";
     case EventKind::kBatchRetry: return "batch_retry";
     case EventKind::kQuarantineEngage: return "quarantine_engage";
+    case EventKind::kHostCarve: return "host_carve";
+    case EventKind::kHostCoalesce: return "host_coalesce";
+    case EventKind::kHostStreamSync: return "host_stream_sync";
+    case EventKind::kHostTrim: return "host_trim";
   }
   return "?";
 }
@@ -101,6 +115,11 @@ enum class EventKind : std::uint8_t {
 /// The AllocService marker range (shed / quota / health / failover).
 [[nodiscard]] constexpr bool is_service_event(EventKind k) {
   return k >= EventKind::kTenantShed && k <= EventKind::kQuarantineEngage;
+}
+
+/// The host-based-family placement-marker range (carve / coalesce / sync).
+[[nodiscard]] constexpr bool is_host_placement_event(EventKind k) {
+  return k >= EventKind::kHostCarve && k <= EventKind::kHostTrim;
 }
 
 /// `offset` value for "no pointer": failed mallocs and null frees.

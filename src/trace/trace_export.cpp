@@ -204,6 +204,21 @@ void write_chrome_trace(const std::string& path, const Trace& trace) {
             to_string(kind), static_cast<unsigned>(ev.smid), us(ev.t_ns),
             ev.thread_rank, ev.size, ev.offset);
         break;
+      case EventKind::kHostCarve:
+      case EventKind::kHostCoalesce:
+      case EventKind::kHostStreamSync:
+      case EventKind::kHostTrim:
+        // Host-placement markers from the host-based family: carve/coalesce
+        // decisions and stream sync/trim points, with the byte count and
+        // the kind-specific detail (arena offset / merges / stream id).
+        f.printf(
+            ",\n{\"ph\":\"i\",\"name\":\"%s\",\"s\":\"t\","
+            "\"cat\":\"hostalloc\",\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+            "\"args\":{\"rank\":%" PRIu32 ",\"size\":%" PRIu64
+            ",\"detail\":%" PRIu64 "}}",
+            to_string(kind), static_cast<unsigned>(ev.smid), us(ev.t_ns),
+            ev.thread_rank, ev.size, ev.offset);
+        break;
     }
   }
   f.printf("\n]}\n");

@@ -65,9 +65,39 @@ TEST_F(RegistryTest, CommaListSelection) {
 
 TEST_F(RegistryTest, GeneralPurposeFilterExcludesAtomicAndFdg) {
   const auto names = reg().names(/*general_purpose_only=*/true);
-  EXPECT_EQ(names.size(), 15u);  // 14 paper variants + the BulkAlloc extension
+  // 14 paper variants + the BulkAlloc extension + the 3 host-based managers.
+  EXPECT_EQ(names.size(), 18u);
   EXPECT_EQ(std::find(names.begin(), names.end(), "Atomic"), names.end());
   EXPECT_EQ(std::find(names.begin(), names.end(), "FDGMalloc"), names.end());
+}
+
+TEST_F(RegistryTest, HostBasedFamilyRegistered) {
+  // The host-based column (src/hostalloc): three extensions, selector 'm',
+  // outside the paper population but with full twin coverage like any base.
+  const auto host = reg().select("m");
+  EXPECT_EQ(host.size(), 3u);
+  for (const char* n : {"HostExtent", "HostBuddy", "StreamPool"}) {
+    const auto* e = reg().find(n);
+    ASSERT_NE(e, nullptr) << n;
+    EXPECT_TRUE(e->traits.host_based) << n;
+    EXPECT_TRUE(e->traits.extension) << n;
+    EXPECT_TRUE(e->traits.its_safe) << n;
+    EXPECT_EQ(e->traits.family, "Host-based") << n;
+    EXPECT_EQ(e->selector, 'm') << n;
+    // Twins exist and inherit the host_based marking (the bench placement
+    // column classifies stacks by their base).
+    for (const char* suffix : {"+V", "+R", "+W"}) {
+      const auto* twin = reg().find(std::string(n) + suffix);
+      ASSERT_NE(twin, nullptr) << n << suffix;
+      EXPECT_TRUE(twin->traits.host_based) << n << suffix;
+    }
+  }
+  // Every device-side variant stays unmarked.
+  for (const auto& e : reg().entries()) {
+    if (e.traits.family != "Host-based") {
+      EXPECT_FALSE(e.traits.host_based) << e.traits.name;
+    }
+  }
 }
 
 TEST_F(RegistryTest, TraitsMatchPaperTable1) {

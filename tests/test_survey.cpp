@@ -372,7 +372,8 @@ TEST_P(PostCancellationAudit, HeapStaysAuditableAfterCancelledKernel) {
 INSTANTIATE_TEST_SUITE_P(Allocators, PostCancellationAudit,
                          ::testing::Values("XMalloc", "ScatterAlloc",
                                            "Ouro-P-S", "Ouro-C-S",
-                                           "ScatterAlloc+V"),
+                                           "ScatterAlloc+V", "HostExtent",
+                                           "HostBuddy", "StreamPool"),
                          [](const auto& info) {
                            std::string n = info.param;
                            for (auto& c : n) {

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "allocators/xmalloc.h"
 #include "core/registry.h"
 #include "gpu/device.h"
 #include "trace/trace_format.h"
@@ -219,6 +220,47 @@ TEST(TraceReplay, ReplayMatchesLiveRunCounts) {
   EXPECT_EQ(result.failed_mallocs, 0u);
   EXPECT_EQ(result.skipped_frees, 0u);
   EXPECT_GT(result.counters.atomic_total(), 0u);
+}
+
+TEST(TraceReplay, XMallocRuntimeConfigDefaultsAreByteIdentical) {
+  // The XMalloc ladder/superblock refactor (compile-time constants -> runtime
+  // Config) must not perturb behaviour: a trace recorded against the
+  // registry's default instance replays byte-identically against an instance
+  // built from an explicitly spelled-out Config carrying the old constants.
+  const auto src = record_session("XMalloc", 4);
+  ASSERT_FALSE(src.events.empty());
+  trace::TraceReplayer replayer(src);
+
+  const alloc::XMalloc::Config explicit_defaults{
+      .fifo1_capacity = 4096,
+      .fifo2_capacity = 1024,
+      .class_base = 16,
+      .num_classes = 9,
+      .blocks_per_super = 32,
+  };
+  Device dev(kHeapBytes + (4u << 20), GpuConfig{.num_sms = 4});
+  trace::TraceRecorder recorder(4);
+  trace::TracingManager mgr(
+      std::make_unique<alloc::XMalloc>(dev, kHeapBytes, explicit_defaults),
+      recorder, dev.arena());
+  dev.set_launch_observer(&recorder);
+  recorder.set_enabled(true);
+  const auto result = replayer.replay(dev, mgr);
+  recorder.set_enabled(false);
+  dev.set_launch_observer(nullptr);
+
+  EXPECT_EQ(trace::canonical_digest(recorder.drain()),
+            replayer.request_digest());
+  EXPECT_EQ(result.failed_mallocs, 0u);
+  EXPECT_EQ(result.skipped_frees, 0u);
+
+  // The derived geometry reproduces the old static ladder: 16 B .. 4096 B.
+  alloc::XMalloc probe(dev, 1u << 20, alloc::XMalloc::Config{});
+  EXPECT_EQ(probe.payload_classes().num_classes(), 9u);
+  EXPECT_EQ(probe.payload_classes().class_bytes(0), 16u);
+  EXPECT_EQ(probe.payload_classes().class_bytes(8), 4096u);
+  EXPECT_EQ(probe.payload_classes().class_for(4097),
+            alloc_core::SizeClassMap::kNoClass);
 }
 
 TEST(TraceReplay, SkipsFreesForNoFreeTargets) {
