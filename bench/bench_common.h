@@ -49,6 +49,11 @@ struct BenchArgs {
   /// "warpagg>Halloc" (full spec incl. base). Overrides the individual
   /// --validate/--fault/--trace wiring; stages share those flags' configs.
   std::string stack;
+  /// --config "{k=v,...}": base-allocator config overrides applied to every
+  /// -t cell (and to a --stack spec without its own "{...}" suffix). Keys
+  /// are validated against each manager's ConfigSchema at build time;
+  /// "Name{k=v}" inside --stack wins over this flag.
+  std::string config;
   /// --fault=SPEC: wrap every manager in the deterministic FaultInjector
   /// ("nth:7", "prob:0.05:42", "budget:1048576", suffix ",delay=K").
   core::FaultSpec fault;
@@ -120,6 +125,22 @@ struct BenchArgs {
   /// --corpus DIR: the adversarial regression corpus. bench_survey soak
   /// writes minimized failures here; bench_replay --corpus sweeps it.
   std::string corpus;
+  // ---- bench_tune (replay-driven config auto-tuner) flags --------------
+  /// --generations N: evolutionary rounds after the grid-seed sweep.
+  unsigned generations = 3;
+  /// --population N: offspring bred per evolutionary round.
+  unsigned population = 10;
+  /// --tune-seed S: SplitMix64 seed for the tuner's mutation/crossover RNG.
+  std::uint64_t tune_seed = 0x7A3E5EEDull;
+  /// --traces DIR: workload recordings (tune.<Name>.gmtrace per manager,
+  /// falling back to the pre.<Name>.gmtrace oracle naming). The committed
+  /// results/tuning corpus was recorded with request sizes that straddle
+  /// each manager's default ladder/page/relay boundaries, so its knobs
+  /// have real work to win back (results/tuning/README.md).
+  std::string traces = "results/tuning";
+  /// --tuned-dir DIR: where the winning configs are written (one
+  /// "<Name>{k=v,...}" line per pair, directly usable as a -t argument).
+  std::string tuned_dir = "results/tuned";
   // ---- bench_service (multi-device AllocService) flags -----------------
   /// --devices N: device shards in the service fleet.
   unsigned devices = 2;
@@ -208,6 +229,16 @@ inline BenchArgs parse_args(int argc, char** argv,
         std::cerr << e.what() << "\n";
         std::exit(2);
       }
+    } else if (flag == "--config") {
+      args.config = need(i);
+      // Shape-check eagerly (same CLI contract as --stack); key/value
+      // validation happens per manager at build time.
+      try {
+        (void)core::parse_config_overrides(args.config);
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        std::exit(2);
+      }
     } else if (flag == "--fault") {
       try {
         args.fault = core::FaultSpec::parse(need(i));
@@ -267,6 +298,16 @@ inline BenchArgs parse_args(int argc, char** argv,
       args.hostile = true;
     } else if (flag == "--workloads") {
       args.workloads = need(i);
+    } else if (flag == "--generations") {
+      args.generations = static_cast<unsigned>(std::stoul(need(i)));
+    } else if (flag == "--population") {
+      args.population = static_cast<unsigned>(std::stoul(need(i)));
+    } else if (flag == "--tune-seed") {
+      args.tune_seed = std::stoull(need(i));
+    } else if (flag == "--traces") {
+      args.traces = need(i);
+    } else if (flag == "--tuned-dir") {
+      args.tuned_dir = need(i);
     } else if (flag == "--devices") {
       args.devices = static_cast<unsigned>(std::stoul(need(i)));
     } else if (flag == "--tenants") {
@@ -281,7 +322,7 @@ inline BenchArgs parse_args(int argc, char** argv,
              "--threads N  --iters N  --sms N  --csv file  --warp  "
              "--range LO-HI  --timeout-s S  --phase init|update|all  "
              "--scale N  --max-exp N  --validate  --stack SPEC  "
-             "--fault=SPEC  --resilience=SPEC  "
+             "--config \"{k=v,...}\"  --fault=SPEC  --resilience=SPEC  "
              "--watchdog-ms N  --legacy-scheduler  --json FILE  "
              "--trace FILE.gmtrace  --chrome FILE  --occupancy FILE\n"
              "fault SPECs: nth:N  prob:P[:SEED]  budget:BYTES  "
@@ -295,7 +336,11 @@ inline BenchArgs parse_args(int argc, char** argv,
              "stack SPECs: '>'-separated stages outermost first from "
              "{trace, fault, validate, warpagg, resilient}, optionally "
              "ending in a base allocator name (else applied to each -t "
-             "selection)\n"
+             "selection); the base may carry config overrides, e.g. "
+             "validate>ScatterAlloc{page_size=8192,hash_stride=7}\n"
+             "bench_tune: --generations N  --population N  --tune-seed S  "
+             "--traces DIR  --tuned-dir DIR  --reps N  --smoke  "
+             "--min-speedup X\n"
              "bench_survey: --deadline-s S  --retries N  --rlimit-mb N  "
              "--quarantine FILE  --retry-quarantined  --hostile  "
              "--workloads churn,frag,oom  --soak N  --corpus DIR\n"
@@ -359,12 +404,22 @@ class ManagedDevice {
     // flags (--validate / --fault / --trace) into a stack spec unless
     // --stack supplied one explicitly, then hand it to the StackBuilder.
     core::StackSpec spec;
+    // -t cell names may carry their own "{k=v}" config suffix
+    // (Registry::select validated its shape).
+    const auto [cell_base, cell_braced] = core::split_config_suffix(name);
+    const core::ConfigKV cell_config =
+        cell_braced.empty() ? core::ConfigKV{}
+                            : core::parse_config_overrides(cell_braced);
     if (!args.stack.empty()) {
       spec = core::StackSpec::parse(args.stack);
-      if (spec.base.empty()) spec.base = name;  // stage-only spec: per -t cell
+      if (spec.base.empty()) {  // stage-only spec: per -t cell
+        spec.base = std::string(cell_base);
+        spec.base_config = cell_config;
+      }
     } else {
       // --validate swaps in the manager's registered "+V" twin.
-      spec.base = name;
+      spec.base = std::string(cell_base);
+      spec.base_config = cell_config;
       if (args.validate && spec.base.find("+V") == std::string::npos) {
         spec.base += "+V";
       }
@@ -375,6 +430,11 @@ class ManagedDevice {
         spec.stages.insert(spec.stages.begin(),
                            core::StackSpec::Stage::kTrace);
       }
+    }
+    // --config overrides apply to every cell's base; an explicit "{...}"
+    // suffix inside --stack wins.
+    if (!args.config.empty() && spec.base_config.empty()) {
+      spec.base_config = core::parse_config_overrides(args.config);
     }
     heap_bytes_ = args.heap_bytes();
     auto stack = core::StackBuilder(*device_)

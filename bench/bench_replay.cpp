@@ -11,12 +11,20 @@
 // instead: every manifest entry is replayed fork-contained under its
 // recorded stack and the measured verdict is compared against the expected
 // one; any drift fails the sweep (the CI regression gate over
-// results/corpus/).
+// results/corpus/). The same mode then runs the config-refactor baseline
+// gate: every pre.<Name>.gmtrace oracle under results/prerefactor/ (or
+// --traces DIR when it holds pre.* recordings) is replayed against
+// <Name>'s *default* runtime Config, and the canonical request digest
+// must be deterministic and byte-identical to the pre-refactor capture —
+// proving the compile-time-constants -> Config refactor left every
+// default layout decision untouched.
 //
 // Flags: --trace FILE (input, required)  -t TARGETS (default: the trace's
 // source allocator)  --sms N  --mem-mb N (0/default = the trace header's
 // heap)  --chrome FILE / --occupancy FILE (export the *input* trace)
 // --json FILE  --corpus DIR  --deadline-s S  --rlimit-mb N.
+#include <algorithm>
+#include <filesystem>
 #include <iomanip>
 #include <sstream>
 
@@ -140,11 +148,101 @@ int run_corpus_sweep(const bench::BenchArgs& args) {
   return 0;
 }
 
+/// The config-refactor baseline gate (ISSUE 10): every pre.<Name>.gmtrace
+/// oracle must replay byte-identically against today's <Name> under its
+/// default Config. Returns the number of managers that drifted.
+int run_baseline_gate(const bench::BenchArgs& args) {
+  std::string dir = "results/prerefactor";
+  // --traces can redirect the gate at an alternate oracle set.
+  if (std::filesystem::is_directory(args.traces)) {
+    for (const auto& e : std::filesystem::directory_iterator(args.traces)) {
+      const std::string f = e.path().filename().string();
+      if (f.rfind("pre.", 0) == 0 && e.path().extension() == ".gmtrace") {
+        dir = args.traces;
+        break;
+      }
+    }
+  }
+  if (!std::filesystem::is_directory(dir)) {
+    std::cout << "\n(no pre-refactor oracle directory at " << dir
+              << "; baseline gate skipped)\n";
+    return 0;
+  }
+  std::vector<std::string> paths;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    const std::string f = e.path().filename().string();
+    if (f.rfind("pre.", 0) == 0 && e.path().extension() == ".gmtrace") {
+      paths.push_back(e.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  core::ResultTable table(
+      {"Oracle", "Manager", "events", "deterministic", "matches pre", "Gate"});
+  unsigned drifted = 0;
+  for (const auto& path : paths) {
+    trace::Trace src;
+    try {
+      src = trace::read_trace(path);
+    } catch (const std::exception& e) {
+      table.add_row({path, "?", "-", "-", "-", "UNREADABLE"});
+      ++drifted;
+      continue;
+    }
+    const std::string name = src.header.allocator_name();
+    if (core::Registry::instance().find(name) == nullptr) {
+      table.add_row({std::filesystem::path(path).filename().string(), name,
+                     std::to_string(src.events.size()), "-", "-",
+                     "unregistered"});
+      continue;
+    }
+    trace::TraceReplayer replayer(src);
+    const std::size_t heap =
+        src.header.heap_bytes != 0 ? src.header.heap_bytes : args.heap_bytes();
+    bool deterministic = false, matches = false;
+    try {
+      const auto a = run_once(src, replayer, name, args.num_sms, heap);
+      const auto b = run_once(src, replayer, name, args.num_sms, heap);
+      deterministic = a.digest == b.digest;
+      matches = a.digest == replayer.request_digest();
+    } catch (const std::exception& e) {
+      table.add_row({std::filesystem::path(path).filename().string(), name,
+                     std::to_string(src.events.size()), "-", "-",
+                     std::string("error: ") + e.what()});
+      ++drifted;
+      continue;
+    }
+    const bool ok = deterministic && matches;
+    if (!ok) ++drifted;
+    table.add_row({std::filesystem::path(path).filename().string(), name,
+                   std::to_string(src.events.size()),
+                   deterministic ? "yes" : "NO", matches ? "yes" : "NO",
+                   ok ? "-" : "DRIFT"});
+  }
+  std::cout << "\n## Config-refactor baseline gate — " << paths.size()
+            << " pre-refactor oracle(s) from " << dir << "\n\n";
+  table.print_markdown(std::cout);
+  if (drifted != 0) {
+    std::cerr << "FAIL: " << drifted << " manager(s) no longer replay their "
+              << "pre-refactor oracle byte-identically under the default "
+              << "Config\n";
+  } else if (!paths.empty()) {
+    std::cout << "\nall default configs replay byte-identical to their "
+              << "pre-refactor oracles\n";
+  }
+  return static_cast<int>(drifted);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   auto args = bench::parse_args(argc, argv);
-  if (!args.corpus.empty()) return run_corpus_sweep(args);
+  if (!args.corpus.empty()) {
+    const int corpus_rc = run_corpus_sweep(args);
+    if (corpus_rc == 2) return corpus_rc;  // unreadable/missing corpus
+    const int baseline_drift = run_baseline_gate(args);
+    return corpus_rc != 0 || baseline_drift != 0 ? 1 : 0;
+  }
   if (args.trace.empty()) {
     std::cerr << "bench_replay needs --trace FILE (a .gmtrace recording; "
                  "record one with any bench's --trace flag)\n";

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "core/alloc_config.h"
+
 namespace gms::alloc_core {
 
 SizeClassMap SizeClassMap::geometric(std::size_t base, unsigned num_classes) {
@@ -25,6 +27,25 @@ SizeClassMap SizeClassMap::ladder(std::initializer_list<std::size_t> sizes) {
     map.bytes_[map.num_++] = s;
   }
   return map;
+}
+
+SizeClassMap SizeClassMap::parse(std::string_view text) {
+  const auto rungs = core::parse_ladder_string(text);  // throws kBadLadder
+  SizeClassMap map;
+  map.num_ = 0;
+  for (auto r : rungs) {
+    map.bytes_[map.num_++] = static_cast<std::size_t>(r);
+  }
+  return map;
+}
+
+std::string SizeClassMap::to_string() const {
+  std::string out;
+  for (unsigned c = 0; c < num_; ++c) {
+    if (c) out += ':';
+    out += std::to_string(bytes_[c]);
+  }
+  return out;
 }
 
 }  // namespace gms::alloc_core

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstddef>
 #include <initializer_list>
+#include <string>
+#include <string_view>
 
 #include "core/utils.h"
 
@@ -29,6 +31,14 @@ class SizeClassMap {
 
   /// Explicit ascending ladder (Halloc's mixed powers-of-two block table).
   static SizeClassMap ladder(std::initializer_list<std::size_t> sizes);
+
+  /// Colon-separated textual ladder ("16:24:32:...:3072") — the serialized
+  /// form used by the runtime-Config layer. Throws core::ConfigError
+  /// (kBadLadder) on empty/too-long/non-ascending input.
+  static SizeClassMap parse(std::string_view text);
+
+  /// Inverse of parse(): colon-separated ascending rungs.
+  [[nodiscard]] std::string to_string() const;
 
   [[nodiscard]] unsigned num_classes() const { return num_; }
   [[nodiscard]] std::size_t class_bytes(unsigned c) const { return bytes_[c]; }

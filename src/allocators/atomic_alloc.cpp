@@ -22,7 +22,18 @@ constexpr core::AllocatorTraits kTraits{
 };
 }  // namespace
 
-AtomicAlloc::AtomicAlloc(gpu::Device& dev, std::size_t heap_bytes) {
+const core::ConfigSchema<AtomicAlloc::Config>& AtomicAlloc::config_schema() {
+  static const auto schema = [] {
+    core::ConfigSchema<Config> s;
+    s.u64("granule", &Config::granule, 1, 4096, core::Pow2::kYes,
+          {8, 16, 32, 64, 128, 256});
+    return s;
+  }();
+  return schema;
+}
+
+AtomicAlloc::AtomicAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
+    : cfg_(cfg) {
   core::Stopwatch timer;
   alloc_core::SubArena carver(dev, heap_bytes);
   offset_ = carver.take<std::uint64_t>(1, alignof(std::uint64_t), "bump");
@@ -34,7 +45,8 @@ AtomicAlloc::AtomicAlloc(gpu::Device& dev, std::size_t heap_bytes) {
 const core::AllocatorTraits& AtomicAlloc::traits() const { return kTraits; }
 
 void* AtomicAlloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
-  const auto bytes = alloc_core::SizeClassMap::round16(size);
+  // granule=16 reproduces the historical SizeClassMap::round16 exactly.
+  const auto bytes = core::round_up(size, cfg_.granule);
   const auto old = ctx.atomic_add(offset_, static_cast<std::uint64_t>(bytes));
   if (old + bytes > capacity_) {
     // Roll back so later, smaller requests can still succeed.

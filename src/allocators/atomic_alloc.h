@@ -10,13 +10,27 @@ namespace gms::alloc {
 /// real manager is measured against.
 class AtomicAlloc final : public core::MemoryManager {
  public:
-  AtomicAlloc(gpu::Device& dev, std::size_t heap_bytes);
+  struct Config {
+    /// Request rounding granule (bytes, pow2). 16 matches every surveyed
+    /// manager's base granularity and is the byte-identical default.
+    std::size_t granule = 16;
+  };
+
+  /// Schema binding Config to the runtime "{k=v}" layer (atomic_alloc.cpp).
+  static const core::ConfigSchema<Config>& config_schema();
+
+  AtomicAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
+  AtomicAlloc(gpu::Device& dev, std::size_t heap_bytes)
+      : AtomicAlloc(dev, heap_bytes, Config{}) {}
 
   [[nodiscard]] const core::AllocatorTraits& traits() const override;
   [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
   void free(gpu::ThreadCtx& ctx, void* ptr) override;
 
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
  private:
+  Config cfg_;
   std::uint64_t* offset_;  // shared bump offset, lives in the arena
   std::byte* data_;
   std::size_t capacity_;

@@ -226,17 +226,59 @@ constexpr core::AllocatorTraits kTraits{
 };
 }  // namespace
 
+const core::ConfigSchema<BulkAlloc::Config>& BulkAlloc::config_schema() {
+  using core::Pow2;
+  static const auto schema = [] {
+    core::ConfigSchema<Config> s;
+    s.u64("chunk_bytes", &Config::chunk_bytes, 1u << 16, 1u << 22, Pow2::kYes,
+          {1u << 18, 1u << 19, 1u << 20})
+        .u64("bin_bytes", &Config::bin_bytes, 256, 4096, Pow2::kYes,
+             {1024, 2048, 4096})
+        .u64("bins_queue_capacity", &Config::bins_queue_capacity, 256,
+             1u << 16, Pow2::kYes, {1024, 4096, 16384})
+        .u64("num_classes", &Config::num_classes, 1,
+             alloc_core::SizeClassMap::kMaxClasses, Pow2::kNo, {6, 8, 10})
+        .check([](const Config& c) {
+          // BinMeta's 4-word bitmap caps a bin at 256 slots.
+          if (c.bin_bytes / class_bytes(0) > 256) {
+            throw core::ConfigError(
+                core::ConfigError::Kind::kOutOfRange, "bin_bytes",
+                "config field 'bin_bytes': exceeds the 256-slot bin bitmap");
+          }
+          if (class_bytes(c.num_classes - 1) > c.bin_bytes) {
+            throw core::ConfigError(
+                core::ConfigError::Kind::kOutOfRange, "num_classes",
+                "config field 'num_classes': top class exceeds bin_bytes");
+          }
+          // Per-chunk metadata (header + one BinMeta per bin) must fit the
+          // chunk's two reserved metadata bins.
+          const std::size_t bins = c.chunk_bytes / c.bin_bytes;
+          if (sizeof(ChunkHeader) + bins * sizeof(BinMeta) >
+              2 * c.bin_bytes) {
+            throw core::ConfigError(
+                core::ConfigError::Kind::kOutOfRange, "chunk_bytes",
+                "config field 'chunk_bytes': bin metadata overflows the two "
+                "reserved metadata bins");
+          }
+        });
+    return s;
+  }();
+  return schema;
+}
+
 BulkAlloc::BulkAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
-    : cfg_(cfg) {
+    : cfg_(cfg),
+      classes_(alloc_core::SizeClassMap::geometric(
+          16, static_cast<unsigned>(cfg.num_classes))) {
   core::Stopwatch timer;
   num_sms_ = dev.config().num_sms;
   heap_base_ = dev.arena().data();
   alloc_core::SubArena carver(dev, heap_bytes);
 
-  sem_words_ = carver.take<std::uint64_t>(num_sms_ * kNumClasses,
+  sem_words_ = carver.take<std::uint64_t>(num_sms_ * cfg_.num_classes,
                                           alignof(std::uint64_t),
                                           "semaphores");
-  for (std::size_t i = 0; i < num_sms_ * kNumClasses; ++i) sem_words_[i] = 0;
+  for (std::size_t i = 0; i < num_sms_ * cfg_.num_classes; ++i) sem_words_[i] = 0;
   arena_chunk_ = carver.take<std::byte*>(num_sms_, alignof(std::byte*),
                                          "arena-chunks");
   arena_lock_ = carver.take<std::uint32_t>(num_sms_, alignof(std::uint32_t),
@@ -245,8 +287,8 @@ BulkAlloc::BulkAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
     arena_chunk_[s] = nullptr;
     arena_lock_[s] = 0;
   }
-  bin_queues_.reserve(num_sms_ * kNumClasses);
-  for (std::size_t q = 0; q < num_sms_ * kNumClasses; ++q) {
+  bin_queues_.reserve(num_sms_ * cfg_.num_classes);
+  for (std::size_t q = 0; q < num_sms_ * cfg_.num_classes; ++q) {
     auto* words = carver.take<std::uint64_t>(
         BoundedTicketQueue::layout_words(cfg_.bins_queue_capacity),
         alignof(std::uint64_t), "bin-queues");
@@ -359,7 +401,7 @@ std::uint64_t BulkAlloc::refill_bin(gpu::ThreadCtx& ctx, unsigned sm,
   // A ticket queue reports a transient "full" while a dequeuer is mid-slot
   // recycle; that must not masquerade as out-of-memory.
   for (unsigned tries = 0; tries < 256; ++tries) {
-    if (bin_queues_[sm * kNumClasses + cls].try_enqueue(ctx, code)) {
+    if (bin_queues_[sm * cfg_.num_classes + cls].try_enqueue(ctx, code)) {
       return cap;
     }
     ctx.backoff();
@@ -370,7 +412,7 @@ std::uint64_t BulkAlloc::refill_bin(gpu::ThreadCtx& ctx, unsigned sm,
 
 void* BulkAlloc::malloc_small(gpu::ThreadCtx& ctx, std::size_t cls) {
   const unsigned sm = ctx.smid() % num_sms_;
-  BulkSemaphore sem(&sem_words_[sm * kNumClasses + cls]);
+  BulkSemaphore sem(&sem_words_[sm * cfg_.num_classes + cls]);
   // acquire_or_refill can fail for two reasons: the upstream is exhausted
   // (refill added nothing — a real OOM) or the waiter timed out behind a
   // slow in-flight refill. Only the former is terminal.
@@ -386,7 +428,7 @@ void* BulkAlloc::malloc_small(gpu::ThreadCtx& ctx, std::size_t cls) {
     if (upstream_empty) return nullptr;
     ctx.backoff();
   }
-  auto& queue = bin_queues_[sm * kNumClasses + cls];
+  auto& queue = bin_queues_[sm * cfg_.num_classes + cls];
   const std::uint32_t cap = slots_per_bin(cls);
   for (;;) {
     std::uint64_t code = 0;
@@ -461,20 +503,20 @@ void BulkAlloc::free_small(gpu::ThreadCtx& ctx, std::byte* chunk,
   // Publish at most one hint per bin; if one is already queued (or a racing
   // malloc just re-armed it), the freed slot is reachable through it.
   if (ctx.atomic_cas(&meta->enqueued, 0u, 1u) == 0u) {
-    if (!bin_queues_[sm * kNumClasses + cls].try_enqueue(ctx, code)) {
+    if (!bin_queues_[sm * cfg_.num_classes + cls].try_enqueue(ctx, code)) {
       ctx.atomic_store(&meta->enqueued, 0u);
       return;  // slot stranded unaccounted (queue overflow; bounded)
     }
   }
-  BulkSemaphore(&sem_words_[sm * kNumClasses + cls]).release(ctx, 1);
+  BulkSemaphore(&sem_words_[sm * cfg_.num_classes + cls]).release(ctx, 1);
 }
 
 void* BulkAlloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
   if (size == 0) size = 1;
-  if (size < 2048) {
-    // < not <=: a full 2 KiB request goes to the buddy forest, so the
-    // class_for result is always a real class here.
-    return malloc_small(ctx, bin_classes().class_for(size));
+  if (size < classes_.max_bytes()) {
+    // < not <=: a full top-class request (2 KiB by default) goes to the
+    // buddy forest, so the class_for result is always a real class here.
+    return malloc_small(ctx, classes_.class_for(size));
   }
   return forest_malloc(ctx, size);
 }

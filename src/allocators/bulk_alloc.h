@@ -97,7 +97,12 @@ class BulkAlloc final : public core::MemoryManager {
     std::size_t chunk_bytes = 512 * 1024;
     std::size_t bin_bytes = 4096;
     std::size_t bins_queue_capacity = 4096;
+    /// UAlloc size classes (16 << c ladder); the top class must fit a bin.
+    std::size_t num_classes = 8;
   };
+
+  /// Schema binding Config to the runtime "{k=v}" layer (bulk_alloc.cpp).
+  static const core::ConfigSchema<Config>& config_schema();
 
   BulkAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
   BulkAlloc(gpu::Device& dev, std::size_t heap_bytes)
@@ -107,6 +112,9 @@ class BulkAlloc final : public core::MemoryManager {
   [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
   void free(gpu::ThreadCtx& ctx, void* ptr) override;
 
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Default class count (Config::num_classes overrides per instance).
   static constexpr std::size_t kNumClasses = 8;  // 16 B ... 2048 B
   static constexpr std::size_t class_bytes(std::size_t c) {
     return std::size_t{16} << c;
@@ -147,10 +155,11 @@ class BulkAlloc final : public core::MemoryManager {
   TreeBuddy* forest_tree_of(const void* p);
 
   Config cfg_;
+  alloc_core::SizeClassMap classes_;  ///< geometric(16, cfg_.num_classes)
   std::vector<TreeBuddy> forest_;
   unsigned num_sms_ = 1;
   std::uint64_t* sem_words_ = nullptr;   // [sm][cls]
-  std::vector<BoundedTicketQueue> bin_queues_;  // [sm * kNumClasses + cls]
+  std::vector<BoundedTicketQueue> bin_queues_;  // [sm * num_classes + cls]
   std::byte** arena_chunk_ = nullptr;    // current fresh-bin chunk per SM
   std::uint32_t* arena_lock_ = nullptr;  // guards chunk replacement per SM
   std::byte* heap_base_ = nullptr;       // bin codes are offsets from here

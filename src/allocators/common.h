@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "core/alloc_config.h"
 #include "core/memory_manager.h"
 #include "core/utils.h"
 #include "gpu/device.h"

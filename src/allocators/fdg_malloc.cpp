@@ -25,6 +25,20 @@ constexpr core::AllocatorTraits kTraits{
 };
 }  // namespace
 
+const core::ConfigSchema<FDGMalloc::Config>& FDGMalloc::config_schema() {
+  static const auto schema = [] {
+    core::ConfigSchema<Config> s;
+    s.u64("superblock_bytes", &Config::superblock_bytes, 1024,
+          std::size_t{1} << 20, core::Pow2::kYes, {4096, 8192, 16384, 32768})
+        .u64("list_capacity", &Config::list_capacity, 4, 1024, core::Pow2::kNo,
+             {15, 30, 62})
+        .u64("max_warps", &Config::max_warps, 1u << 10, 1u << 20,
+             core::Pow2::kYes, {1u << 14, 1u << 16, 1u << 18});
+    return s;
+  }();
+  return schema;
+}
+
 FDGMalloc::FDGMalloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
     : cfg_(cfg) {
   core::Stopwatch timer;

@@ -30,7 +30,12 @@ class FDGMalloc final : public core::MemoryManager {
     std::size_t max_warps = 1u << 16;  ///< WarpHeader table entries
   };
 
+  /// Schema binding Config to the runtime "{k=v}" layer (fdg_malloc.cpp).
+  static const core::ConfigSchema<Config>& config_schema();
+
   FDGMalloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
   FDGMalloc(gpu::Device& dev, std::size_t heap_bytes)
       : FDGMalloc(dev, heap_bytes, Config{}) {}
 

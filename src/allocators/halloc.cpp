@@ -34,11 +34,49 @@ const alloc_core::SizeClassMap& Halloc::block_classes() {
   return map;
 }
 
+const core::ConfigSchema<Halloc::Config>& Halloc::config_schema() {
+  using core::Pow2;
+  static const auto schema = [] {
+    core::ConfigSchema<Config> s;
+    s.u64("slab_bytes", &Config::slab_bytes, 1u << 16, 1u << 24, Pow2::kYes,
+          {1u << 20, 1u << 21, 1u << 22, 1u << 23})
+        .u64("relay_percent", &Config::relay_percent, 5, 80, Pow2::kNo,
+             {20, 33, 50})
+        .dbl("head_replace_fill", &Config::head_replace_fill, 0.5, 0.99,
+             {0.7, 0.835, 0.95})
+        .dbl("sparse_fill", &Config::sparse_fill, 0.0, 0.5, {0.02, 0.1})
+        .dbl("busy_fill", &Config::busy_fill, 0.1, 0.99, {0.4, 0.6, 0.8})
+        .ladder("ladder", &Config::ladder,
+                {"16:24:32:48:64:96:128:192:256:384:512:768:1024:1536:2048:"
+                 "3072",
+                 "16:32:64:128:256:512:1024:2048:4096",
+                 "16:48:128:384:1024:3072"})
+        .check([](const Config& c) {
+          if (c.sparse_fill >= c.busy_fill) {
+            throw core::ConfigError(
+                core::ConfigError::Kind::kOutOfRange, "sparse_fill",
+                "config field 'sparse_fill': must be below busy_fill");
+          }
+          const auto rungs = core::parse_ladder_string(c.ladder, "ladder");
+          if (rungs.back() > c.slab_bytes / 2) {
+            throw core::ConfigError(
+                core::ConfigError::Kind::kBadLadder, "ladder",
+                "config field 'ladder': top rung exceeds slab_bytes/2");
+          }
+        });
+    return s;
+  }();
+  return schema;
+}
+
 Halloc::Halloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
-    : cfg_(cfg) {
+    : cfg_(std::move(cfg)),
+      classes_(alloc_core::SizeClassMap::parse(cfg_.ladder)),
+      traits_(kTraits) {
+  traits_.max_direct_size = classes_.max_bytes();
   core::Stopwatch timer;
   alloc_core::SubArena carver(dev, heap_bytes);
-  const auto& classes = block_classes();
+  const auto& classes = classes_;
 
   const std::size_t relay_bytes = heap_bytes * cfg_.relay_percent / 100;
   const std::size_t slab_region = heap_bytes - relay_bytes;
@@ -81,7 +119,7 @@ Halloc::Halloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
   init_ms_ = timer.elapsed_ms();
 }
 
-const core::AllocatorTraits& Halloc::traits() const { return kTraits; }
+const core::AllocatorTraits& Halloc::traits() const { return traits_; }
 
 std::uint32_t Halloc::slab_class(gpu::ThreadCtx& ctx, std::uint32_t slab) {
   return state_cls(ctx.atomic_load(&slab_state_[slab]));
@@ -159,7 +197,7 @@ std::uint32_t Halloc::replace_head(gpu::ThreadCtx& ctx, std::uint32_t cls,
 
 void* Halloc::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
   if (size == 0) size = 1;
-  const auto& classes = block_classes();
+  const auto& classes = classes_;
   const std::uint32_t cls = classes.class_for(size);
   if (cls == alloc_core::SizeClassMap::kNoClass) {
     return relay_.malloc(ctx, size);
@@ -216,7 +254,7 @@ void Halloc::free(gpu::ThreadCtx& ctx, void* ptr) {
   const std::uint32_t cls = state_cls(state) - 1;
   const std::size_t in_slab = off % cfg_.slab_bytes;
   const auto block = static_cast<std::uint32_t>(
-      in_slab / block_classes().class_bytes(cls));
+      in_slab / classes_.class_bytes(cls));
   ctx.atomic_and(&slab_bitmap(slab)[block / 64],
                  ~(std::uint64_t{1} << (block % 64)));
   auto* count_word = reinterpret_cast<std::uint32_t*>(&slab_state_[slab]);

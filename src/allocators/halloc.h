@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "alloc_core/large_relay.h"
 #include "alloc_core/size_class_map.h"
@@ -30,17 +31,29 @@ class Halloc final : public core::MemoryManager {
     double head_replace_fill = 0.835;
     double sparse_fill = 0.02;
     double busy_fill = 0.60;
+    /// Block size ladder (colon-separated, ascending). The default is the
+    /// paper's 16 B ... 3 KiB mixed table; the top rung becomes the direct
+    /// service limit (larger requests relay to the CUDA section).
+    std::string ladder =
+        "16:24:32:48:64:96:128:192:256:384:512:768:1024:1536:2048:3072";
   };
+
+  /// Schema binding Config to the runtime "{k=v}" layer (halloc.cpp).
+  static const core::ConfigSchema<Config>& config_schema();
 
   Halloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
   Halloc(gpu::Device& dev, std::size_t heap_bytes)
       : Halloc(dev, heap_bytes, Config{}) {}
 
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
   [[nodiscard]] const core::AllocatorTraits& traits() const override;
   [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
   void free(gpu::ThreadCtx& ctx, void* ptr) override;
 
-  /// Block size classes: halloc's 16 B ... 3 KiB mixed ladder.
+  /// Default block size classes: halloc's 16 B ... 3 KiB mixed ladder.
+  /// Instances route through their configured `classes_` — this stays for
+  /// callers needing the paper geometry without an instance.
   static const alloc_core::SizeClassMap& block_classes();
 
   /// White-box for tests.
@@ -66,7 +79,7 @@ class Halloc final : public core::MemoryManager {
 
   [[nodiscard]] std::uint32_t capacity(std::uint32_t cls) const {
     return static_cast<std::uint32_t>(cfg_.slab_bytes /
-                                      block_classes().class_bytes(cls));
+                                      classes_.class_bytes(cls));
   }
   [[nodiscard]] std::uint64_t* slab_bitmap(std::uint32_t slab) {
     return bitmaps_ + std::size_t{slab} * bitmap_words_;
@@ -85,6 +98,8 @@ class Halloc final : public core::MemoryManager {
   static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
 
   Config cfg_;
+  alloc_core::SizeClassMap classes_;  ///< parsed from cfg_.ladder
+  core::AllocatorTraits traits_;      ///< kTraits with the ladder's max rung
   std::uint32_t num_slabs_ = 0;
   std::size_t bitmap_words_ = 0;
 

@@ -23,6 +23,20 @@ namespace gms::alloc {
 class ListHeap {
  public:
   static constexpr std::uint32_t kUnit = 16;
+  /// malloc() walk-pass budgets before reporting exhaustion. A single pass
+  /// running off the end of the list is not proof of OOM, so passes are
+  /// classified and budgeted separately:
+  ///  - a pass that saw a *free* fitting block lost a claim race — not
+  ///    evidence of exhaustion at all, both counters reset;
+  ///  - a pass that saw a fitting block *held allocated* is inconclusive:
+  ///    under a malloc storm the big tail block is claimed nearly
+  ///    continuously by a rotating series of winners mid-split, and a walker
+  ///    can sample dozens of passes without ever catching it free (observed:
+  ///    1024 replay lanes OOM-ing against a 97%-free heap);
+  ///  - only a pass that saw *no* fitting block, free or held, is real
+  ///    evidence, and a few such passes suffice.
+  static constexpr unsigned kMaxFruitlessPasses = 8;
+  static constexpr unsigned kMaxContendedPasses = 256;
 
   /// Side-flag words required for `units` 16 B units.
   static constexpr std::size_t flag_words(std::size_t units) {
@@ -32,11 +46,16 @@ class ListHeap {
   ListHeap() = default;
 
   /// Host-side setup over arena memory: one free block spanning everything.
+  /// `min_split_units` is the smallest usable remainder worth splitting off
+  /// a claimed block (in 16 B units); smaller leftovers stay attached as
+  /// internal fragmentation. 4 reproduces the historical behaviour.
   void init_host(std::byte* pool, std::uint32_t units,
-                 std::uint64_t* flag_storage) {
+                 std::uint64_t* flag_storage,
+                 std::uint32_t min_split_units = 4) {
     pool_ = pool;
     units_ = units;
     flags_ = flag_storage;
+    min_split_units_ = min_split_units;
     flags_[0] |= start_bit(0);
     *link(0) = units;
   }
@@ -49,8 +68,28 @@ class ListHeap {
     if (bytes > std::size_t{units_} * kUnit) return nullptr;
     const auto need = static_cast<std::uint32_t>((bytes + kUnit - 1) / kUnit);
     std::uint32_t off = 0;
+    unsigned fruitless_passes = 0;
+    unsigned contended_passes = 0;
+    bool saw_free_fit = false;
+    bool saw_held_fit = false;
     for (std::size_t step = 0; step < 2 * std::size_t{units_} + 64; ++step) {
-      if (off >= units_) return nullptr;  // walked past the last block
+      if (off >= units_) {
+        // End of one pass over the list; judge it per the class comment.
+        if (saw_free_fit) {
+          fruitless_passes = 0;
+          contended_passes = 0;
+        } else if (saw_held_fit) {
+          if (++contended_passes >= kMaxContendedPasses) return nullptr;
+          ctx.backoff();  // park so the mid-split holder gets to publish
+        } else {
+          if (++fruitless_passes >= kMaxFruitlessPasses) return nullptr;
+          ctx.backoff();
+        }
+        saw_free_fit = false;
+        saw_held_fit = false;
+        off = 0;
+        continue;
+      }
       if (!is_start(ctx, off)) {
         off = 0;  // stale: re-anchor at the always-valid first block
         continue;
@@ -60,19 +99,28 @@ class ListHeap {
         off = 0;
         continue;
       }
-      if (next - off - 1 >= need && try_claim(ctx, off)) {
-        const std::uint32_t owned_next = ctx.atomic_load(link(off));
-        const std::uint32_t avail = owned_next - off - 1;
-        if (avail < need) {
-          release(ctx, off);
-        } else {
-          if (avail - need >= 4) {  // split off a usable remainder
-            const std::uint32_t split = off + need + 1;
-            ctx.atomic_store(link(split), owned_next);
-            ctx.atomic_or(&flags_[split / 32], start_bit(split));
-            ctx.atomic_store(link(off), split);
+      if (next - off - 1 >= need && is_allocated(ctx, off)) {
+        // A fitting block, but held: either a completed allocation or a
+        // racing lane a few stores away from publishing the split remainder.
+        saw_held_fit = true;
+      } else if (next - off - 1 >= need) {
+        // A free block that fits. Even if the claim below loses a race, this
+        // pass was not fruitless — the space existed, some lane got it.
+        saw_free_fit = true;
+        if (try_claim(ctx, off)) {
+          const std::uint32_t owned_next = ctx.atomic_load(link(off));
+          const std::uint32_t avail = owned_next - off - 1;
+          if (avail < need) {
+            release(ctx, off);
+          } else {
+            if (avail - need >= min_split_units_) {  // split usable remainder
+              const std::uint32_t split = off + need + 1;
+              ctx.atomic_store(link(split), owned_next);
+              ctx.atomic_or(&flags_[split / 32], start_bit(split));
+              ctx.atomic_store(link(off), split);
+            }
+            return pool_ + std::size_t{off} * kUnit + kUnit;
           }
-          return pool_ + std::size_t{off} * kUnit + kUnit;
         }
       }
       off = next;
@@ -193,6 +241,7 @@ class ListHeap {
   std::byte* pool_ = nullptr;
   std::uint32_t units_ = 0;
   std::uint64_t* flags_ = nullptr;
+  std::uint32_t min_split_units_ = 4;
 };
 
 }  // namespace gms::alloc

@@ -439,7 +439,10 @@ std::uint32_t VirtLinkedOuroQueue::storage_chunks(gpu::ThreadCtx& ctx) {
 // ---------------------------------------------------------------------------
 
 Ouroboros::Ouroboros(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
-    : cfg_(cfg) {
+    : cfg_(cfg),
+      classes_(alloc_core::SizeClassMap::geometric(16, static_cast<unsigned>(
+                                                           cfg.num_classes))),
+      queues_(cfg.num_classes) {
   core::Stopwatch timer;
   const char* name = nullptr;
   switch (cfg_.queue) {
@@ -461,7 +464,7 @@ Ouroboros::Ouroboros(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
       .general_purpose = true,
       .supports_free = true,
       .individual_free = true,
-      .max_direct_size = class_bytes(kNumClasses - 1),
+      .max_direct_size = class_bytes(cfg_.num_classes - 1),
       .relays_large_to_system = true,
       .resizable = true,
       .its_safe = true,  // paper: works natively on Volta+
@@ -474,7 +477,7 @@ Ouroboros::Ouroboros(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
   // never let it swallow a small heap — cap the rings at ~12 % of the heap.
   if (cfg_.queue == QueueKind::kStandard) {
     const std::size_t budget_entries =
-        heap_bytes / 8 / (kNumClasses * 2 * sizeof(std::uint64_t));
+        heap_bytes / 8 / (cfg_.num_classes * 2 * sizeof(std::uint64_t));
     cfg_.standard_capacity =
         std::max<std::size_t>(256,
                               std::min(cfg_.standard_capacity, budget_entries));
@@ -487,10 +490,10 @@ Ouroboros::Ouroboros(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
   // Per-class spill-stack tops for the virtualized page-based variants
   // (carved unconditionally — 80 bytes — so the layout does not depend on
   // the queue kind). 0 = empty.
-  spill_tops_ = carver.take<std::uint64_t>(kNumClasses,
+  spill_tops_ = carver.take<std::uint64_t>(cfg_.num_classes,
                                            alignof(std::uint64_t),
                                            "spill-tops");
-  for (std::size_t c = 0; c < kNumClasses; ++c) spill_tops_[c] = 0;
+  for (std::size_t c = 0; c < cfg_.num_classes; ++c) spill_tops_[c] = 0;
 
   // Upper bound on chunk count (metadata sized before the exact data region
   // is known; the carver take_rest below fixes the final count).
@@ -500,9 +503,9 @@ Ouroboros::Ouroboros(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
       1 + BoundedTicketQueue::layout_words(est_chunks),
       alignof(std::uint64_t), "chunk-reuse-queue");
 
-  std::vector<std::uint64_t*> queue_words(kNumClasses);
-  std::vector<std::uint32_t*> va_readers(kNumClasses, nullptr);
-  for (std::size_t c = 0; c < kNumClasses; ++c) {
+  std::vector<std::uint64_t*> queue_words(cfg_.num_classes);
+  std::vector<std::uint32_t*> va_readers(cfg_.num_classes, nullptr);
+  for (std::size_t c = 0; c < cfg_.num_classes; ++c) {
     switch (cfg_.queue) {
       case QueueKind::kStandard:
         queue_words[c] = carver.take<std::uint64_t>(
@@ -534,7 +537,7 @@ Ouroboros::Ouroboros(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
   pool_.init_host(region, num_chunks, cfg_.chunk_bytes, reuse_words);
   for (std::uint32_t i = 0; i < num_chunks; ++i) meta_[i].state = 0;
 
-  for (std::size_t c = 0; c < kNumClasses; ++c) {
+  for (std::size_t c = 0; c < cfg_.num_classes; ++c) {
     switch (cfg_.queue) {
       case QueueKind::kStandard:
         queues_[c] = std::make_unique<StandardOuroQueue>(
@@ -564,6 +567,36 @@ const alloc_core::SizeClassMap& Ouroboros::page_classes() {
   return map;
 }
 
+const core::ConfigSchema<Ouroboros::Config>& Ouroboros::config_schema() {
+  using core::Pow2;
+  static const auto schema = [] {
+    core::ConfigSchema<Config> s;
+    s.u64("chunk_bytes", &Config::chunk_bytes, 1024, std::size_t{1} << 20,
+          Pow2::kYes, {4096, 8192, 16384, 32768})
+        .u64("standard_capacity", &Config::standard_capacity, 256,
+             std::size_t{1} << 20, Pow2::kYes, {1u << 14, 1u << 16, 1u << 18})
+        .u64("va_slots", &Config::va_slots, 64, std::size_t{1} << 16,
+             Pow2::kYes, {1u << 10, 1u << 12, 1u << 14})
+        .u64("vl_descs", &Config::vl_descs, 64, std::size_t{1} << 16,
+             Pow2::kYes, {1u << 10, 1u << 12, 1u << 14})
+        .u64("relay_percent", &Config::relay_percent, 2, 60, Pow2::kNo,
+             {5, 10, 20, 33})
+        .u64("num_classes", &Config::num_classes, 1,
+             alloc_core::SizeClassMap::kMaxClasses, Pow2::kNo, {8, 10, 12})
+        .check([](const Config& c) {
+          if (class_bytes(c.num_classes - 1) > c.chunk_bytes) {
+            throw core::ConfigError(
+                core::ConfigError::Kind::kOutOfRange, "num_classes",
+                "config field 'num_classes': top page class " +
+                    std::to_string(class_bytes(c.num_classes - 1)) +
+                    " B exceeds chunk_bytes");
+          }
+        });
+    return s;
+  }();
+  return schema;
+}
+
 const core::AllocatorTraits& Ouroboros::traits() const { return traits_; }
 
 core::AuditResult Ouroboros::audit() {
@@ -579,7 +612,7 @@ core::AuditResult Ouroboros::audit() {
                                     .load(std::memory_order_acquire);
     if (state == 0) continue;  // never assigned / fully recycled
     const auto cls_tag = static_cast<std::uint32_t>(state >> 32);
-    if (cls_tag == 0 || cls_tag > kNumClasses) {
+    if (cls_tag == 0 || cls_tag > cfg_.num_classes) {
       fail("ouroboros: chunk " + std::to_string(c) +
            " carries impossible class tag " + std::to_string(cls_tag));
       continue;
@@ -850,7 +883,7 @@ void Ouroboros::free_chunk_based(gpu::ThreadCtx& ctx, std::uint32_t chunk,
   ChunkMeta& m = meta_[chunk];
   const std::uint64_t state = ctx.atomic_load(&m.state);
   const std::size_t tag = state >> 32;
-  if (tag == 0 || tag > kNumClasses) {
+  if (tag == 0 || tag > cfg_.num_classes) {
     // No generation to return into (the chunk was retired — an application
     // double free, or a page lost to a cancelled kernel whose chunk has
     // since been recycled): account it as leakage instead of deriving a
@@ -885,7 +918,7 @@ void Ouroboros::free_chunk_based(gpu::ThreadCtx& ctx, std::uint32_t chunk,
 
 void* Ouroboros::malloc(gpu::ThreadCtx& ctx, std::size_t size) {
   if (size == 0) size = 1;
-  const unsigned cls = page_classes().class_for(size);
+  const unsigned cls = classes_.class_for(size);
   if (cls == alloc_core::SizeClassMap::kNoClass) {
     return relay_.malloc(ctx, size);
   }

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <memory>
+#include <vector>
 
 #include "alloc_core/large_relay.h"
 #include "alloc_core/size_class_map.h"
@@ -212,9 +213,18 @@ class Ouroboros final : public core::MemoryManager {
     std::size_t va_slots = 1u << 12;           ///< chunk-pointer array size
     std::size_t vl_descs = 1u << 12;           ///< descriptor pool size
     std::size_t relay_percent = 10;
+    /// Page size classes (16 << c geometric ladder): num_classes=10 is the
+    /// paper's 16 B .. 8 KiB. The top class must fit chunk_bytes.
+    std::size_t num_classes = 10;
   };
 
+  /// Schema over the tunable fields; `queue`/`chunk_based` are the variant's
+  /// registry identity (Ouro-{P,C}-{S,VA,VL}) and not overridable.
+  static const core::ConfigSchema<Config>& config_schema();
+
   Ouroboros(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
 
   [[nodiscard]] const core::AllocatorTraits& traits() const override;
   [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
@@ -227,6 +237,7 @@ class Ouroboros final : public core::MemoryManager {
   /// (leaked_pages) and pass; an impossible counter or tag fails.
   [[nodiscard]] core::AuditResult audit() override;
 
+  /// Default class count (Config::num_classes overrides per instance).
   static constexpr std::size_t kNumClasses = 10;  // 16 B .. 8 KiB
   /// Bounded page/chunk-queue re-polls after the chunk pool reports
   /// exhaustion. Racing frees (and the splits other lanes just performed)
@@ -300,9 +311,10 @@ class Ouroboros final : public core::MemoryManager {
   core::AllocatorTraits traits_{};
   ChunkPool pool_;
   ChunkMeta* meta_ = nullptr;
-  std::array<std::unique_ptr<OuroQueue>, kNumClasses> queues_;
+  alloc_core::SizeClassMap classes_;  ///< geometric(16, cfg_.num_classes)
+  std::vector<std::unique_ptr<OuroQueue>> queues_;  ///< one per class
   std::uint64_t* leak_counter_ = nullptr;
-  std::uint64_t* spill_tops_ = nullptr;  ///< [kNumClasses] tagged stack tops
+  std::uint64_t* spill_tops_ = nullptr;  ///< [num_classes] tagged stack tops
   alloc_core::LargeRequestRelay relay_;
 };
 

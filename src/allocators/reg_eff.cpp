@@ -14,6 +14,19 @@ constexpr std::uint64_t alloc_bit(std::uint32_t unit) {
 }
 }  // namespace
 
+const core::ConfigSchema<RegEffAlloc::Config>& RegEffAlloc::config_schema() {
+  static const auto schema = [] {
+    core::ConfigSchema<Config> s;
+    // fused/multi pick the registry variant and are deliberately unbound.
+    s.u64("min_split_units", &Config::min_split_units, 2, 64, core::Pow2::kNo,
+          {2, 3, 4, 8, 16})
+        .u64("max_walk_steps", &Config::max_walk_steps, 1000, 10'000'000,
+             core::Pow2::kNo, {50'000, 200'000, 1'000'000});
+    return s;
+  }();
+  return schema;
+}
+
 RegEffAlloc::RegEffAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
     : cfg_(cfg) {
   core::Stopwatch timer;

@@ -36,7 +36,13 @@ class RegEffAlloc final : public core::MemoryManager {
     std::size_t max_walk_steps = 200'000;  ///< stand-in for the 1 h timeout
   };
 
+  /// Schema over the tunable fields; `fused`/`multi` are the variant's
+  /// registry identity (Reg-Eff-{C,CF,CM,CFM}) and not overridable.
+  static const core::ConfigSchema<Config>& config_schema();
+
   RegEffAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
 
   [[nodiscard]] const core::AllocatorTraits& traits() const override;
   [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;

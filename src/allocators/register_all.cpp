@@ -31,12 +31,62 @@ ManagerFactory make_factory(Extra... extra) {
 /// a throwaway manager on the caller's probe device — and cached in the
 /// registry entry; decorated twins later derive their traits from this
 /// cache instead of probing again.
-void add(gpu::Device& probe_dev, char selector, ManagerFactory factory) {
+void add(gpu::Device& probe_dev, char selector, ManagerFactory factory,
+         std::shared_ptr<const ConfigModel> config = nullptr) {
   Registry::instance().add(RegistryEntry{
       .traits = factory(probe_dev, 16u << 20)->traits(),
       .selector = selector,
       .factory = std::move(factory),
+      .config = std::move(config),
   });
+}
+
+/// Registers a configurable base variant: the entry's stock factory builds
+/// `defaults`, and a TypedConfigModel (shared schema + these per-entry
+/// defaults) handles "{k=v}" overrides. The eager canonicalize({}) call
+/// runs the schema's cross-field checks against the defaults at startup —
+/// a misregistered entry fails loudly, not at first override.
+template <typename Manager>
+void add_cfg(gpu::Device& probe_dev, char selector,
+             typename Manager::Config defaults = {}) {
+  auto model = std::make_shared<TypedConfigModel<Manager>>(
+      Manager::config_schema(), defaults);
+  (void)model->canonicalize({});
+  add(probe_dev, selector, make_factory<Manager>(defaults), std::move(model));
+}
+
+/// ConfigModel for a decorated twin ("Halloc+V"): forwards the base entry's
+/// schema surface and wraps its configured factory in the twin's stage, so
+/// "Halloc+V{slab_bytes=2097152}" tunes the base under validation.
+class StagedConfigModel final : public ConfigModel {
+ public:
+  StagedConfigModel(StackSpec::Stage stage,
+                    std::shared_ptr<const ConfigModel> base)
+      : stage_(stage), base_(std::move(base)) {}
+
+  [[nodiscard]] const std::vector<ConfigFieldInfo>& fields() const override {
+    return base_->fields();
+  }
+  [[nodiscard]] ConfigKV defaults() const override {
+    return base_->defaults();
+  }
+  [[nodiscard]] ConfigKV canonicalize(const ConfigKV& o) const override {
+    return base_->canonicalize(o);
+  }
+  [[nodiscard]] ManagerFactory configured_factory(
+      const ConfigKV& o) const override {
+    return StackBuilder::stage_factory(stage_, base_->configured_factory(o));
+  }
+
+ private:
+  StackSpec::Stage stage_;
+  std::shared_ptr<const ConfigModel> base_;
+};
+
+std::shared_ptr<const ConfigModel> staged_config(
+    StackSpec::Stage stage, const std::shared_ptr<const ConfigModel>& base) {
+  if (base == nullptr) return nullptr;
+  return std::make_shared<StagedConfigModel>(stage, base);
 }
 
 /// Gives every registered variant a "<name>+V" validating twin (selector
@@ -56,7 +106,8 @@ void register_decorated_twins() {
         .traits = vt,
         .selector = 'v',
         .factory = StackBuilder::stage_factory(StackSpec::Stage::kValidate,
-                                               e.factory)});
+                                               e.factory),
+        .config = staged_config(StackSpec::Stage::kValidate, e.config)});
 
     AllocatorTraits rt = alloc_core::ResilientManager::decorate_traits(e.traits);
     rt.name = reg.intern(std::string(e.traits.name) + "+R");
@@ -64,7 +115,8 @@ void register_decorated_twins() {
         .traits = rt,
         .selector = 'e',
         .factory = StackBuilder::stage_factory(StackSpec::Stage::kResilient,
-                                               e.factory)});
+                                               e.factory),
+        .config = staged_config(StackSpec::Stage::kResilient, e.config)});
 
     if (!e.traits.general_purpose) continue;  // aggregation needs free/thread
     AllocatorTraits wt = alloc_core::WarpAggregator::decorate_traits(e.traits);
@@ -73,7 +125,8 @@ void register_decorated_twins() {
         .traits = wt,
         .selector = 'w',
         .factory = StackBuilder::stage_factory(StackSpec::Stage::kWarpAgg,
-                                               e.factory)});
+                                               e.factory),
+        .config = staged_config(StackSpec::Stage::kWarpAgg, e.config)});
   }
 }
 
@@ -91,50 +144,46 @@ void register_all_allocators() {
   // leave a device whose teardown order races the registry singleton's.
   gpu::Device probe_dev(32u << 20, gpu::GpuConfig{.num_sms = 1});
 
-  // Paper selector letters: o+s+h+c+r+x (+a Atomic, +f FDGMalloc).
-  add(probe_dev, 'a', make_factory<alloc::AtomicAlloc>());
+  // Paper selector letters: o+s+h+c+r+x (+a Atomic, +f FDGMalloc). Every
+  // entry except the CudaStandin reference carries a ConfigModel, so
+  // "Name{k=v}" overrides work uniformly across the population.
+  add_cfg<alloc::AtomicAlloc>(probe_dev, 'a');
   add(probe_dev, 'c', make_factory<alloc::CudaStandin>());
-  add(probe_dev, 'x', make_factory<alloc::XMalloc>(alloc::XMalloc::Config{}));
-  add(probe_dev, 's',
-      make_factory<alloc::ScatterAlloc>(alloc::ScatterAlloc::Config{}));
-  add(probe_dev, 'f',
-      make_factory<alloc::FDGMalloc>(alloc::FDGMalloc::Config{}));
-  add(probe_dev, 'h', make_factory<alloc::Halloc>(alloc::Halloc::Config{}));
+  add_cfg<alloc::XMalloc>(probe_dev, 'x');
+  add_cfg<alloc::ScatterAlloc>(probe_dev, 's');
+  add_cfg<alloc::FDGMalloc>(probe_dev, 'f');
+  add_cfg<alloc::Halloc>(probe_dev, 'h');
 
-  add(probe_dev, 'r',
-      make_factory<RegEffAlloc>(
-          RegEffAlloc::Config{.fused = false, .multi = false}));
-  add(probe_dev, 'r',
-      make_factory<RegEffAlloc>(
-          RegEffAlloc::Config{.fused = true, .multi = false}));
-  add(probe_dev, 'r',
-      make_factory<RegEffAlloc>(
-          RegEffAlloc::Config{.fused = false, .multi = true}));
-  add(probe_dev, 'r',
-      make_factory<RegEffAlloc>(
-          RegEffAlloc::Config{.fused = true, .multi = true}));
+  // The four RegEff and six Ouroboros variants share one schema each; the
+  // identity fields (fused/multi, queue/chunk_based) live only in the
+  // per-entry defaults and are not override-reachable.
+  add_cfg<RegEffAlloc>(probe_dev, 'r',
+                       RegEffAlloc::Config{.fused = false, .multi = false});
+  add_cfg<RegEffAlloc>(probe_dev, 'r',
+                       RegEffAlloc::Config{.fused = true, .multi = false});
+  add_cfg<RegEffAlloc>(probe_dev, 'r',
+                       RegEffAlloc::Config{.fused = false, .multi = true});
+  add_cfg<RegEffAlloc>(probe_dev, 'r',
+                       RegEffAlloc::Config{.fused = true, .multi = true});
 
   for (bool chunk_based : {false, true}) {
     for (QK kind : {QK::kStandard, QK::kVirtArray, QK::kVirtLinked}) {
-      add(probe_dev, 'o',
-          make_factory<Ouroboros>(Ouroboros::Config{
-              .queue = kind, .chunk_based = chunk_based}));
+      add_cfg<Ouroboros>(probe_dev, 'o',
+                         Ouroboros::Config{.queue = kind,
+                                           .chunk_based = chunk_based});
     }
   }
 
   // Extension beyond the paper's evaluated population (§2.9 had no public
   // version): our BulkAllocator rebuild, selector 'b'.
-  add(probe_dev, 'b', make_factory<alloc::BulkAlloc>(alloc::BulkAlloc::Config{}));
+  add_cfg<alloc::BulkAlloc>(probe_dev, 'b');
 
   // The host-based family (src/hostalloc, DESIGN.md §14), selector 'm':
   // the survey column the paper's device-side population omits — the host
   // plans every placement, the device only consumes.
-  add(probe_dev, 'm',
-      make_factory<hostalloc::ExtentBestFit>(hostalloc::ExtentBestFit::Config{}));
-  add(probe_dev, 'm',
-      make_factory<hostalloc::HostBuddy>(hostalloc::HostBuddy::Config{}));
-  add(probe_dev, 'm',
-      make_factory<hostalloc::StreamPool>(hostalloc::StreamPool::Config{}));
+  add_cfg<hostalloc::ExtentBestFit>(probe_dev, 'm');
+  add_cfg<hostalloc::HostBuddy>(probe_dev, 'm');
+  add_cfg<hostalloc::StreamPool>(probe_dev, 'm');
 
   register_decorated_twins();
 }

@@ -38,6 +38,44 @@ constexpr std::uint64_t kWarpFactor = 9949;
 constexpr std::size_t kHierBytes = 128;
 }  // namespace
 
+const core::ConfigSchema<ScatterAlloc::Config>& ScatterAlloc::config_schema() {
+  using core::Pow2;
+  static const auto schema = [] {
+    core::ConfigSchema<Config> s;
+    // page_size floor: hierarchical pages must fit kHierBytes of level-2
+    // words plus at least one chunk. pages_per_superblock stays pow2 so an
+    // odd hash_stride is coprime with it and the probe covers every page.
+    s.u64("page_size", &Config::page_size, 512, std::size_t{1} << 20,
+          Pow2::kYes, {2048, 4096, 8192, 16384})
+        .u64("pages_per_superblock", &Config::pages_per_superblock, 64,
+             std::size_t{1} << 16, Pow2::kYes, {256, 512, 1024, 2048})
+        .u64("pages_per_region", &Config::pages_per_region, 8, 1024,
+             Pow2::kYes, {16, 32, 64, 128})
+        .u64("reserved_fraction", &Config::reserved_fraction, 2, 64,
+             Pow2::kNo, {2, 4, 8, 16})
+        .u64("probe_limit", &Config::probe_limit, 8, 1 << 16, Pow2::kNo,
+             {32, 64, 128, 256, 512})
+        .u64("hash_stride", &Config::hash_stride, 1, 255, Pow2::kNo,
+             {1, 3, 7, 17, 31})
+        .check([](const Config& c) {
+          if (c.hash_stride % 2 == 0) {
+            throw core::ConfigError(
+                core::ConfigError::Kind::kOutOfRange, "hash_stride",
+                "config field 'hash_stride': must be odd (coprime with the "
+                "pow2 super-block page count)");
+          }
+          if (c.pages_per_region > c.pages_per_superblock) {
+            throw core::ConfigError(
+                core::ConfigError::Kind::kOutOfRange, "pages_per_region",
+                "config field 'pages_per_region': exceeds "
+                "pages_per_superblock");
+          }
+        });
+    return s;
+  }();
+  return schema;
+}
+
 ScatterAlloc::ScatterAlloc(gpu::Device& dev, std::size_t heap_bytes,
                            Config cfg)
     : cfg_(cfg) {
@@ -290,7 +328,10 @@ void* ScatterAlloc::malloc_chunk(gpu::ThreadCtx& ctx, std::uint32_t chunk) {
         pages_per_sb;
     const std::size_t probes = std::min(cfg_.probe_limit, pages_per_sb);
     for (std::size_t step = 0; step < probes; ++step) {
-      const std::size_t page_in_sb = (p0 + step) % pages_per_sb;
+      // Strided probe: hash_stride=1 is the paper's linear walk (and the
+      // byte-identical default); odd strides decluster size collisions.
+      const std::size_t page_in_sb =
+          (p0 + step * cfg_.hash_stride) % pages_per_sb;
       const std::size_t page = sb * pages_per_sb + page_in_sb;
       // Region rejection: skip regions with no free chunk quickly.
       const std::size_t region = page / cfg_.pages_per_region;

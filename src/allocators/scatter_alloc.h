@@ -25,11 +25,19 @@ class ScatterAlloc final : public core::MemoryManager {
     std::size_t reserved_fraction = 4;
     /// Linear-probe budget within one super block before advancing.
     std::size_t probe_limit = 256;
+    /// Probe step within a super block. Odd (schema-enforced) so the walk
+    /// visits every page of a pow2 super block; 1 = the paper's linear probe.
+    std::size_t hash_stride = 1;
   };
+
+  /// Schema binding Config to the runtime "{k=v}" layer (scatter_alloc.cpp).
+  static const core::ConfigSchema<Config>& config_schema();
 
   ScatterAlloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
   ScatterAlloc(gpu::Device& dev, std::size_t heap_bytes)
       : ScatterAlloc(dev, heap_bytes, Config{}) {}
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
 
   [[nodiscard]] const core::AllocatorTraits& traits() const override;
   [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;

@@ -23,6 +23,37 @@ constexpr core::AllocatorTraits kTraits{
 };
 }  // namespace
 
+const core::ConfigSchema<XMalloc::Config>& XMalloc::config_schema() {
+  using core::Pow2;
+  static const auto schema = [] {
+    core::ConfigSchema<Config> s;
+    s.u64("fifo1_capacity", &Config::fifo1_capacity, 64, 1u << 16, Pow2::kYes,
+          {1024, 4096, 16384})
+        .u64("fifo2_capacity", &Config::fifo2_capacity, 64, 1u << 16,
+             Pow2::kYes, {256, 1024, 4096})
+        .u64("class_base", &Config::class_base, 16, 256, Pow2::kYes,
+             {16, 32, 64})
+        .u64("num_classes", &Config::num_classes, 1,
+             alloc_core::SizeClassMap::kMaxClasses, Pow2::kNo, {7, 9, 11, 13})
+        .u64("blocks_per_super", &Config::blocks_per_super, 1, 32, Pow2::kNo,
+             {8, 16, 32})
+        .u64("large_split_units", &Config::large_split_units, 2, 64,
+             Pow2::kNo, {2, 4, 8, 16})
+        .check([](const Config& c) {
+          // The geometric ladder must stay within SizeClassMap's size_t
+          // arithmetic; cap the top payload at 16 MiB.
+          if ((c.class_base << (c.num_classes - 1)) > (std::size_t{1} << 24)) {
+            throw core::ConfigError(
+                core::ConfigError::Kind::kBadLadder, "num_classes",
+                "config field 'num_classes': top payload class exceeds "
+                "16 MiB");
+          }
+        });
+    return s;
+  }();
+  return schema;
+}
+
 XMalloc::XMalloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
     : cfg_(cfg) {
   core::Stopwatch timer;
@@ -56,7 +87,8 @@ XMalloc::XMalloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
   std::size_t rest = 0;
   pool_base_ = carver.take_rest(rest, ListHeap::kUnit, "memoryblock-heap");
   heap_.init_host(pool_base_,
-                  static_cast<std::uint32_t>(rest / ListHeap::kUnit), flags);
+                  static_cast<std::uint32_t>(rest / ListHeap::kUnit), flags,
+                  static_cast<std::uint32_t>(cfg_.large_split_units));
   init_ms_ = timer.elapsed_ms();
 }
 

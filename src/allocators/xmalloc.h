@@ -47,7 +47,14 @@ class XMalloc final : public core::MemoryManager {
     /// Basicblocks carved per Superblock (Fig. 1 uses 32). Clamped to
     /// [1, 32]: returned_mask is one 32-bit word.
     unsigned blocks_per_super = 32;
+    /// Smallest remainder (16 B units) the large-path ListHeap splits off a
+    /// claimed Memoryblock; smaller leftovers stay as internal
+    /// fragmentation. 4 is the historical behaviour.
+    std::size_t large_split_units = 4;
   };
+
+  /// Schema binding Config to the runtime "{k=v}" layer (xmalloc.cpp).
+  static const core::ConfigSchema<Config>& config_schema();
 
   XMalloc(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
   XMalloc(gpu::Device& dev, std::size_t heap_bytes)

@@ -77,15 +77,37 @@ std::vector<std::string> Registry::select(std::string_view spec) const {
     return out;
   }
 
-  // Comma-separated explicit names.
+  // Comma-separated explicit names. A "{k=v,...}" config suffix rides
+  // along: the base must be registered and configurable, the suffix shape
+  // must parse, and the braced token is returned whole so downstream cells
+  // build the configured variant. Braces bind tighter than commas — a comma
+  // inside "{...}" separates keys, not names.
   std::size_t pos = 0;
   while (pos <= spec.size()) {
-    const auto comma = spec.find(',', pos);
+    std::size_t comma = spec.find(',', pos);
+    const auto brace = spec.find('{', pos);
+    if (brace != std::string_view::npos && comma != std::string_view::npos &&
+        brace < comma) {
+      const auto close = spec.find('}', brace);
+      comma = close == std::string_view::npos ? std::string_view::npos
+                                              : spec.find(',', close);
+    }
     const auto name = spec.substr(
         pos, comma == std::string_view::npos ? spec.size() - pos : comma - pos);
     if (!name.empty()) {
-      if (find(name) == nullptr) {
-        throw std::invalid_argument{"unknown allocator: " + std::string(name)};
+      const auto [base, braced] = split_config_suffix(name);
+      const auto* entry = find(base);
+      if (entry == nullptr) {
+        throw std::invalid_argument{"unknown allocator: " + std::string(base)};
+      }
+      if (!braced.empty()) {
+        const ConfigKV overrides = parse_config_overrides(braced);
+        if (!overrides.empty() && entry->config == nullptr) {
+          throw ConfigError(ConfigError::Kind::kNotConfigurable,
+                            std::string(base),
+                            "allocator '" + std::string(base) +
+                                "' takes no config overrides");
+        }
       }
       push_unique(name);
     }
@@ -98,15 +120,29 @@ std::vector<std::string> Registry::select(std::string_view spec) const {
 std::unique_ptr<MemoryManager> Registry::make(std::string_view name,
                                               gpu::Device& dev,
                                               std::size_t heap_bytes) const {
-  const auto* entry = find(name);
+  const auto [base, braced] = split_config_suffix(name);
+  const auto* entry = find(base);
   if (entry == nullptr) {
-    throw std::invalid_argument{"unknown allocator: " + std::string(name)};
+    throw std::invalid_argument{"unknown allocator: " + std::string(base)};
   }
   if (heap_bytes > dev.arena().size()) {
     throw std::invalid_argument{"heap larger than device arena"};
   }
+  ManagerFactory factory = entry->factory;
+  if (!braced.empty()) {
+    const ConfigKV overrides = parse_config_overrides(braced);
+    if (!overrides.empty()) {
+      if (entry->config == nullptr) {
+        throw ConfigError(ConfigError::Kind::kNotConfigurable,
+                          std::string(base),
+                          "allocator '" + std::string(base) +
+                              "' takes no config overrides");
+      }
+      factory = entry->config->configured_factory(overrides);
+    }
+  }
   dev.arena().clear();
-  return entry->factory(dev, heap_bytes);
+  return factory(dev, heap_bytes);
 }
 
 }  // namespace gms::core

@@ -7,22 +7,21 @@
 #include <string_view>
 #include <vector>
 
+#include "core/alloc_config.h"
 #include "core/memory_manager.h"
 #include "gpu/device.h"
 
 namespace gms::core {
-
-/// Factory signature: builds a manager governing `heap_bytes` of the device
-/// arena (starting at offset 0; the arena is cleared first so every manager
-/// gets an identical cold start).
-using ManagerFactory = std::function<std::unique_ptr<MemoryManager>(
-    gpu::Device& dev, std::size_t heap_bytes)>;
 
 struct RegistryEntry {
   AllocatorTraits traits;
   /// Paper CLI selector letter: o+s+h+c+r+x (+a atomic, +f FDG).
   char selector = '?';
   ManagerFactory factory;
+  /// Runtime-Config surface (schema + defaults). Null for entries without
+  /// tunable knobs (CudaStandin, decorated twins delegate to their base) —
+  /// "{k=v}" against a null model is a typed kNotConfigurable error.
+  std::shared_ptr<const ConfigModel> config;
 };
 
 /// Global catalogue of every surveyed allocator variant. Populated by

@@ -172,7 +172,7 @@ std::string StackSpec::to_string() const {
   for (Stage s : stages) {
     out += std::string(stage_name(s)) + ">";
   }
-  return out + base;
+  return out + base + format_config(base_config);
 }
 
 StackSpec StackSpec::parse(std::string_view spec) {
@@ -206,7 +206,9 @@ StackSpec StackSpec::parse(std::string_view spec) {
             "unknown stack stage: " + std::string(tok) +
             " (expected trace|fault|validate|warpagg|resilient)"};
       }
-      out.base = std::string(tok);
+      const auto [name, braced] = split_config_suffix(tok);
+      out.base = std::string(name);
+      if (!braced.empty()) out.base_config = parse_config_overrides(braced);
     }
     if (last) break;
     pos = gt + 1;
@@ -273,7 +275,17 @@ BuiltStack StackBuilder::build(const StackSpec& spec,
   }
 
   // Compose innermost-first: the stage closest to the base wraps first.
+  // A "{k=v}" suffix on the base swaps in a configured factory (validated
+  // eagerly, before any arena state changes).
   ManagerFactory f = entry->factory;
+  if (!spec.base_config.empty()) {
+    if (entry->config == nullptr) {
+      throw ConfigError(ConfigError::Kind::kNotConfigurable, spec.base,
+                        "allocator '" + spec.base +
+                            "' takes no config overrides");
+    }
+    f = entry->config->configured_factory(spec.base_config);
+  }
   for (auto it = spec.stages.rbegin(); it != spec.stages.rend(); ++it) {
     if (*it == StackSpec::Stage::kTrace) {
       f = [inner = std::move(f), rec = out.recorder.get()](

@@ -45,13 +45,20 @@ struct StackSpec {
 
   std::vector<Stage> stages;  ///< outermost first, as written
   std::string base;           ///< registry name; empty for a stage-only spec
+  /// Config overrides split off the base token ("validate>Halloc{slab_bytes=
+  /// 2097152}"): applied over the registry entry's default Config when the
+  /// stack is built. Empty = the entry's stock factory, byte-identical to
+  /// the pre-config behaviour.
+  ConfigKV base_config;
 
   /// Stage tokens: "trace", "fault", "validate", "warpagg", "resilient".
   /// The last
-  /// '>'-separated token that is not a stage name becomes the base; a spec
+  /// '>'-separated token that is not a stage name becomes the base (an
+  /// optional "{k=v,...}" suffix on it parses into base_config); a spec
   /// of stages only ("trace>validate") leaves base empty so one --stack
   /// stage list can apply across a whole -t selection. Throws
-  /// std::invalid_argument on unknown stages, duplicates, or empty tokens.
+  /// std::invalid_argument on unknown stages, duplicates, or empty tokens,
+  /// and ConfigError on a malformed "{...}" suffix.
   static StackSpec parse(std::string_view spec);
 
   static std::string_view stage_name(Stage s);

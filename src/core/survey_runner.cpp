@@ -323,6 +323,12 @@ Verdict SurveyRunner::probe_cell(
   return run_attempt(body).verdict;
 }
 
+SurveyRunner::ProbeResult SurveyRunner::probe_cell_detail(
+    const std::function<CellOutcome()>& body) const {
+  const Attempt att = run_attempt(body);
+  return ProbeResult{att.verdict, att.ms, att.detail};
+}
+
 std::size_t SurveyRunner::load_quarantine() {
   quarantine_.clear();
   std::ifstream in(opts_.quarantine_path);

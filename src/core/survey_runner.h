@@ -113,6 +113,17 @@ class SurveyRunner {
   /// contract as run_cell.
   [[nodiscard]] Verdict probe_cell(const std::function<CellOutcome()>& body) const;
 
+  /// probe_cell plus the child's detail line and the attempt's wall clock —
+  /// the tuner's measurement primitive (the cell body smuggles its replayed
+  /// milliseconds out through the detail pipe as "ms=<float>;...").
+  struct ProbeResult {
+    Verdict verdict = Verdict::kOk;
+    double ms = 0;       ///< parent-side wall clock of the whole attempt
+    std::string detail;  ///< child's pipe message or parent's diagnosis
+  };
+  [[nodiscard]] ProbeResult probe_cell_detail(
+      const std::function<CellOutcome()>& body) const;
+
   [[nodiscard]] const std::vector<CellResult>& results() const {
     return results_;
   }

@@ -7,6 +7,21 @@
 
 namespace gms::hostalloc {
 
+const core::ConfigSchema<ExtentBestFit::Config>&
+ExtentBestFit::config_schema() {
+  using core::Pow2;
+  static const auto schema = [] {
+    core::ConfigSchema<Config> s;
+    s.u64("granule", &Config::granule, 16, 4096, Pow2::kYes,
+          {64, 128, 256, 512})
+        // 0 = auto-size from the pool (pool/1KiB clamped to [4096, 1M]).
+        .u64("handoff_slots", &Config::handoff_slots, 0,
+             std::uint64_t{1} << 20, Pow2::kNo, {0, 16384, 65536});
+    return s;
+  }();
+  return schema;
+}
+
 ExtentBestFit::ExtentBestFit(gpu::Device& dev, std::size_t heap_bytes,
                              Config cfg)
     : HostManagerBase(dev, heap_bytes), cfg_(cfg) {

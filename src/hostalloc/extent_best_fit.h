@@ -43,9 +43,14 @@ class ExtentBestFit final : public HostManagerBase {
   static constexpr std::uint64_t kEmptySlot = ~std::uint64_t{0};
   static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
 
+  /// Schema binding Config to the runtime "{k=v}" layer (extent_best_fit.cpp).
+  static const core::ConfigSchema<Config>& config_schema();
+
   ExtentBestFit(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
   ExtentBestFit(gpu::Device& dev, std::size_t heap_bytes)
       : ExtentBestFit(dev, heap_bytes, Config{}) {}
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
 
   [[nodiscard]] const core::AllocatorTraits& traits() const override;
   [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;

@@ -8,6 +8,17 @@
 
 namespace gms::hostalloc {
 
+const core::ConfigSchema<HostBuddy::Config>& HostBuddy::config_schema() {
+  using core::Pow2;
+  static const auto schema = [] {
+    core::ConfigSchema<Config> s;
+    s.u64("min_block", &Config::min_block, 16, std::uint64_t{1} << 16,
+          Pow2::kYes, {64, 128, 256, 512, 1024});
+    return s;
+  }();
+  return schema;
+}
+
 HostBuddy::HostBuddy(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
     : HostManagerBase(dev, heap_bytes), cfg_(cfg) {
   const core::Stopwatch timer;

@@ -23,9 +23,14 @@ class HostBuddy final : public HostManagerBase {
     std::uint64_t min_block = 256;  ///< smallest block (bytes, pow2)
   };
 
+  /// Schema binding Config to the runtime "{k=v}" layer (host_buddy.cpp).
+  static const core::ConfigSchema<Config>& config_schema();
+
   HostBuddy(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
   HostBuddy(gpu::Device& dev, std::size_t heap_bytes)
       : HostBuddy(dev, heap_bytes, Config{}) {}
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
 
   [[nodiscard]] const core::AllocatorTraits& traits() const override;
   [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;

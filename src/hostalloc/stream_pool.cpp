@@ -7,6 +7,26 @@
 
 namespace gms::hostalloc {
 
+const core::ConfigSchema<StreamPool::Config>& StreamPool::config_schema() {
+  using core::Pow2;
+  static const auto schema = [] {
+    core::ConfigSchema<Config> s;
+    s.u64("streams", &Config::streams, 1, 64, Pow2::kNo, {1, 2, 4, 8, 16})
+        .u64("granule", &Config::granule, 16, 4096, Pow2::kYes,
+             {64, 128, 256, 512})
+        .u64("release_threshold", &Config::release_threshold, 0,
+             std::uint64_t{1} << 30, Pow2::kNo,
+             {0, std::uint64_t{1} << 20, std::uint64_t{16} << 20})
+        .enum_("stream_assign", &Config::stream_assign,
+               {{"smid", StreamAssign::kSmid},
+                {"block", StreamAssign::kBlock},
+                {"warp", StreamAssign::kWarp},
+                {"rank", StreamAssign::kRank}});
+    return s;
+  }();
+  return schema;
+}
+
 StreamPool::StreamPool(gpu::Device& dev, std::size_t heap_bytes, Config cfg)
     : HostManagerBase(dev, heap_bytes), cfg_(cfg) {
   const core::Stopwatch timer;

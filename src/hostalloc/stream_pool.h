@@ -27,17 +27,34 @@ namespace gms::hostalloc {
 /// cudaMemPoolAttrReleaseThreshold semantics.
 class StreamPool final : public HostManagerBase {
  public:
+  /// How a lane's identity maps to its stream — the explicit API surface
+  /// the ROADMAP noted was missing (streams used to be hard-derived from
+  /// smid). Workloads pick a policy through the Config; kSmid reproduces
+  /// the historical mapping byte-identically.
+  enum class StreamAssign : std::uint8_t {
+    kSmid,   ///< smid % streams (historical default: SM affinity)
+    kBlock,  ///< block_idx % streams (per-launch-block streams)
+    kWarp,   ///< global_warp_id % streams (finest stable granularity)
+    kRank,   ///< thread_rank % streams (round-robin across lanes)
+  };
+
   struct Config {
     unsigned streams = 4;
     std::uint64_t granule = 256;  ///< placement granularity (bytes, pow2)
     /// Bytes each stream may keep cached across a sync point (0 = release
     /// everything, the cudaMallocAsync default).
     std::uint64_t release_threshold = 0;
+    StreamAssign stream_assign = StreamAssign::kSmid;
   };
+
+  /// Schema binding Config to the runtime "{k=v}" layer (stream_pool.cpp).
+  static const core::ConfigSchema<Config>& config_schema();
 
   StreamPool(gpu::Device& dev, std::size_t heap_bytes, Config cfg);
   StreamPool(gpu::Device& dev, std::size_t heap_bytes)
       : StreamPool(dev, heap_bytes, Config{}) {}
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
 
   [[nodiscard]] const core::AllocatorTraits& traits() const override;
   [[nodiscard]] void* malloc(gpu::ThreadCtx& ctx, std::size_t size) override;
@@ -82,6 +99,16 @@ class StreamPool final : public HostManagerBase {
   };
 
   [[nodiscard]] unsigned stream_of(const gpu::ThreadCtx& ctx) const {
+    switch (cfg_.stream_assign) {
+      case StreamAssign::kBlock:
+        return ctx.block_idx() % cfg_.streams;
+      case StreamAssign::kWarp:
+        return ctx.global_warp_id() % cfg_.streams;
+      case StreamAssign::kRank:
+        return ctx.thread_rank() % cfg_.streams;
+      case StreamAssign::kSmid:
+        break;
+    }
     return ctx.smid() % cfg_.streams;
   }
   /// Kernel-boundary detection; call with the planner lock held. Returns

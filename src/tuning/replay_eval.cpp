@@ -1,0 +1,91 @@
+#include "tuning/replay_eval.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "core/stack_builder.h"
+#include "trace/trace_recorder.h"
+#include "trace/trace_replay.h"
+
+namespace gms::tuning {
+
+double parse_ms_detail(const std::string& detail, double fallback) {
+  const auto pos = detail.find("ms=");
+  if (pos == std::string::npos) return fallback;
+  return std::strtod(detail.c_str() + pos + 3, nullptr);
+}
+
+ReplayEvaluator::ReplayEvaluator(std::string manager, trace::Trace trace,
+                                 ReplayEvalOptions opts)
+    : manager_(std::move(manager)),
+      trace_(std::move(trace)),
+      opts_(opts),
+      runner_({.deadline_s = opts.deadline_s,
+               .rlimit_mb = opts.rlimit_mb,
+               .persist_quarantine = false}) {}
+
+EvalResult ReplayEvaluator::operator()(const core::ConfigKV& overrides) const {
+  const auto probe = runner_.probe_cell_detail([&]() -> core::CellOutcome {
+    const std::size_t heap = trace_.header.heap_bytes != 0
+                                 ? trace_.header.heap_bytes
+                                 : (64u << 20);
+    unsigned num_sms = opts_.num_sms;
+    if (num_sms == 0) {
+      num_sms = trace_.header.num_sms != 0 ? trace_.header.num_sms : 4;
+    }
+    gpu::Device dev(heap + (8u << 20),
+                    gpu::GpuConfig{.num_sms = num_sms,
+                                   .lane_stack_bytes = 32 * 1024,
+                                   .watchdog_ms = opts_.watchdog_ms});
+    core::StackSpec spec;
+    spec.base = manager_;
+    spec.base_config = overrides;
+    dev.launch(num_sms * 2, 256, [](gpu::ThreadCtx&) {});  // warm-up
+
+    // Every rep replays the workload against a *fresh* manager: the cold
+    // carve/probe/walk work is exactly where config choices bite, and a
+    // warm manager would hide it behind recycled free-list state. The
+    // median over cold reps is the score.
+    trace::TraceReplayer replayer(trace_);
+    std::vector<double> times;
+    std::uint64_t failed = 0, mallocs = 0;
+    const unsigned reps = std::max(1u, opts_.reps);
+    for (unsigned r = 0; r < reps; ++r) {
+      auto stack = core::StackBuilder(dev).build(spec, heap);
+      const auto res = replayer.replay(dev, *stack.manager);
+      times.push_back(res.elapsed_ms);
+      failed += res.failed_mallocs;
+      mallocs += res.mallocs;
+
+      // The verdict half of the protocol mirrors replay_verdict_cell: a
+      // dirty audit disqualifies harder than slow ever could; a failed
+      // malloc means the candidate geometry can't even hold the workload.
+      const auto audit = stack.manager->audit();
+      if (audit.supported && !audit.ok) {
+        return {core::SurveyRunner::kExitValidation, audit.to_string()};
+      }
+    }
+    std::sort(times.begin(), times.end());
+    const double median = times[times.size() / 2];
+    std::ostringstream os;
+    os << "ms=" << median << ";mallocs=" << mallocs << ";reps=" << reps;
+    if (failed > 0) {
+      return {core::SurveyRunner::kExitOom,
+              os.str() + ";failed=" + std::to_string(failed)};
+    }
+    return {core::SurveyRunner::kExitOk, os.str()};
+  });
+
+  EvalResult out;
+  out.verdict = probe.verdict;
+  out.detail = probe.detail;
+  // The replayed median from the pipe; the fork's own wall clock only as a
+  // degenerate fallback (it still orders candidates sanely if a cell ever
+  // omits the field).
+  out.ms = parse_ms_detail(probe.detail, probe.ms);
+  return out;
+}
+
+}  // namespace gms::tuning

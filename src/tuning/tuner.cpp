@@ -1,0 +1,214 @@
+#include "tuning/tuner.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <set>
+
+#include "core/utils.h"
+
+namespace gms::tuning {
+
+namespace {
+
+using core::ConfigError;
+using core::ConfigFieldInfo;
+using core::ConfigKV;
+
+/// Sorted-map view of sparse overrides: crossover and mutation want
+/// key-level set operations; the ConfigKV order itself is irrelevant for
+/// identity (canonicalize serializes in schema order).
+std::map<std::string, std::string> to_map(const ConfigKV& kv) {
+  std::map<std::string, std::string> m;
+  for (const auto& [k, v] : kv) m[k] = v;
+  return m;
+}
+
+ConfigKV to_kv(const std::map<std::string, std::string>& m) {
+  ConfigKV kv;
+  kv.reserve(m.size());
+  for (const auto& [k, v] : m) kv.emplace_back(k, v);
+  return kv;
+}
+
+/// A random legal serialized value for `f`. Grids are preferred (they mark
+/// the schema author's plausible operating points); fields without a grid
+/// draw uniformly from their typed domain, pow2 fields from the exponent
+/// range. Ladder fields have no synthesizable domain: grid-only, empty
+/// string = leave the field alone.
+std::string random_value(const ConfigFieldInfo& f, core::SplitMix64& rng) {
+  if (!f.grid.empty() && (f.kind == ConfigFieldInfo::Kind::kLadder ||
+                          (rng.next() & 3) != 0)) {
+    return f.grid[rng.range(0, f.grid.size() - 1)];
+  }
+  switch (f.kind) {
+    case ConfigFieldInfo::Kind::kU64: {
+      if (f.pow2) {
+        const unsigned lo = std::bit_width(std::max<std::uint64_t>(f.min, 1)) -
+                            1;
+        const unsigned hi = std::bit_width(std::max<std::uint64_t>(f.max, 1)) -
+                            1;
+        return std::to_string(std::uint64_t{1} << rng.range(lo, hi));
+      }
+      return std::to_string(rng.range(f.min, f.max));
+    }
+    case ConfigFieldInfo::Kind::kDouble: {
+      const double u = static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+      return core::format_double(f.dmin + u * (f.dmax - f.dmin));
+    }
+    case ConfigFieldInfo::Kind::kBool:
+      return (rng.next() & 1) != 0 ? "1" : "0";
+    case ConfigFieldInfo::Kind::kEnum:
+      return f.choices.empty()
+                 ? std::string{}
+                 : f.choices[rng.range(0, f.choices.size() - 1)];
+    case ConfigFieldInfo::Kind::kLadder:
+      return {};  // no grid alternatives: nothing to draw
+  }
+  return {};
+}
+
+/// Strict-weak order for the ranked report: ok before disqualified, then
+/// faster first, ties broken on the canonical string so equal scores rank
+/// stably across reruns.
+bool better(const Candidate& a, const Candidate& b) {
+  if (a.disqualified != b.disqualified) return !a.disqualified;
+  if (a.eval.ms != b.eval.ms) return a.eval.ms < b.eval.ms;
+  return a.canonical < b.canonical;
+}
+
+}  // namespace
+
+Tuner::Tuner(const core::ConfigModel& model, TunerOptions opts)
+    : model_(&model), opts_(opts) {
+  opts_.elite = std::max(1u, opts_.elite);
+}
+
+std::vector<ConfigKV> Tuner::grid_seeds() const {
+  std::vector<ConfigKV> seeds;
+  const auto defaults = to_map(model_->defaults());
+  for (const auto& f : model_->fields()) {
+    const auto def = defaults.find(f.name);
+    for (const auto& v : f.grid) {
+      if (def != defaults.end() && def->second == v) continue;  // = baseline
+      seeds.push_back(ConfigKV{{f.name, v}});
+    }
+  }
+  return seeds;
+}
+
+TuneReport Tuner::run(const EvalFn& eval) {
+  TuneReport report;
+  core::SplitMix64 rng(opts_.seed);
+
+  std::set<std::string> seen;  ///< canonical forms already scored
+
+  // Validates, dedups and scores one candidate; returns its index in
+  // report.ranked or npos when skipped.
+  auto score = [&](const ConfigKV& overrides,
+                   unsigned generation) -> std::size_t {
+    Candidate c;
+    c.overrides = overrides;
+    c.generation = generation;
+    try {
+      c.canonical = core::format_config(model_->canonicalize(overrides));
+    } catch (const ConfigError&) {
+      ++report.rejected;  // out of range / cross-check violation: no eval
+      return static_cast<std::size_t>(-1);
+    }
+    if (!seen.insert(c.canonical).second) {
+      ++report.deduped;
+      return static_cast<std::size_t>(-1);
+    }
+    c.eval = eval(c.overrides);
+    ++report.evaluated;
+    c.disqualified = c.eval.verdict != core::Verdict::kOk;
+    if (c.disqualified) ++report.disqualified;
+    report.ranked.push_back(std::move(c));
+    return report.ranked.size() - 1;
+  };
+
+  // Baseline: the entry's defaults. A disqualified baseline still anchors
+  // the report (speedup stays 1.0 unless an ok candidate exists).
+  const std::size_t base_idx = score({}, 0);
+  report.baseline = report.ranked[base_idx];
+
+  // Generation 0: one-field-at-a-time grid sweep, capped.
+  auto seeds = grid_seeds();
+  if (seeds.size() > opts_.grid_limit) {
+    report.grid_dropped =
+        static_cast<unsigned>(seeds.size() - opts_.grid_limit);
+    seeds.resize(opts_.grid_limit);
+  }
+  for (const auto& s : seeds) score(s, 0);
+
+  // Evolutionary rounds: breed from the current elite.
+  const auto& fields = model_->fields();
+  for (unsigned gen = 1; gen <= opts_.generations; ++gen) {
+    // Elite pool: best ok candidates so far (baseline included).
+    std::vector<const Candidate*> pool;
+    for (const auto& c : report.ranked) {
+      if (!c.disqualified) pool.push_back(&c);
+    }
+    std::sort(pool.begin(), pool.end(),
+              [](const Candidate* a, const Candidate* b) {
+                return better(*a, *b);
+              });
+    if (pool.size() > opts_.elite) pool.resize(opts_.elite);
+    if (pool.empty()) break;  // everything disqualified: nothing to breed
+
+    std::vector<ConfigKV> brood;
+    for (unsigned i = 0; i < opts_.population; ++i) {
+      const auto& pa = *pool[rng.range(0, pool.size() - 1)];
+      const auto& pb = *pool[rng.range(0, pool.size() - 1)];
+      // Uniform crossover over the union of overridden keys.
+      const auto ma = to_map(pa.overrides);
+      const auto mb = to_map(pb.overrides);
+      std::map<std::string, std::string> child;
+      for (const auto& f : fields) {
+        const auto ia = ma.find(f.name);
+        const auto ib = mb.find(f.name);
+        if (ia == ma.end() && ib == mb.end()) continue;
+        const bool from_a = (rng.next() & 1) != 0;
+        if (from_a && ia != ma.end()) {
+          child[f.name] = ia->second;
+        } else if (ib != mb.end()) {
+          child[f.name] = ib->second;
+        } else {
+          child[f.name] = ia->second;
+        }
+      }
+      // Mutation: always at least one when the child is empty (crossover of
+      // the baseline with itself), else with mutation_rate probability.
+      const double u = static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+      if (child.empty() || u < opts_.mutation_rate) {
+        const auto& f = fields[rng.range(0, fields.size() - 1)];
+        // A mutation may also *drop* an override, walking back toward the
+        // defaults — without this the search only ever adds keys.
+        if (child.contains(f.name) && (rng.next() & 3) == 0) {
+          child.erase(f.name);
+        } else {
+          const std::string v = random_value(f, rng);
+          if (!v.empty()) child[f.name] = v;
+        }
+      }
+      brood.push_back(to_kv(child));
+    }
+    for (const auto& b : brood) score(b, gen);
+  }
+
+  std::sort(report.ranked.begin(), report.ranked.end(), better);
+  report.best = report.baseline;
+  if (!report.ranked.empty() && !report.ranked.front().disqualified &&
+      (report.baseline.disqualified ||
+       report.ranked.front().eval.ms < report.baseline.eval.ms)) {
+    report.best = report.ranked.front();
+  }
+  if (!report.baseline.disqualified && !report.best.disqualified &&
+      report.best.eval.ms > 0) {
+    report.speedup = report.baseline.eval.ms / report.best.eval.ms;
+  }
+  return report;
+}
+
+}  // namespace gms::tuning

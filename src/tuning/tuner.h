@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/alloc_config.h"
+#include "core/survey_runner.h"
+
+namespace gms::tuning {
+
+/// Search budget and RNG seed for one Tuner::run. The defaults are a small
+/// CI-friendly budget; bench_tune scales them up via --generations /
+/// --population / --tune-seed.
+struct TunerOptions {
+  /// Evolutionary rounds after the grid-seed generation (0 = grid only).
+  unsigned generations = 3;
+  /// Offspring bred per evolutionary round.
+  unsigned population = 10;
+  /// Scored survivors eligible as parents (best-first).
+  unsigned elite = 4;
+  /// Chance each offspring takes an extra mutation on top of crossover,
+  /// in [0, 1].
+  double mutation_rate = 0.35;
+  /// Cap on single-field grid seeds emitted in generation 0 (schemas with
+  /// rich grids would otherwise front-load the whole budget); the report
+  /// counts what was dropped.
+  unsigned grid_limit = 32;
+  /// Seed for the deterministic SplitMix64 driving mutation/crossover —
+  /// the same seed and the same eval results reproduce the exact candidate
+  /// sequence (asserted by tests/test_config.cpp).
+  std::uint64_t seed = 0x7A3E5EEDull;
+};
+
+/// What one fork-contained evaluation of a candidate reports back.
+struct EvalResult {
+  core::Verdict verdict = core::Verdict::kOk;
+  /// Replayed wall time (milliseconds) — the score; lower is better. Only
+  /// meaningful for kOk verdicts; everything else is disqualified.
+  double ms = 0;
+  std::string detail;  ///< free-form cell diagnostics, for the report
+};
+
+/// Evaluates one candidate (sparse overrides over the model's defaults).
+/// bench_tune plugs in a fork-contained trace replay; tests plug in a
+/// deterministic synthetic cost surface.
+using EvalFn = std::function<EvalResult(const core::ConfigKV& overrides)>;
+
+/// One scored point of the search.
+struct Candidate {
+  core::ConfigKV overrides;  ///< sparse, as handed to the EvalFn
+  std::string canonical;     ///< full serialized config — the dedup identity
+  EvalResult eval;
+  bool disqualified = false;  ///< non-ok verdict: never selected or reported
+  unsigned generation = 0;    ///< 0 = grid seed / baseline
+};
+
+/// Result of a Tuner::run.
+struct TuneReport {
+  Candidate baseline;  ///< the model's defaults (empty overrides)
+  Candidate best;      ///< fastest ok candidate (== baseline if none beat it)
+  double speedup = 1.0;      ///< baseline.eval.ms / best.eval.ms
+  unsigned evaluated = 0;    ///< EvalFn invocations (baseline included)
+  unsigned deduped = 0;      ///< candidates skipped: canonical form already scored
+  unsigned rejected = 0;     ///< candidates failing schema validation pre-eval
+  unsigned disqualified = 0; ///< evaluated candidates with a non-ok verdict
+  unsigned grid_dropped = 0; ///< grid seeds past TunerOptions::grid_limit
+  std::vector<Candidate> ranked;  ///< every scored candidate, best-first
+};
+
+/// Replay-driven config search over one registry entry's ConfigModel
+/// (DESIGN.md §15): generation 0 sweeps the schema's per-field grids one
+/// field at a time, then `generations` evolutionary rounds breed offspring
+/// from the elite by uniform crossover plus bounded mutation (grid values,
+/// pow2-snapped ranges, enum choices — all derived from ConfigFieldInfo).
+/// Candidates are deduped on their canonical serialized config, validated
+/// before any evaluation is spent, and scored by the EvalFn's replayed
+/// wall time; crash/timeout/oom/validation verdicts disqualify. All
+/// randomness comes from one SplitMix64 seeded by TunerOptions::seed, so a
+/// rerun with the same seed and eval results is bit-identical.
+class Tuner {
+ public:
+  Tuner(const core::ConfigModel& model, TunerOptions opts);
+
+  [[nodiscard]] TuneReport run(const EvalFn& eval);
+
+  /// The deterministic generation-0 candidate list (before dedup/eval), in
+  /// emission order — exposed for the determinism tests.
+  [[nodiscard]] std::vector<core::ConfigKV> grid_seeds() const;
+
+ private:
+  const core::ConfigModel* model_;
+  TunerOptions opts_;
+};
+
+}  // namespace gms::tuning
